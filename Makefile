@@ -1,0 +1,39 @@
+# MichiCAN reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench repro examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B per paper table/figure plus ablations and micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's entire evaluation (Tables I-III, Fig. 6, all
+# studies) in one run.
+repro:
+	$(GO) run ./cmd/michican-bench -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dos-protection
+	$(GO) run ./examples/parksense
+	$(GO) run ./examples/parrot-comparison
+	$(GO) run ./examples/busoff-attack
+	$(GO) run ./examples/gateway
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,79 @@
+// Command candump decodes a raw bit trace (as written by michican-sim
+// -trace, or any '0'/'1' text where 0 is dominant) into frames and error
+// episodes — the logic-analyzer view of Sec. V-A.
+//
+//	michican-sim -attack dos -trace t.txt && candump t.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"michican/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "candump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: candump [file]   (reads stdin without a file)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var (
+		data []byte
+		err  error
+	)
+	switch flag.NArg() {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(flag.Arg(0))
+	default:
+		return fmt.Errorf("at most one input file")
+	}
+	if err != nil {
+		return err
+	}
+
+	bits, err := trace.ParseBits(string(data))
+	if err != nil {
+		return err
+	}
+	events := trace.Decode(bits, 0)
+	frames, destroyed := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.FrameEvent:
+			frames++
+			switch {
+			case e.Frame.FD:
+				fmt.Printf("(%08d) %s  FD [%d] % X\n", e.Start, e.Frame.ID, e.Frame.DLC(), e.Frame.Data)
+			case e.Frame.Remote:
+				fmt.Printf("(%08d) %s  remote request [%d]\n", e.Start, e.Frame.ID, e.Frame.RequestLen)
+			case e.Frame.Extended:
+				fmt.Printf("(%08d) %s  EXT [%d] % X\n", e.Start, e.Frame.ID, e.Frame.DLC(), e.Frame.Data)
+			default:
+				fmt.Printf("(%08d) %s  [%d] % X\n", e.Start, e.Frame.ID, e.Frame.DLC(), e.Frame.Data)
+			}
+		case trace.ErrorEvent:
+			destroyed++
+			id := "????"
+			if e.IDComplete {
+				id = e.ID.String()
+			}
+			fmt.Printf("(%08d) %s  DESTROYED (error frame after %d bits)\n", e.Start, id, e.Bits())
+		}
+	}
+	fmt.Printf("-- %d bits, %d frames, %d destroyed attempts, bus load %.1f%%\n",
+		len(bits), frames, destroyed, trace.Load(events, int64(len(bits)))*100)
+	return nil
+}

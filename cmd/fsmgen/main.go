@@ -1,0 +1,119 @@
+// Command fsmgen is the OEM's offline initial-configuration tool
+// (Sec. IV-A): given the in-vehicle network's legitimate CAN IDs, it
+// generates the per-ECU detection FSM and emits it as a summary table or
+// Graphviz dot.
+//
+//	fsmgen -ivn 0x064,0x173,0x25F -ecu 0x173
+//	fsmgen -matrix pacifica.matrix -ecu 0x260
+//	fsmgen -ivn 0x064,0x173 -ecu 0x173 -light
+//	fsmgen -ivn 0x064,0x173 -ecu 0x173 -dot > fsm.dot
+//	fsmgen -ivn 0x064,0x173 -ecu 0x173 -image ecu173.mfsm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"michican/internal/can"
+	"michican/internal/cli"
+	"michican/internal/fsm"
+	"michican/internal/restbus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fsmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ivnFlag    = flag.String("ivn", "", "comma-separated legitimate CAN IDs (e.g. 0x064,0x173)")
+		matrixFlag = flag.String("matrix", "", "take the IVN from a communication-matrix file")
+		ecuFlag    = flag.String("ecu", "", "the ECU to generate the FSM for (must be in the IVN)")
+		light      = flag.Bool("light", false, "light scenario: spoofing detection only")
+		dot        = flag.Bool("dot", false, "emit Graphviz dot instead of the summary")
+		image      = flag.String("image", "", "write the binary firmware image to this file")
+	)
+	flag.Parse()
+	if (*ivnFlag == "") == (*matrixFlag == "") {
+		return fmt.Errorf("exactly one of -ivn or -matrix is required (see -h)")
+	}
+	if *ecuFlag == "" {
+		return fmt.Errorf("-ecu is required (see -h)")
+	}
+
+	var (
+		ids []can.ID
+		err error
+	)
+	if *matrixFlag != "" {
+		f, err := os.Open(*matrixFlag)
+		if err != nil {
+			return err
+		}
+		m, perr := restbus.ParseMatrix(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		ids = m.IDs()
+	} else {
+		ids, err = cli.ParseIDList(*ivnFlag)
+		if err != nil {
+			return err
+		}
+	}
+	own, err := cli.ParseID(*ecuFlag)
+	if err != nil {
+		return err
+	}
+	v, err := fsm.NewIVN(ids)
+	if err != nil {
+		return err
+	}
+	idx := v.Index(own)
+	if idx < 0 {
+		return fmt.Errorf("ECU %s is not part of the IVN", own)
+	}
+
+	var ds *fsm.DetectionSet
+	if *light {
+		ds, err = fsm.NewSpoofOnlySet(v, idx)
+	} else {
+		ds, err = fsm.NewDetectionSet(v, idx)
+	}
+	if err != nil {
+		return err
+	}
+	machine := fsm.Build(ds)
+
+	if *dot {
+		fmt.Print(machine.Dot(fmt.Sprintf("michican_%03x", uint32(own))))
+		return nil
+	}
+	if *image != "" {
+		if err := os.WriteFile(*image, machine.Marshal(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("firmware image written to %s (%d bytes, %d states)\n",
+			*image, len(machine.Marshal()), machine.Size())
+	}
+
+	stats, err := machine.Stats(ds)
+	if err != nil {
+		return fmt.Errorf("FSM verification failed: %w", err)
+	}
+	scenario := "full"
+	if *light {
+		scenario = "light"
+	}
+	fmt.Printf("ECU %s (%s scenario) — IVN of %d ECUs\n", own, scenario, v.Size())
+	fmt.Printf("detection set |D| = %d IDs\n", ds.Size())
+	fmt.Printf("FSM: %d states, max depth %d\n", machine.Size(), machine.Depth())
+	fmt.Printf("verification: 100%% correct over all 2048 IDs\n")
+	fmt.Printf("detection positions: mean %.2f bits, max %d bits\n", stats.MeanBits, stats.MaxBits)
+	return nil
+}

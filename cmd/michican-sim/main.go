@@ -1,0 +1,181 @@
+// Command michican-sim runs a single MichiCAN scenario and prints the
+// timeline, the decoded bus events, and the outcome:
+//
+//	michican-sim -defender 0x173 -attack spoof -duration 200ms
+//	michican-sim -defender 0x173 -attack dos -attack-id 0x064 -restbus
+//	michican-sim -attack dos -attack-id 0x000 -no-defense  # watch it starve
+//	michican-sim -attack spoof -trace trace.txt            # dump bits for candump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/cli"
+	"michican/internal/controller"
+	"michican/internal/core"
+	"michican/internal/fsm"
+	"michican/internal/restbus"
+	"michican/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "michican-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		rateFlag   = flag.Int("rate", 50_000, "bus speed in bit/s")
+		defender   = flag.String("defender", "0x173", "defended ECU's CAN ID")
+		attackKind = flag.String("attack", "spoof", "attack: spoof|dos|toggle|misc|none")
+		attackID   = flag.String("attack-id", "", "attacker CAN ID (default: defender for spoof, 0x064 for dos)")
+		noDefense  = flag.Bool("no-defense", false, "leave the ECU unpatched")
+		withRest   = flag.Bool("restbus", false, "replay Veh. D benign traffic")
+		matrixFile = flag.String("matrix", "", "replay benign traffic from a communication-matrix file")
+		duration   = flag.Duration("duration", 200*time.Millisecond, "simulation length")
+		traceOut   = flag.String("trace", "", "write the raw bit trace to this file")
+		verbose    = flag.Bool("v", false, "print every decoded bus event")
+	)
+	flag.Parse()
+
+	rate := bus.Rate(*rateFlag)
+	defID, err := cli.ParseID(*defender)
+	if err != nil {
+		return err
+	}
+	attID := defID
+	if *attackID != "" {
+		if attID, err = cli.ParseID(*attackID); err != nil {
+			return err
+		}
+	} else if *attackKind == "dos" {
+		attID = 0x064
+	}
+
+	b := bus.New(rate)
+	rec := trace.NewRecorder()
+	b.AttachTap(rec)
+
+	// Legitimate IDs: the defender plus optional restbus.
+	ids := []can.ID{defID}
+	var benign *restbus.Matrix
+	switch {
+	case *matrixFile != "":
+		f, err := os.Open(*matrixFile)
+		if err != nil {
+			return err
+		}
+		benign, err = restbus.ParseMatrix(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	case *withRest:
+		benign = restbus.Buses(restbus.VehD)[0]
+	}
+	if benign != nil {
+		filtered := &restbus.Matrix{Vehicle: benign.Vehicle, Bus: benign.Bus}
+		for _, msg := range benign.Messages {
+			if msg.ID != defID && msg.ID != attID {
+				filtered.Messages = append(filtered.Messages, msg)
+			}
+		}
+		ids = append(ids, filtered.IDs()...)
+		b.Attach(restbus.NewReplayer("restbus", filtered, rate, nil))
+	}
+
+	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
+	var defense *core.Defense
+	if !*noDefense {
+		v, err := fsm.NewIVN(ids)
+		if err != nil {
+			return err
+		}
+		ds, err := fsm.NewDetectionSet(v, v.Index(defID))
+		if err != nil {
+			return err
+		}
+		defense, err = core.New(core.Config{
+			Name: "michican",
+			FSM:  fsm.Build(ds),
+			OnDetect: func(t bus.BitTime, pos int) {
+				if *verbose {
+					fmt.Printf("t=%-8d DETECT at ID bit %d\n", t, pos)
+				}
+			},
+			OnCounterattack: func(t bus.BitTime) {
+				if *verbose {
+					fmt.Printf("t=%-8d COUNTERATTACK (pull CAN_TX low, 7 bits)\n", t)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		b.Attach(core.NewECU(defCtl, defense))
+	} else {
+		b.Attach(defCtl)
+	}
+
+	var att *attack.Attacker
+	switch *attackKind {
+	case "spoof":
+		att = attack.NewFabrication("attacker", attID, []byte{0xDE, 0xAD, 0xBE, 0xEF}, 0)
+	case "dos":
+		att = attack.NewTargetedDoS("attacker", attID)
+	case "toggle":
+		att = attack.NewToggling("attacker", attID, attID+1)
+	case "misc":
+		att = attack.NewMiscellaneous("attacker", attID, 500)
+	case "none":
+	default:
+		return fmt.Errorf("unknown attack %q", *attackKind)
+	}
+	if att != nil {
+		b.Attach(att)
+		fmt.Printf("attack: %s with ID %s against defender %s on a %v bus (defense: %v)\n",
+			*attackKind, attID, defID, rate, !*noDefense)
+	}
+
+	b.RunFor(*duration)
+
+	events := trace.Decode(rec.Bits(), rec.Start())
+	frames, errors := 0, 0
+	for _, e := range events {
+		if e.Kind == trace.FrameEvent {
+			frames++
+		} else {
+			errors++
+		}
+		if *verbose {
+			fmt.Printf("t=%-8d %-5s %s (%d bits)\n", e.Start, e.Kind, e.ID, e.Bits())
+		}
+	}
+	fmt.Printf("\nsimulated %v (%d bits): %d complete frames, %d destroyed attempts, bus load %.1f%%\n",
+		*duration, rec.Len(), frames, errors, trace.Load(events, int64(rec.Len()))*100)
+	if att != nil {
+		st := att.Controller().Stats()
+		fmt.Printf("attacker: %d attempts, %d successes, %d bus-off events, state %v\n",
+			st.TxAttempts, st.TxSuccess, st.BusOffEvents, att.Controller().State())
+	}
+	if defense != nil {
+		ds := defense.Stats()
+		fmt.Printf("defense: %d detections (mean position %.1f bits), %d counterattacks\n",
+			ds.Detections, ds.MeanDetectionBits(), ds.Counterattacks)
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, []byte(trace.FormatBits(rec.Bits(), 120)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("raw bit trace written to %s (decode with candump)\n", *traceOut)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// DoS protection: a traditional denial-of-service flood (CAN ID 0x000)
+// against a vehicle's restbus traffic, with and without MichiCAN. Without
+// the defense every ECU starves; with it, the attacker is bused off within
+// ~25 ms and re-suppressed after every recovery, so deadline misses stay
+// near zero.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	michican "michican"
+	"michican/internal/restbus"
+)
+
+func main() {
+	if err := scenario(false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := scenario(true); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func scenario(defended bool) error {
+	label := "WITHOUT MichiCAN"
+	mode := michican.DefenseOff
+	if defended {
+		label = "WITH MichiCAN"
+		mode = michican.DefenseFull
+	}
+	fmt.Printf("=== %s ===\n", label)
+
+	n := michican.NewNetwork(michican.Rate50k)
+	n.Seed(7)
+	// The defended gateway ECU sits at a mid-priority ID and, in the
+	// defended run, carries the MichiCAN patch covering all unknown lower
+	// IDs.
+	gateway, err := n.AddECU(michican.ECUConfig{
+		Name: "gateway", ID: 0x173, Period: 50 * time.Millisecond, Defense: mode,
+	})
+	if err != nil {
+		return err
+	}
+	// Veh. D powertrain traffic, stretched to ~20% load on this slow
+	// prototype bus.
+	if _, err := n.AddRestbus(restbus.VehD, 0, 0.20); err != nil {
+		return err
+	}
+	// Warm-up.
+	if err := n.Run(300 * time.Millisecond); err != nil {
+		return err
+	}
+
+	fmt.Println("flooding CAN ID 0x000 for 1.5 s ...")
+	att := n.AddDoSAttacker("flood")
+	if err := n.Run(1500 * time.Millisecond); err != nil {
+		return err
+	}
+
+	st := att.Controller().Stats()
+	fmt.Printf("attacker: %d attempts, %d flooding frames delivered, %d bus-off events\n",
+		st.TxAttempts, st.TxSuccess, st.BusOffEvents)
+	fmt.Printf("gateway traffic delivered: %d frames\n", gateway.TransmittedFrames())
+	fmt.Printf("bus load over the run: %.1f%%\n", n.BusLoad()*100)
+	if defended {
+		d := gateway.DefenseStats()
+		fmt.Printf("defense: %d detections, %d counterattacks, mean detection bit %.1f\n",
+			d.Detections, d.Counterattacks, d.MeanDetectionBits())
+		if st.TxSuccess > 0 {
+			return fmt.Errorf("flood frames leaked through the defense")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package michican
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeExtendedAwareDefense(t *testing.T) {
+	n := NewNetwork(Rate50k)
+	guard, err := n.AddECU(ECUConfig{
+		Name: "guard", ID: 0x173, Defense: DefenseFull, ExtendedAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extID := ID(0x050)<<18 | 0x2AAAA
+	att := n.AddExtendedDoSAttacker("ext-dos", extID)
+	ok, err := n.RunUntil(func() bool {
+		return att.Controller().Stats().BusOffEvents > 0
+	}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("extended attacker not eradicated (TEC=%d)", att.Controller().TEC())
+	}
+	if guard.DefenseStats().Counterattacks < 32 {
+		t.Errorf("counterattacks = %d", guard.DefenseStats().Counterattacks)
+	}
+}
+
+func TestFacadeUnawareDefenseStarvesExtendedAttacker(t *testing.T) {
+	n := NewNetwork(Rate50k)
+	if _, err := n.AddECU(ECUConfig{Name: "guard", ID: 0x173, Defense: DefenseFull}); err != nil {
+		t.Fatal(err)
+	}
+	extID := ID(0x050)<<18 | 0x2AAAA
+	att := n.AddExtendedDoSAttacker("ext-dos", extID)
+	if err := n.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if att.Controller().Stats().TxSuccess != 0 {
+		t.Error("extended attack frames leaked")
+	}
+	if att.Controller().Stats().BusOffEvents != 0 {
+		t.Error("the 11-bit defense should only starve, not eradicate")
+	}
+}

@@ -1,0 +1,3 @@
+module michican
+
+go 1.22

@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+// BitInjector is the offensive mirror of MichiCAN (Sec. VI-A): an attacker
+// who gained the same bit-level access the defense uses — an integrated CAN
+// controller with pin multiplexing (CANflict [28]) or peripheral clock
+// gating (CANnon [64]) — and turns it into a bus-off attack on a *legitimate*
+// victim: it waits for the victim ID's frames and pulls the bus dominant
+// right after arbitration, exactly as the defense does to attackers.
+//
+// It exists to demonstrate the paper's "attacker limitations" discussion
+// (Sec. III): bit-level CAN access must be isolated from compromised
+// application code (hypervisor/MPU/TrustZone), because in the wrong hands it
+// defeats any protocol-compliant node. MichiCAN cannot prevent this attack —
+// the destroyed frames carry a legitimate ID.
+type BitInjector struct {
+	victim can.ID
+
+	idle      int
+	inFrame   bool
+	destuf    can.Destuffer
+	idBits    int
+	matched   bool
+	pulling   int
+	driveNext can.Level
+
+	// Injections counts prevention pulls launched against the victim.
+	Injections int
+}
+
+var _ bus.Node = (*BitInjector)(nil)
+
+// NewBitInjector creates a bit-injection attacker against the victim ID.
+func NewBitInjector(victim can.ID) *BitInjector {
+	return &BitInjector{victim: victim, idle: can.IdleForSOF, driveNext: can.Recessive}
+}
+
+// Drive implements bus.Node.
+func (a *BitInjector) Drive(bus.BitTime) can.Level { return a.driveNext }
+
+// Observe implements bus.Node: SOF hunting, ID matching, and the dominant
+// pull — Algorithm 1 with a one-ID "detection set".
+func (a *BitInjector) Observe(_ bus.BitTime, level can.Level) {
+	a.driveNext = can.Recessive
+
+	if !a.inFrame {
+		if level == can.Recessive {
+			a.idle++
+			return
+		}
+		if a.idle >= can.IdleForSOF {
+			a.inFrame = true
+			a.destuf.Reset()
+			_, _ = a.destuf.Next(can.Dominant) // seed with SOF
+			a.idBits = 0
+			a.matched = true
+			a.pulling = 0
+		}
+		a.idle = 0
+		return
+	}
+
+	if level == can.Recessive {
+		a.idle++
+		if a.idle >= can.IdleForSOF {
+			a.inFrame = false
+			return
+		}
+	} else {
+		a.idle = 0
+	}
+
+	if a.pulling > 0 {
+		a.pulling--
+		if a.pulling == 0 {
+			a.inFrame = false
+			return
+		}
+		a.driveNext = can.Dominant
+		return
+	}
+
+	payload, err := a.destuf.Next(level)
+	if err != nil {
+		// Error frame in progress; wait for the next SOF.
+		a.inFrame = false
+		a.idle = 0
+		return
+	}
+	if !payload {
+		return
+	}
+	if a.idBits < can.IDBits {
+		if level != a.victim.Bit(a.idBits) {
+			a.matched = false
+		}
+		a.idBits++
+		return
+	}
+	// First bit past the ID (the RTR slot): strike if the ID matched.
+	if a.matched {
+		a.Injections++
+		a.pulling = 7
+		a.driveNext = can.Dominant
+		return
+	}
+	a.inFrame = false
+}

@@ -1,0 +1,77 @@
+package attack
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// Replayer is a replay attacker: it records legitimate frames from the bus
+// and re-injects byte-identical copies after a delay. Replay is the
+// canonical attack that payload inspection cannot catch (the frames are
+// genuine); frequency-based IDSes see a rate anomaly, and MichiCAN sees a
+// spoof/DoS by ID exactly as for fabricated frames — the re-injected copy
+// still comes from the wrong node.
+type Replayer struct {
+	ctl *controller.Controller
+
+	// target restricts recording to one ID (0 = record everything).
+	target can.ID
+	all    bool
+	// delayBits is how long after capture a frame is re-injected.
+	delayBits int64
+
+	captured []timedFrame
+	// Captured counts frames recorded; Replayed counts re-injections
+	// scheduled.
+	Captured, Replayed int
+}
+
+type timedFrame struct {
+	at    bus.BitTime
+	frame can.Frame
+}
+
+var _ bus.Node = (*Replayer)(nil)
+
+// NewReplayAttacker creates a replay attacker. target selects the ID to
+// capture (pass ReplayAll to capture every frame); delayBits is the
+// capture-to-replay delay.
+func NewReplayAttacker(name string, target can.ID, delayBits int64) *Replayer {
+	r := &Replayer{target: target, all: target == ReplayAll, delayBits: delayBits}
+	r.ctl = controller.New(controller.Config{
+		Name:        name,
+		AutoRecover: true,
+		OnReceive:   r.onFrame,
+	})
+	return r
+}
+
+// ReplayAll captures every frame regardless of ID.
+const ReplayAll can.ID = 1<<31 - 1
+
+// Controller exposes the attacker's protocol controller.
+func (r *Replayer) Controller() *controller.Controller { return r.ctl }
+
+func (r *Replayer) onFrame(t bus.BitTime, f can.Frame) {
+	if !r.all && f.ID != r.target {
+		return
+	}
+	r.captured = append(r.captured, timedFrame{at: t, frame: f.Clone()})
+	r.Captured++
+}
+
+// Drive implements bus.Node.
+func (r *Replayer) Drive(t bus.BitTime) can.Level { return r.ctl.Drive(t) }
+
+// Observe implements bus.Node: due captures are re-injected, then the
+// controller advances.
+func (r *Replayer) Observe(t bus.BitTime, level can.Level) {
+	for len(r.captured) > 0 && int64(t-r.captured[0].at) >= r.delayBits {
+		if err := r.ctl.Enqueue(r.captured[0].frame); err == nil {
+			r.Replayed++
+		}
+		r.captured = r.captured[1:]
+	}
+	r.ctl.Observe(t, level)
+}

@@ -1,0 +1,199 @@
+package bittime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"michican/internal/can"
+	"michican/internal/mcu"
+)
+
+const bit500k = 2 * time.Microsecond // 500 kbit/s nominal bit time
+
+func TestWaveformAt(t *testing.T) {
+	w := NewWaveform([]can.Level{can.Dominant, can.Recessive}, bit500k)
+	if w.At(-1) != can.Recessive {
+		t.Error("before start must read recessive")
+	}
+	if w.At(0) != can.Dominant || w.At(bit500k-1) != can.Dominant {
+		t.Error("first bit window")
+	}
+	if w.At(bit500k) != can.Recessive {
+		t.Error("second bit window")
+	}
+	if w.At(10*bit500k) != can.Recessive {
+		t.Error("beyond end must read recessive")
+	}
+	if w.Duration() != 2*bit500k {
+		t.Errorf("duration = %v", w.Duration())
+	}
+}
+
+func TestFirstFallingEdge(t *testing.T) {
+	w := buildFrameWave([]can.Level{can.Recessive}, bit500k)
+	edge, err := w.firstFallingEdge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge != 12*bit500k {
+		t.Errorf("edge at %v, want %v", edge, 12*bit500k)
+	}
+	idle := NewWaveform(make([]can.Level, 5), bit500k) // all dominant: no rec→dom edge
+	for i := range idle.levels {
+		idle.levels[i] = can.Recessive
+	}
+	if _, err := idle.firstFallingEdge(); err == nil {
+		t.Error("pure idle waveform has no edge")
+	}
+}
+
+func TestPerfectClockSamplesPerfectly(t *testing.T) {
+	f := can.Frame{ID: 0x173, Data: []byte{0xA5, 0x5A, 0xFF, 0x00}}
+	s := &Sampler{Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70}}
+	res, err := SampleCANFrame(s, &f, bit500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("perfect clock made %d sampling errors", res.Errors)
+	}
+	// The sampled bits decode back into the original frame.
+	stream := append([]can.Level{can.Dominant}, res.Sampled...)
+	got, _, err := can.DecodeWire(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(&f) {
+		t.Errorf("decoded %s, want %s", got.String(), f.String())
+	}
+}
+
+func TestCrystalDriftTolerated(t *testing.T) {
+	// Automotive crystals stay within ±100 ppm; a full 8-byte frame (~130
+	// wire bits) must sample without error after one SOF hard sync.
+	f := can.Frame{ID: 0x0F0, Data: make([]byte, 8)}
+	for _, ppm := range []float64{-100, -50, 50, 100} {
+		s := &Sampler{Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70, DriftPPM: ppm}}
+		res, err := SampleCANFrame(s, &f, bit500k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("drift %v ppm: %d sampling errors", ppm, res.Errors)
+		}
+	}
+}
+
+func TestExtremeDriftFails(t *testing.T) {
+	// A 1% oscillator error (ceramic-resonator territory) walks the sample
+	// point out of the bit within a frame — the reason hard sync alone is
+	// not enough for bad clocks and CAN controllers resynchronize on edges.
+	f := can.Frame{ID: 0x0F0, Data: make([]byte, 8)}
+	s := &Sampler{Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70, DriftPPM: 10_000}}
+	res, err := SampleCANFrame(s, &f, bit500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Error("1% drift should corrupt sampling within one frame")
+	}
+}
+
+func TestMaxToleratedDrift(t *testing.T) {
+	// A fast clock (positive ppm) pulls samples earlier, toward the start
+	// of the bit: the available margin is the full 70% pre-sample window,
+	// spread over ~130 bits ≈ 0.70/130 ≈ 5385 ppm. The empirical bound must
+	// land there — two orders of magnitude above crystal tolerances, which
+	// is why one hard sync per frame suffices (Sec. IV-C).
+	ppm, err := MaxToleratedDriftPPM(bit500k, 0.70, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppm < 4000 || ppm > 7000 {
+		t.Errorf("tolerated drift = %.0f ppm, expected ≈5385", ppm)
+	}
+	t.Logf("max tolerated drift for a 130-bit frame at 70%% sample point: %.0f ppm", ppm)
+}
+
+func TestFudgeFactorCompensation(t *testing.T) {
+	// An uncompensated frame-reset delay shifts every sample late; if it
+	// exceeds the 30% post-sample-point margin the first bits misread.
+	f := can.Frame{ID: 0x001, Data: []byte{0x0F}}
+	bad := &Sampler{Clock: mcu.BitClock{
+		BitTime:     bit500k,
+		SamplePoint: 0.70,
+		ResetError:  time.Duration(0.35 * float64(bit500k)), // > the 30% margin
+	}}
+	res, err := SampleCANFrame(bad, &f, bit500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Error("a reset error beyond the sample-point margin must corrupt sampling")
+	}
+	good := &Sampler{Clock: mcu.BitClock{
+		BitTime:     bit500k,
+		SamplePoint: 0.70,
+		ResetError:  time.Duration(0.1 * float64(bit500k)), // well compensated
+	}}
+	res, err = SampleCANFrame(good, &f, bit500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("small residual reset error should be harmless, got %d errors", res.Errors)
+	}
+}
+
+func TestJitterTolerance(t *testing.T) {
+	// Interrupt jitter below the sample-point margins is harmless; jitter
+	// comparable to the bit time corrupts samples.
+	f := can.Frame{ID: 0x2AA, Data: []byte{0x55, 0xAA}}
+	small := &Sampler{
+		Clock:  mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70},
+		Jitter: time.Duration(0.2 * float64(bit500k)),
+		Rng:    rand.New(rand.NewSource(1)),
+	}
+	res, err := SampleCANFrame(small, &f, bit500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("20%% jitter should be tolerated, got %d errors", res.Errors)
+	}
+	big := &Sampler{
+		Clock:  mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70},
+		Jitter: bit500k,
+		Rng:    rand.New(rand.NewSource(1)),
+	}
+	res, err = SampleCANFrame(big, &f, bit500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Error("full-bit jitter must corrupt samples")
+	}
+}
+
+func TestSamplerRejectsBadSamplePoint(t *testing.T) {
+	s := &Sampler{Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 1.2}}
+	f := can.Frame{ID: 0x1}
+	if _, err := SampleCANFrame(s, &f, bit500k); err == nil {
+		t.Error("bad sample point accepted")
+	}
+}
+
+func TestSampleTimesMonotonic(t *testing.T) {
+	f := can.Frame{ID: 0x123, Data: []byte{1, 2, 3}}
+	s := &Sampler{Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70, DriftPPM: 80}}
+	res, err := SampleCANFrame(s, &f, bit500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.SampleTimes); i++ {
+		if res.SampleTimes[i] <= res.SampleTimes[i-1] {
+			t.Fatal("sample times must be strictly increasing")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package bittime
+
+import (
+	"testing"
+
+	"michican/internal/can"
+	"michican/internal/mcu"
+)
+
+func TestResyncSamplerPerfectClock(t *testing.T) {
+	f := can.Frame{ID: 0x173, Data: []byte{0xA5, 0x5A}}
+	wire := can.WireBits(&f, can.Dominant)
+	truth := wire[1:]
+	s := &ResyncSampler{
+		Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70},
+		SJW:   0.2,
+	}
+	res, err := s.SampleFrame(buildFrameWave(truth, bit500k), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors with a perfect clock", res.Errors)
+	}
+}
+
+func TestResyncBeatsHardSyncOnly(t *testing.T) {
+	// The 1% oscillator that defeats the hard-sync-only sampler is handled
+	// by edge resynchronization — the reason CAN hardware works with cheap
+	// clocks, and the contrast that bounds what the software defense needs.
+	f := can.Frame{ID: 0x2AA, Data: []byte{0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA}}
+	wire := can.WireBits(&f, can.Dominant)
+	truth := wire[1:]
+	wave := buildFrameWave(truth, bit500k)
+
+	hard := &Sampler{Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70, DriftPPM: 10_000}}
+	hres, err := hard.SampleFrame(wave, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := &ResyncSampler{
+		Clock: mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70, DriftPPM: 10_000},
+		SJW:   0.25,
+	}
+	sres, err := soft.SampleFrame(wave, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Errors == 0 {
+		t.Error("hard-sync-only should fail at 1% drift (premise)")
+	}
+	if sres.Errors != 0 {
+		t.Errorf("resync sampler made %d errors at 1%% drift", sres.Errors)
+	}
+}
+
+func TestResyncDriftToleranceScales(t *testing.T) {
+	hardOnly, err := MaxToleratedDriftPPM(bit500k, 0.70, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withResync, err := MaxToleratedDriftPPMWithResync(bit500k, 0.70, 0.25, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withResync < 4*hardOnly {
+		t.Errorf("resync tolerance %.0f ppm should dwarf hard-sync-only %.0f ppm",
+			withResync, hardOnly)
+	}
+	t.Logf("drift tolerance over a 130-bit frame: hard sync only %.0f ppm, with edge resync %.0f ppm",
+		hardOnly, withResync)
+}
+
+func TestResyncSJWZeroMatchesHardSync(t *testing.T) {
+	// With SJW = 0 the resync sampler degenerates to the plain one.
+	f := can.Frame{ID: 0x0F0, Data: make([]byte, 8)}
+	wire := can.WireBits(&f, can.Dominant)
+	truth := wire[1:]
+	wave := buildFrameWave(truth, bit500k)
+	clock := mcu.BitClock{BitTime: bit500k, SamplePoint: 0.70, DriftPPM: 3000}
+
+	plain, err := (&Sampler{Clock: clock}).SampleFrame(wave, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := (&ResyncSampler{Clock: clock, SJW: 0}).SampleFrame(wave, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Errors != zero.Errors {
+		t.Errorf("SJW=0 (%d errors) should match the plain sampler (%d)", zero.Errors, plain.Errors)
+	}
+}

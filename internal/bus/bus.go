@@ -1,0 +1,235 @@
+// Package bus simulates the physical layer of a Controller Area Network: a
+// shared wire with wired-AND semantics advancing in discrete nominal bit
+// times.
+//
+// Each attached Node is asked once per bit which level it drives; the bus
+// resolves the wired-AND of all driven levels (any dominant wins) and then
+// delivers the resolved level back to every node and every tap. This mirrors
+// the CAN assumption that signals propagate to all nodes well within one bit
+// time, which is the granularity at which arbitration, error signalling, and
+// the MichiCAN counterattack all operate.
+package bus
+
+import (
+	"fmt"
+	"time"
+
+	"michican/internal/can"
+)
+
+// BitTime is the index of a nominal bit time since the start of simulation.
+type BitTime int64
+
+// Rate is a CAN bus speed in bits per second.
+type Rate int
+
+// Standard automotive CAN bus speeds used in the paper's evaluation.
+const (
+	Rate50k  Rate = 50_000
+	Rate125k Rate = 125_000
+	Rate250k Rate = 250_000
+	Rate500k Rate = 500_000
+	Rate1M   Rate = 1_000_000
+)
+
+// BitDuration returns the nominal bit time at this rate.
+func (r Rate) BitDuration() time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(int64(time.Second) / int64(r))
+}
+
+// Duration converts a number of bits at this rate into wall-clock time.
+func (r Rate) Duration(bits int64) time.Duration {
+	return time.Duration(bits) * r.BitDuration()
+}
+
+// Bits returns how many whole bit times fit into d at this rate.
+func (r Rate) Bits(d time.Duration) int64 {
+	bt := r.BitDuration()
+	if bt == 0 {
+		return 0
+	}
+	return int64(d / bt)
+}
+
+// String formats the rate in the conventional kbit/s notation.
+func (r Rate) String() string {
+	if r >= 1_000_000 && r%1_000_000 == 0 {
+		return fmt.Sprintf("%dMbit/s", int(r)/1_000_000)
+	}
+	return fmt.Sprintf("%dkbit/s", int(r)/1000)
+}
+
+// Node is anything wired to the bus: a CAN controller, an attacker, a
+// defense, or a passive monitor.
+//
+// The bus calls Drive for every node first, resolves the wired-AND, and then
+// calls Observe on every node with the resolved level. A node must base its
+// Drive decision for bit t only on levels observed through bit t-1; Observe
+// for bit t is where it reads back the wire (CAN bit monitoring).
+type Node interface {
+	// Drive returns the level this node puts on the wire during bit t.
+	// Nodes that do not transmit must return Recessive (the wire floats).
+	Drive(t BitTime) can.Level
+	// Observe delivers the resolved bus level for bit t.
+	Observe(t BitTime, level can.Level)
+}
+
+// Tap is a passive observer (logic analyzer) that sees every resolved bit
+// but never drives the wire.
+type Tap interface {
+	Bit(t BitTime, level can.Level)
+}
+
+// Bus is a simulated CAN bus. The zero value is not usable; create one with
+// New. Bus is not safe for concurrent use; a simulation is single-threaded
+// by design (determinism), and experiment-level parallelism runs one Bus per
+// goroutine.
+type Bus struct {
+	rate    Rate
+	nodes   []Node
+	taps    []Tap
+	now     BitTime
+	idleRun int
+	last    can.Level
+}
+
+// New creates an idle bus running at the given rate.
+func New(rate Rate) *Bus {
+	return &Bus{rate: rate, last: can.Recessive}
+}
+
+// Rate returns the configured bus speed.
+func (b *Bus) Rate() Rate { return b.rate }
+
+// Now returns the index of the next bit to be simulated.
+func (b *Bus) Now() BitTime { return b.now }
+
+// Elapsed returns the wall-clock time represented by the simulation so far.
+func (b *Bus) Elapsed() time.Duration { return b.rate.Duration(int64(b.now)) }
+
+// Attach wires a node to the bus. Nodes may be attached mid-simulation
+// (e.g. plugging a device into the OBD-II port).
+func (b *Bus) Attach(n Node) {
+	b.nodes = append(b.nodes, n)
+}
+
+// Detach removes a node from the bus. It reports whether the node was found.
+func (b *Bus) Detach(n Node) bool {
+	for i, node := range b.nodes {
+		if node == n {
+			b.nodes = append(b.nodes[:i], b.nodes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AttachTap adds a passive observer.
+func (b *Bus) AttachTap(t Tap) {
+	b.taps = append(b.taps, t)
+}
+
+// Step advances the simulation by one nominal bit time and returns the
+// resolved bus level for that bit.
+func (b *Bus) Step() can.Level {
+	t := b.now
+	level := can.Recessive
+	for _, n := range b.nodes {
+		if n.Drive(t) == can.Dominant {
+			level = can.Dominant
+		}
+	}
+	for _, n := range b.nodes {
+		n.Observe(t, level)
+	}
+	for _, tap := range b.taps {
+		tap.Bit(t, level)
+	}
+	if level == can.Recessive {
+		b.idleRun++
+	} else {
+		b.idleRun = 0
+	}
+	b.last = level
+	b.now++
+	return level
+}
+
+// Run advances the simulation by n bit times.
+func (b *Bus) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		b.Step()
+	}
+}
+
+// RunFor advances the simulation by the number of bit times equivalent to d
+// at the bus rate.
+func (b *Bus) RunFor(d time.Duration) {
+	b.Run(b.rate.Bits(d))
+}
+
+// RunUntil steps the bus until the predicate returns true (checked after
+// each bit) or maxBits have elapsed. It reports whether the predicate fired.
+func (b *Bus) RunUntil(pred func() bool, maxBits int64) bool {
+	for i := int64(0); i < maxBits; i++ {
+		b.Step()
+		if pred() {
+			return true
+		}
+	}
+	return false
+}
+
+// IdleRun returns the number of consecutive recessive bits observed up to and
+// including the most recent bit.
+func (b *Bus) IdleRun() int { return b.idleRun }
+
+// Level returns the most recently resolved bus level (recessive before the
+// first step).
+func (b *Bus) Level() can.Level { return b.last }
+
+// Group steps several buses in virtual-time lockstep — the multi-domain
+// in-vehicle network case (e.g. a 500 kbit/s powertrain bus bridged to a
+// 125 kbit/s body bus by a gateway). Buses may run at different rates; the
+// group always advances the bus whose simulated clock is furthest behind.
+type Group struct {
+	buses []*Bus
+}
+
+// NewGroup creates a lockstep group over the given buses.
+func NewGroup(buses ...*Bus) *Group {
+	return &Group{buses: buses}
+}
+
+// Step advances the bus with the smallest elapsed simulated time by one bit.
+func (g *Group) Step() {
+	if len(g.buses) == 0 {
+		return
+	}
+	min := g.buses[0]
+	for _, b := range g.buses[1:] {
+		if b.Elapsed() < min.Elapsed() {
+			min = b
+		}
+	}
+	min.Step()
+}
+
+// RunFor advances every bus in the group to at least d of simulated time.
+func (g *Group) RunFor(d time.Duration) {
+	for {
+		done := true
+		for _, b := range g.buses {
+			if b.Elapsed() < d {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		g.Step()
+	}
+}

@@ -1,0 +1,233 @@
+// Package can defines the core Controller Area Network protocol types and
+// bit-level encodings used throughout the simulator: bus levels,
+// identifiers, frames, checksums, and bit stuffing. It covers classical CAN
+// 2.0A (11-bit IDs, the paper's scope), CAN 2.0B extended frames (29-bit
+// IDs), remote frames, and CAN FD at constant bit rate.
+//
+// The package is deliberately free of any simulation machinery; it only knows
+// how CAN frames are laid out on the wire. Higher layers (internal/bus,
+// internal/controller) animate these encodings in time.
+package can
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Level is the logical level of the CAN bus during one nominal bit time.
+//
+// CAN uses wired-AND signaling: a dominant level (logical 0) transmitted by
+// any node overrides recessive levels (logical 1) transmitted by all others.
+type Level uint8
+
+const (
+	// Dominant is logical 0. It wins on the bus.
+	Dominant Level = 0
+	// Recessive is logical 1. It is the idle level of the bus.
+	Recessive Level = 1
+)
+
+// String returns "D" for dominant and "R" for recessive.
+func (l Level) String() string {
+	if l == Dominant {
+		return "D"
+	}
+	return "R"
+}
+
+// And resolves two simultaneously transmitted levels per CAN's wired-AND
+// electrical model: the result is dominant if either input is dominant.
+func (l Level) And(other Level) Level {
+	if l == Dominant || other == Dominant {
+		return Dominant
+	}
+	return Recessive
+}
+
+// Resolve computes the bus level resulting from all levels driven onto the
+// bus in one bit time. With no drivers the bus floats recessive.
+func Resolve(levels ...Level) Level {
+	for _, l := range levels {
+		if l == Dominant {
+			return Dominant
+		}
+	}
+	return Recessive
+}
+
+// IDBits is the number of identifier bits in a CAN 2.0A (base) frame.
+const IDBits = 11
+
+// Extended (CAN 2.0B) identifier geometry: the 29-bit identifier is
+// transmitted as an 11-bit base part (the 11 most significant bits, which
+// alone decide arbitration against base frames) followed by an 18-bit
+// extension.
+const (
+	// ExtIDBits is the width of a CAN 2.0B identifier.
+	ExtIDBits = 29
+	// ExtLowBits is the width of the identifier extension field.
+	ExtLowBits = ExtIDBits - IDBits
+)
+
+// MaxID is the largest valid 11-bit CAN identifier.
+const MaxID ID = 1<<IDBits - 1
+
+// MaxExtID is the largest valid 29-bit CAN 2.0B identifier.
+const MaxExtID ID = 1<<ExtIDBits - 1
+
+// ID is a CAN message identifier: 11 bits for base (CAN 2.0A) frames, up to
+// 29 bits for extended (CAN 2.0B) frames. Lower values have higher priority
+// and win arbitration within a format; a base frame always beats an extended
+// frame sharing its 11-bit prefix (the recessive SRR/IDE bits lose).
+type ID uint32
+
+// Valid reports whether the identifier fits in 11 bits (base format).
+func (id ID) Valid() bool { return id <= MaxID }
+
+// ValidExt reports whether the identifier fits in 29 bits.
+func (id ID) ValidExt() bool { return id <= MaxExtID }
+
+// Bit returns the identifier bit at position i, MSB first (i = 0 is the most
+// significant of the 11 bits, transmitted first on the wire).
+func (id ID) Bit(i int) Level {
+	if i < 0 || i >= IDBits {
+		return Recessive
+	}
+	if id&(1<<(IDBits-1-i)) != 0 {
+		return Recessive
+	}
+	return Dominant
+}
+
+// ExtBit returns bit i of the 29-bit extended identifier, MSB first.
+func (id ID) ExtBit(i int) Level {
+	if i < 0 || i >= ExtIDBits {
+		return Recessive
+	}
+	if id&(1<<(ExtIDBits-1-i)) != 0 {
+		return Recessive
+	}
+	return Dominant
+}
+
+// Base returns the 11-bit base part of a 29-bit extended identifier — the
+// bits that compete in the first arbitration phase.
+func (id ID) Base() ID { return id >> ExtLowBits & MaxID }
+
+// String formats the identifier in the conventional 0x-prefixed hex form
+// (three digits for base IDs, eight for extended ones).
+func (id ID) String() string {
+	if id > MaxID {
+		return fmt.Sprintf("0x%08X", uint32(id))
+	}
+	return fmt.Sprintf("0x%03X", uint32(id))
+}
+
+// MaxDataLen is the maximum payload length of a classical CAN frame.
+const MaxDataLen = 8
+
+// Frame is a CAN frame as seen by the application layer. The zero flags
+// describe the paper's scope — a classical CAN 2.0A data frame (11-bit
+// identifier, 0-8 bytes of payload, RTR/IDE/r0 dominant); the Extended,
+// Remote and FD flags select the other wire formats.
+type Frame struct {
+	// ID is the message identifier: 11 bits for base frames, 29 bits when
+	// Extended is set.
+	ID ID
+	// Extended selects the CAN 2.0B (29-bit identifier) wire format.
+	Extended bool
+	// FD selects the CAN FD wire format (constant bit rate, BRS = 0):
+	// payloads up to 64 bytes from the FD DLC table, stuff-count field, and
+	// CRC-17/21 protected by fixed stuff bits.
+	FD bool
+	// ESIPassive sets the FD error-state indicator (transmitter is
+	// error-passive); only meaningful with FD.
+	ESIPassive bool
+	// Remote marks a remote frame (RTR recessive): a data-less request for
+	// the message with this identifier. Data must be empty; the DLC field
+	// carries RequestLen instead.
+	Remote bool
+	// RequestLen is the data length requested by a remote frame (0-8).
+	RequestLen int
+	// Data is the payload; its length (0-8) defines the DLC field.
+	Data []byte
+}
+
+// Errors reported by frame validation and decoding.
+var (
+	// ErrIDRange indicates an identifier that does not fit in 11 bits.
+	ErrIDRange = errors.New("can: identifier exceeds 11 bits")
+	// ErrDataLen indicates a payload longer than 8 bytes.
+	ErrDataLen = errors.New("can: payload exceeds 8 bytes")
+	// ErrFrameTooShort indicates a truncated bitstream during decoding.
+	ErrFrameTooShort = errors.New("can: bitstream too short for frame")
+	// ErrCRCMismatch indicates a failed cyclic redundancy check.
+	ErrCRCMismatch = errors.New("can: CRC mismatch")
+	// ErrFormViolation indicates a fixed-form field with the wrong level.
+	ErrFormViolation = errors.New("can: form error in fixed-form field")
+	// ErrStuffViolation indicates six consecutive equal levels in a stuffed
+	// region of the bitstream.
+	ErrStuffViolation = errors.New("can: bit stuffing violation")
+)
+
+// Validate checks that the frame can be legally encoded.
+func (f *Frame) Validate() error {
+	if f.Extended {
+		if !f.ID.ValidExt() {
+			return fmt.Errorf("%w: %#x exceeds 29 bits", ErrIDRange, uint32(f.ID))
+		}
+	} else if !f.ID.Valid() {
+		return fmt.Errorf("%w: %#x", ErrIDRange, uint32(f.ID))
+	}
+	if f.FD {
+		return f.validateFD()
+	}
+	if len(f.Data) > MaxDataLen {
+		return fmt.Errorf("%w: %d", ErrDataLen, len(f.Data))
+	}
+	if f.Remote {
+		if len(f.Data) != 0 {
+			return fmt.Errorf("%w: remote frames carry no data", ErrDataLen)
+		}
+		if f.RequestLen < 0 || f.RequestLen > MaxDataLen {
+			return fmt.Errorf("%w: remote request length %d", ErrDataLen, f.RequestLen)
+		}
+	}
+	return nil
+}
+
+// DLC returns the data length code of the frame.
+func (f *Frame) DLC() int { return len(f.Data) }
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() Frame {
+	data := make([]byte, len(f.Data))
+	copy(data, f.Data)
+	return Frame{ID: f.ID, Extended: f.Extended, FD: f.FD, ESIPassive: f.ESIPassive,
+		Remote: f.Remote, RequestLen: f.RequestLen, Data: data}
+}
+
+// Equal reports whether two frames carry the same identifier, format, and
+// payload.
+func (f *Frame) Equal(other *Frame) bool {
+	if f.ID != other.ID || f.Extended != other.Extended || f.FD != other.FD ||
+		f.Remote != other.Remote || f.RequestLen != other.RequestLen ||
+		len(f.Data) != len(other.Data) {
+		return false
+	}
+	for i := range f.Data {
+		if f.Data[i] != other.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the frame in candump-like notation (remote frames use the
+// conventional R marker with the requested length).
+func (f *Frame) String() string {
+	if f.Remote {
+		return fmt.Sprintf("%s#R%d", f.ID, f.RequestLen)
+	}
+	return fmt.Sprintf("%s#%X", f.ID, f.Data)
+}

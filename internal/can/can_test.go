@@ -1,0 +1,135 @@
+package can
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLevelString(t *testing.T) {
+	if Dominant.String() != "D" || Recessive.String() != "R" {
+		t.Fatalf("unexpected level strings: %s %s", Dominant, Recessive)
+	}
+}
+
+func TestLevelAnd(t *testing.T) {
+	tests := []struct {
+		a, b, want Level
+	}{
+		{Dominant, Dominant, Dominant},
+		{Dominant, Recessive, Dominant},
+		{Recessive, Dominant, Dominant},
+		{Recessive, Recessive, Recessive},
+	}
+	for _, tt := range tests {
+		if got := tt.a.And(tt.b); got != tt.want {
+			t.Errorf("%v AND %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve() != Recessive {
+		t.Error("empty bus should float recessive")
+	}
+	if Resolve(Recessive, Recessive, Recessive) != Recessive {
+		t.Error("all recessive should resolve recessive")
+	}
+	if Resolve(Recessive, Dominant, Recessive) != Dominant {
+		t.Error("any dominant should win")
+	}
+}
+
+func TestIDBitMSBFirst(t *testing.T) {
+	// 0x555 = 101 0101 0101: alternating starting with recessive (1) at MSB.
+	id := ID(0x555)
+	for i := 0; i < IDBits; i++ {
+		want := Recessive
+		if i%2 == 1 {
+			want = Dominant
+		}
+		if got := id.Bit(i); got != want {
+			t.Errorf("bit %d of %s = %v, want %v", i, id, got, want)
+		}
+	}
+}
+
+func TestIDBitOutOfRange(t *testing.T) {
+	id := ID(0)
+	if id.Bit(-1) != Recessive || id.Bit(IDBits) != Recessive {
+		t.Error("out-of-range bit positions should read recessive")
+	}
+}
+
+func TestIDValid(t *testing.T) {
+	if !MaxID.Valid() {
+		t.Error("MaxID must be valid")
+	}
+	if (MaxID + 1).Valid() {
+		t.Error("MaxID+1 must be invalid")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := ID(0x173).String(); got != "0x173" {
+		t.Errorf("ID string = %q, want 0x173", got)
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		frame   Frame
+		wantErr error
+	}{
+		{"ok empty", Frame{ID: 0x100}, nil},
+		{"ok full", Frame{ID: 0x7FF, Data: make([]byte, 8)}, nil},
+		{"bad id", Frame{ID: 0x800}, ErrIDRange},
+		{"bad len", Frame{ID: 0x1, Data: make([]byte, 9)}, ErrDataLen},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.frame.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFrameCloneIndependence(t *testing.T) {
+	f := Frame{ID: 0x10, Data: []byte{1, 2, 3}}
+	g := f.Clone()
+	g.Data[0] = 99
+	if f.Data[0] != 1 {
+		t.Error("Clone must deep-copy the payload")
+	}
+	if !f.Equal(&Frame{ID: 0x10, Data: []byte{1, 2, 3}}) {
+		t.Error("original frame mutated")
+	}
+}
+
+func TestFrameEqual(t *testing.T) {
+	a := Frame{ID: 1, Data: []byte{1}}
+	tests := []struct {
+		name string
+		b    Frame
+		want bool
+	}{
+		{"same", Frame{ID: 1, Data: []byte{1}}, true},
+		{"different id", Frame{ID: 2, Data: []byte{1}}, false},
+		{"different len", Frame{ID: 1, Data: []byte{1, 2}}, false},
+		{"different data", Frame{ID: 1, Data: []byte{9}}, false},
+	}
+	for _, tt := range tests {
+		if got := a.Equal(&tt.b); got != tt.want {
+			t.Errorf("%s: Equal = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{ID: 0x123, Data: []byte{0xDE, 0xAD}}
+	if got := f.String(); got != "0x123#DEAD" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,45 @@
+package can
+
+// CRCPoly is the CAN CRC-15 generator polynomial
+// x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1, conventionally written as
+// 0x4599 (the x^15 term is implicit in the shift).
+const CRCPoly uint16 = 0x4599
+
+// CRCBits is the width of the CAN frame checksum.
+const CRCBits = 15
+
+// crcMask keeps the register within 15 bits.
+const crcMask uint16 = 1<<CRCBits - 1
+
+// CRC15 is the running CRC register used while serializing or sampling a
+// frame. The zero value is ready to use (CAN initializes the register to 0).
+type CRC15 struct {
+	reg uint16
+}
+
+// Update feeds one unstuffed bit (transmitted-order) into the register.
+func (c *CRC15) Update(bit Level) {
+	// Per ISO 11898-1: CRC_NXT = NXTBIT EXOR CRC_RG(14); shift left; if
+	// CRC_NXT then CRC_RG ^= 0x4599.
+	nxt := uint16(bit) ^ (c.reg >> (CRCBits - 1) & 1)
+	c.reg = (c.reg << 1) & crcMask
+	if nxt != 0 {
+		c.reg ^= CRCPoly
+	}
+}
+
+// Sum returns the current 15-bit checksum.
+func (c *CRC15) Sum() uint16 { return c.reg & crcMask }
+
+// Reset clears the register for a new frame.
+func (c *CRC15) Reset() { c.reg = 0 }
+
+// ChecksumBits computes the CRC-15 over a sequence of unstuffed levels in
+// transmission order (SOF through the last data bit).
+func ChecksumBits(bits []Level) uint16 {
+	var c CRC15
+	for _, b := range bits {
+		c.Update(b)
+	}
+	return c.Sum()
+}

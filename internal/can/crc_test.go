@@ -1,0 +1,125 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC15Zero(t *testing.T) {
+	var c CRC15
+	if c.Sum() != 0 {
+		t.Fatal("fresh register must read zero")
+	}
+}
+
+func TestCRC15AllZeroBits(t *testing.T) {
+	// Feeding dominant (0) bits into a zero register never sets it.
+	var c CRC15
+	for i := 0; i < 100; i++ {
+		c.Update(Dominant)
+	}
+	if c.Sum() != 0 {
+		t.Fatalf("CRC of all-dominant stream = %#x, want 0", c.Sum())
+	}
+}
+
+func TestCRC15SingleRecessive(t *testing.T) {
+	// One recessive bit: NXT=1, register becomes the polynomial.
+	var c CRC15
+	c.Update(Recessive)
+	if c.Sum() != CRCPoly {
+		t.Fatalf("CRC of single recessive bit = %#x, want %#x", c.Sum(), CRCPoly)
+	}
+}
+
+func TestCRC15Reset(t *testing.T) {
+	var c CRC15
+	c.Update(Recessive)
+	c.Reset()
+	if c.Sum() != 0 {
+		t.Fatal("Reset must clear the register")
+	}
+}
+
+func TestCRC15Width(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var c CRC15
+	for i := 0; i < 10_000; i++ {
+		c.Update(Level(rng.Intn(2)))
+		if c.Sum() > crcMask {
+			t.Fatalf("register escaped 15 bits: %#x", c.Sum())
+		}
+	}
+}
+
+// TestCRC15DetectsSingleBitFlips is the property that makes the checksum
+// useful: flipping any single bit of the protected region changes the CRC.
+func TestCRC15DetectsSingleBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 19 + rng.Intn(64)
+		bits := make([]Level, n)
+		for i := range bits {
+			bits[i] = Level(rng.Intn(2))
+		}
+		orig := ChecksumBits(bits)
+		for i := range bits {
+			bits[i] ^= 1
+			if ChecksumBits(bits) == orig {
+				t.Fatalf("trial %d: flip at %d undetected", trial, i)
+			}
+			bits[i] ^= 1
+		}
+	}
+}
+
+// TestCRC15DetectsBurstErrors: CRC-15 detects all burst errors up to 15 bits.
+func TestCRC15DetectsBurstErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 40 + rng.Intn(60)
+		bits := make([]Level, n)
+		for i := range bits {
+			bits[i] = Level(rng.Intn(2))
+		}
+		orig := ChecksumBits(bits)
+		burstLen := 2 + rng.Intn(14)
+		start := rng.Intn(n - burstLen)
+		// Flip the burst boundaries (guaranteeing a nonzero error pattern
+		// spanning burstLen bits) plus random interior bits.
+		mutated := make([]Level, n)
+		copy(mutated, bits)
+		mutated[start] ^= 1
+		mutated[start+burstLen-1] ^= 1
+		for i := start + 1; i < start+burstLen-1; i++ {
+			if rng.Intn(2) == 0 {
+				mutated[i] ^= 1
+			}
+		}
+		if ChecksumBits(mutated) == orig {
+			t.Fatalf("trial %d: burst of %d at %d undetected", trial, burstLen, start)
+		}
+	}
+}
+
+// TestCRC15Linearity: CRC(a xor b) == CRC(a) xor CRC(b) for equal-length
+// streams, since the register update is linear over GF(2).
+func TestCRC15Linearity(t *testing.T) {
+	f := func(a, b uint64) bool {
+		const n = 64
+		bitsA := make([]Level, n)
+		bitsB := make([]Level, n)
+		bitsX := make([]Level, n)
+		for i := 0; i < n; i++ {
+			la := Level(a >> i & 1)
+			lb := Level(b >> i & 1)
+			bitsA[i], bitsB[i] = la, lb
+			bitsX[i] = la ^ lb
+		}
+		return ChecksumBits(bitsX) == (ChecksumBits(bitsA) ^ ChecksumBits(bitsB))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtendedIDHelpers(t *testing.T) {
+	id := ID(0x18DAF110) // a typical J1939-style 29-bit ID
+	if id.Valid() {
+		t.Error("29-bit ID must not validate as base")
+	}
+	if !id.ValidExt() {
+		t.Error("29-bit ID must validate as extended")
+	}
+	if (MaxExtID + 1).ValidExt() {
+		t.Error("30-bit value accepted")
+	}
+	if got := id.Base(); got != id>>18 {
+		t.Errorf("Base() = %#x", uint32(got))
+	}
+	if id.String() != "0x18DAF110" {
+		t.Errorf("String() = %q", id.String())
+	}
+}
+
+func TestExtBitMSBFirst(t *testing.T) {
+	id := ID(1) << (ExtIDBits - 1) // only the MSB set
+	if id.ExtBit(0) != Recessive {
+		t.Error("MSB should read recessive")
+	}
+	for i := 1; i < ExtIDBits; i++ {
+		if id.ExtBit(i) != Dominant {
+			t.Fatalf("bit %d should be dominant", i)
+		}
+	}
+	if id.ExtBit(-1) != Recessive || id.ExtBit(ExtIDBits) != Recessive {
+		t.Error("out-of-range ExtBit must read recessive")
+	}
+}
+
+func TestExtendedFrameValidate(t *testing.T) {
+	ok := Frame{ID: 0x18DAF110, Extended: true, Data: []byte{1}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tooBig := Frame{ID: MaxExtID + 1, Extended: true}
+	if tooBig.Validate() == nil {
+		t.Error("30-bit extended ID accepted")
+	}
+	baseWith29 := Frame{ID: 0x18DAF110}
+	if baseWith29.Validate() == nil {
+		t.Error("29-bit ID accepted on a base frame")
+	}
+}
+
+func TestExtendedLayoutGeometry(t *testing.T) {
+	l := Layout{Extended: true}
+	if PosSRR != 12 || PosExtIDStart != 14 || PosRTRExt != 32 || PosDLCStartExt != 35 || PosDataStartExt != 39 {
+		t.Fatalf("extended geometry shifted: SRR=%d ext=%d RTR=%d DLC=%d data=%d",
+			PosSRR, PosExtIDStart, PosRTRExt, PosDLCStartExt, PosDataStartExt)
+	}
+	if l.ArbEndPos() != 32 {
+		t.Errorf("extended arbitration ends at %d, want 32 (through RTR)", l.ArbEndPos())
+	}
+	base := Layout{}
+	if base.ArbEndPos() != 12 || base.DLCStart() != 15 || base.DataStart() != 19 {
+		t.Error("base layout answers changed")
+	}
+	// The classic figure: extended frames are 64+8n unstuffed bits.
+	for dlc := 0; dlc <= 8; dlc++ {
+		if got := NominalFrameLenExt(dlc); got != 64+8*dlc {
+			t.Errorf("NominalFrameLenExt(%d) = %d, want %d", dlc, got, 64+8*dlc)
+		}
+	}
+}
+
+func TestExtendedBodySRRIDERecessive(t *testing.T) {
+	f := Frame{ID: 0x00000000, Extended: true}
+	body := UnstuffedBody(&f)
+	if body[PosSRR] != Recessive || body[PosIDE] != Recessive {
+		t.Error("SRR and IDE must be recessive in an extended frame")
+	}
+	if body[PosRTRExt] != Dominant || body[PosR1Ext] != Dominant || body[PosR0Ext] != Dominant {
+		t.Error("RTR/r1/r0 must be dominant in an extended data frame")
+	}
+}
+
+func TestExtendedDecodeWireRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{ID: 0x00000000, Extended: true},
+		{ID: MaxExtID, Extended: true, Data: []byte{0xFF}},
+		{ID: 0x18DAF110, Extended: true, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{ID: 0x1ABCDE42, Extended: true, Data: []byte{0xAA}},
+	}
+	for _, f := range frames {
+		t.Run(f.String(), func(t *testing.T) {
+			wire := WireBits(&f, Dominant)
+			got, n, err := DecodeWire(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(wire) {
+				t.Errorf("consumed %d of %d", n, len(wire))
+			}
+			if !got.Equal(&f) {
+				t.Errorf("decoded %s (ext=%v), want %s", got.String(), got.Extended, f.String())
+			}
+		})
+	}
+}
+
+// TestExtendedRoundTripProperty: encode→decode identity over random 29-bit
+// frames.
+func TestExtendedRoundTripProperty(t *testing.T) {
+	prop := func(idRaw uint32, dlcRaw uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := Frame{ID: ID(idRaw) & MaxExtID, Extended: true}
+		dlc := int(dlcRaw) % (MaxDataLen + 1)
+		if dlc > 0 {
+			f.Data = make([]byte, dlc)
+			rng.Read(f.Data)
+		}
+		wire := WireBits(&f, Dominant)
+		got, n, err := DecodeWire(wire)
+		return err == nil && n == len(wire) && got.Equal(&f)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseAndExtendedShareElevenBitPrefix(t *testing.T) {
+	// The first 12 wire-relevant bits of an extended frame are SOF + the
+	// 11-bit base part — the property MichiCAN's FSM relies on when it
+	// classifies extended traffic by prefix.
+	base := Frame{ID: 0x555}
+	ext := Frame{ID: ID(0x555)<<ExtLowBits | 0x2AAAA, Extended: true}
+	bb := UnstuffedBody(&base)
+	eb := UnstuffedBody(&ext)
+	for i := 0; i <= IDBits; i++ {
+		if bb[i] != eb[i] {
+			t.Fatalf("bit %d differs between base and extended with the same prefix", i)
+		}
+	}
+	// ...and the extended frame loses arbitration at the SRR bit.
+	if bb[PosRTR] != Dominant || eb[PosSRR] != Recessive {
+		t.Error("base RTR dominant must beat extended SRR recessive")
+	}
+}

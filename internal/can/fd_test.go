@@ -1,0 +1,178 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFDDLCTable(t *testing.T) {
+	want := map[int]int{0: 0, 1: 1, 8: 8, 9: 12, 10: 16, 11: 20, 12: 24, 13: 32, 14: 48, 15: 64}
+	for dlc, n := range want {
+		if got := FDLenFromDLC(dlc); got != n {
+			t.Errorf("FDLenFromDLC(%d) = %d, want %d", dlc, got, n)
+		}
+		back, ok := FDDLCFromLen(n)
+		if !ok || back != dlc {
+			t.Errorf("FDDLCFromLen(%d) = %d,%v, want %d", n, back, ok, dlc)
+		}
+	}
+	if FDLenFromDLC(-1) != 0 || FDLenFromDLC(99) != 64 {
+		t.Error("out-of-range DLC clamping wrong")
+	}
+	for _, bad := range []int{9, 10, 11, 13, 63, 65} {
+		if ValidFDLen(bad) {
+			t.Errorf("length %d should not be encodable", bad)
+		}
+	}
+}
+
+func TestFDValidate(t *testing.T) {
+	ok := Frame{ID: 0x123, FD: true, Data: make([]byte, 64)}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	badLen := Frame{ID: 0x123, FD: true, Data: make([]byte, 9)}
+	if badLen.Validate() == nil {
+		t.Error("9-byte FD payload accepted")
+	}
+	remote := Frame{ID: 0x123, FD: true, Remote: true}
+	if remote.Validate() == nil {
+		t.Error("FD remote frame accepted")
+	}
+}
+
+func TestStuffCountRoundTrip(t *testing.T) {
+	for count := 0; count < 16; count++ {
+		bits := StuffCountBits(count)
+		got, ok := DecodeStuffCount(bits)
+		if !ok || got != count&7 {
+			t.Errorf("count %d → %v → %d,%v", count, bits, got, ok)
+		}
+		// Any single flipped bit breaks parity or changes the value.
+		for i := 0; i < 4; i++ {
+			mutated := bits
+			mutated[i] ^= 1
+			g, ok := DecodeStuffCount(mutated)
+			if ok && g == count&7 {
+				t.Errorf("count %d: flip of bit %d undetected", count, i)
+			}
+		}
+	}
+}
+
+func TestFDWireRoundTrip(t *testing.T) {
+	lengths := []int{0, 1, 8, 12, 16, 20, 24, 32, 48, 64}
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range lengths {
+		for _, ext := range []bool{false, true} {
+			f := Frame{ID: 0x155, Extended: ext, FD: true}
+			if ext {
+				f.ID = 0x155<<ExtLowBits | 0x0AAAA
+			}
+			if n > 0 {
+				f.Data = make([]byte, n)
+				rng.Read(f.Data)
+			}
+			wire := WireBits(&f, Dominant)
+			got, consumed, err := DecodeWire(wire)
+			if err != nil {
+				t.Fatalf("len=%d ext=%v: %v", n, ext, err)
+			}
+			if consumed != len(wire) {
+				t.Errorf("len=%d ext=%v: consumed %d/%d", n, ext, consumed, len(wire))
+			}
+			if !got.Equal(&f) {
+				t.Errorf("len=%d ext=%v: decoded %s FD=%v", n, ext, got.String(), got.FD)
+			}
+		}
+	}
+}
+
+// TestFDRoundTripProperty fuzzes IDs and payload contents across the DLC
+// table.
+func TestFDRoundTripProperty(t *testing.T) {
+	lengths := []int{0, 3, 8, 12, 16, 20, 24, 32, 48, 64}
+	prop := func(idRaw uint32, lenIdx uint8, ext, esi bool, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := Frame{FD: true, Extended: ext, ESIPassive: esi}
+		if ext {
+			f.ID = ID(idRaw) & MaxExtID
+		} else {
+			f.ID = ID(idRaw) & MaxID
+		}
+		n := lengths[int(lenIdx)%len(lengths)]
+		if n > 0 {
+			f.Data = make([]byte, n)
+			rng.Read(f.Data)
+		}
+		wire := WireBits(&f, Dominant)
+		got, consumed, err := DecodeWire(wire)
+		return err == nil && consumed == len(wire) && got.Equal(&f) &&
+			got.ESIPassive == f.ESIPassive
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFDCorruptionDetected(t *testing.T) {
+	f := Frame{ID: 0x321, FD: true, Data: make([]byte, 12)}
+	for i := range f.Data {
+		f.Data[i] = byte(i * 17)
+	}
+	wire := WireBits(&f, Dominant)
+	// Flip every data-region bit in turn: no mutation may decode to the
+	// original frame (FD's CRC-over-stuff-bits closes the classical
+	// stuffing hole, so even stuff-bit flips are caught).
+	for pos := 20; pos < len(wire)-12; pos++ {
+		mutated := make([]Level, len(wire))
+		copy(mutated, wire)
+		mutated[pos] ^= 1
+		got, _, err := DecodeWire(mutated)
+		if err == nil && got.Equal(&f) {
+			t.Fatalf("flip at %d undetected", pos)
+		}
+	}
+}
+
+func TestFDCRCWidthSelection(t *testing.T) {
+	if NewFDCRC(16).Bits() != 17 {
+		t.Error("≤16 bytes must use CRC-17")
+	}
+	if NewFDCRC(20).Bits() != 21 {
+		t.Error(">16 bytes must use CRC-21")
+	}
+}
+
+func TestFDESIPassiveEncoded(t *testing.T) {
+	f := Frame{ID: 0x100, FD: true, ESIPassive: true, Data: []byte{1}}
+	got, _, err := DecodeWire(WireBits(&f, Dominant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ESIPassive {
+		t.Error("ESI lost in transit")
+	}
+}
+
+func TestClassicalStillDecodesAfterFD(t *testing.T) {
+	// The sniffing dispatch must leave classical frames untouched.
+	frames := []Frame{
+		{ID: 0x123, Data: []byte{1, 2, 3}},
+		{ID: 0x18DAF110, Extended: true, Data: []byte{4}},
+		{ID: 0x050, Remote: true, RequestLen: 8},
+	}
+	for _, f := range frames {
+		got, _, err := DecodeWire(WireBits(&f, Dominant))
+		if err != nil {
+			t.Fatalf("%s: %v", f.String(), err)
+		}
+		if got.FD {
+			t.Errorf("%s misdetected as FD", f.String())
+		}
+		if !got.Equal(&f) {
+			t.Errorf("%s decoded as %s", f.String(), got.String())
+		}
+	}
+}

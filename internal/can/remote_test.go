@@ -1,0 +1,82 @@
+package can
+
+import "testing"
+
+func TestRemoteFrameValidate(t *testing.T) {
+	ok := Frame{ID: 0x123, Remote: true, RequestLen: 8}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	withData := Frame{ID: 0x123, Remote: true, RequestLen: 2, Data: []byte{1}}
+	if withData.Validate() == nil {
+		t.Error("remote frame with data accepted")
+	}
+	badLen := Frame{ID: 0x123, Remote: true, RequestLen: 9}
+	if badLen.Validate() == nil {
+		t.Error("request length 9 accepted")
+	}
+}
+
+func TestRemoteFrameString(t *testing.T) {
+	f := Frame{ID: 0x123, Remote: true, RequestLen: 4}
+	if f.String() != "0x123#R4" {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestRemoteFrameEncoding(t *testing.T) {
+	f := Frame{ID: 0x123, Remote: true, RequestLen: 8}
+	body := UnstuffedBody(&f)
+	if body[PosRTR] != Recessive {
+		t.Error("remote RTR must be recessive")
+	}
+	if got := DecodeField(body, PosDLCStart, DLCBits); got != 8 {
+		t.Errorf("remote DLC field = %d, want the request length 8", got)
+	}
+	if len(body) != UnstuffedLen(0) {
+		t.Errorf("remote body = %d bits, want the data-less %d", len(body), UnstuffedLen(0))
+	}
+}
+
+func TestRemoteFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{ID: 0x123, Remote: true, RequestLen: 8},
+		{ID: 0x7FF, Remote: true, RequestLen: 0},
+		{ID: 0x000, Remote: true, RequestLen: 3},
+		{ID: 0x18DAF110, Extended: true, Remote: true, RequestLen: 8},
+		{ID: 0x00000001, Extended: true, Remote: true, RequestLen: 1},
+	}
+	for _, f := range frames {
+		t.Run(f.String(), func(t *testing.T) {
+			wire := WireBits(&f, Dominant)
+			got, n, err := DecodeWire(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(wire) {
+				t.Errorf("consumed %d/%d", n, len(wire))
+			}
+			if !got.Equal(&f) {
+				t.Errorf("decoded %s (remote=%v len=%d), want %s",
+					got.String(), got.Remote, got.RequestLen, f.String())
+			}
+		})
+	}
+}
+
+func TestDataBeatsRemoteBitwise(t *testing.T) {
+	// The RTR bit is the last arbitration bit: a data frame (dominant RTR)
+	// beats a remote frame with the same ID.
+	data := Frame{ID: 0x123, Data: []byte{1}}
+	remote := Frame{ID: 0x123, Remote: true, RequestLen: 1}
+	db := UnstuffedBody(&data)
+	rb := UnstuffedBody(&remote)
+	for i := 0; i < PosRTR; i++ {
+		if db[i] != rb[i] {
+			t.Fatalf("bit %d differs before RTR", i)
+		}
+	}
+	if db[PosRTR] != Dominant || rb[PosRTR] != Recessive {
+		t.Error("data RTR must dominate remote RTR")
+	}
+}

@@ -1,0 +1,135 @@
+package can
+
+// StuffLimit is the number of consecutive equal levels after which the CAN
+// data-link layer inserts a stuff bit of the opposite polarity.
+const StuffLimit = 5
+
+// Stuffer inserts stuff bits into an outgoing bit stream. It is used by the
+// controller's transmit path: after five consecutive equal levels it emits a
+// sixth bit of the opposite polarity before continuing with payload bits.
+//
+// The zero value is ready to use; the SOF bit should be the first bit pushed.
+type Stuffer struct {
+	last  Level
+	run   int
+	begun bool
+	buf   [2]Level
+}
+
+// Reset prepares the stuffer for a new frame.
+func (s *Stuffer) Reset() {
+	s.last = Recessive
+	s.run = 0
+	s.begun = false
+}
+
+// Next accepts the next payload (unstuffed) level and returns the levels to
+// place on the wire: either just the payload bit, or the payload bit followed
+// by a stuff bit of opposite polarity. The returned slice aliases an internal
+// buffer valid until the next call.
+func (s *Stuffer) Next(bit Level) []Level {
+	s.push(bit)
+	if s.run == StuffLimit {
+		stuff := opposite(bit)
+		s.push(stuff)
+		s.buf[0], s.buf[1] = bit, stuff
+		return s.buf[:2]
+	}
+	s.buf[0] = bit
+	return s.buf[:1]
+}
+
+// PendingStuff reports whether the very next wire bit must be a stuff bit
+// (five equal levels just went out). The controller uses this to know where
+// stuff bits fall without materializing the whole frame.
+func (s *Stuffer) PendingStuff() bool { return s.run == StuffLimit }
+
+func (s *Stuffer) push(bit Level) {
+	if s.begun && bit == s.last {
+		s.run++
+	} else {
+		s.last = bit
+		s.run = 1
+		s.begun = true
+	}
+}
+
+// Destuffer removes stuff bits from an incoming bit stream and detects stuff
+// violations (six consecutive equal levels where a stuff bit was expected).
+type Destuffer struct {
+	last  Level
+	run   int
+	begun bool
+}
+
+// Reset prepares the destuffer for a new frame.
+func (d *Destuffer) Reset() {
+	d.last = Recessive
+	d.run = 0
+	d.begun = false
+}
+
+// Next consumes the next wire-level bit. It returns:
+//
+//	payload = true  — bit is a payload bit, pass it up;
+//	payload = false — bit was a stuff bit, discard it;
+//	err != nil      — stuff violation (six equal consecutive levels).
+func (d *Destuffer) Next(bit Level) (payload bool, err error) {
+	if d.begun && d.run == StuffLimit {
+		// This wire bit must be a stuff bit of opposite polarity.
+		if bit == d.last {
+			return false, ErrStuffViolation
+		}
+		d.last = bit
+		d.run = 1
+		return false, nil
+	}
+	if d.begun && bit == d.last {
+		d.run++
+	} else {
+		d.last = bit
+		d.run = 1
+		d.begun = true
+	}
+	return true, nil
+}
+
+// Expecting reports whether the next wire bit must be a stuff bit.
+func (d *Destuffer) Expecting() bool { return d.begun && d.run == StuffLimit }
+
+// StuffBits applies CAN bit stuffing to a complete unstuffed bit sequence and
+// returns the wire sequence. Useful for offline encoding and tests.
+func StuffBits(unstuffed []Level) []Level {
+	var s Stuffer
+	s.Reset()
+	out := make([]Level, 0, len(unstuffed)+len(unstuffed)/4)
+	for _, b := range unstuffed {
+		out = append(out, s.Next(b)...)
+	}
+	return out
+}
+
+// DestuffBits removes stuff bits from a wire sequence, returning the payload
+// bits. It returns ErrStuffViolation if six equal consecutive levels appear.
+func DestuffBits(wire []Level) ([]Level, error) {
+	var d Destuffer
+	d.Reset()
+	out := make([]Level, 0, len(wire))
+	for _, b := range wire {
+		payload, err := d.Next(b)
+		if err != nil {
+			return out, err
+		}
+		if payload {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func opposite(l Level) Level {
+	if l == Dominant {
+		return Recessive
+	}
+	return Dominant
+}

@@ -1,0 +1,200 @@
+package can
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func levelsFromString(s string) []Level {
+	out := make([]Level, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '0':
+			out = append(out, Dominant)
+		case '1':
+			out = append(out, Recessive)
+		}
+	}
+	return out
+}
+
+func levelsToString(bits []Level) string {
+	b := make([]byte, len(bits))
+	for i, l := range bits {
+		b[i] = '0' + byte(l)
+	}
+	return string(b)
+}
+
+func TestStuffBitsInsertsAfterFiveEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"no stuffing", "0101010101", "0101010101"},
+		{"five zeros", "00000", "000001"},
+		{"five ones", "11111", "111110"},
+		{"six zeros input", "000000", "0000010"},
+		{"stuff bit restarts run", "0000000000", "000001000001"},
+		{"run broken at four", "0000100001", "0000100001"},
+		// The stuff bit itself counts toward the next run: 000001 then 1111
+		// makes five ones including the stuff bit.
+		{"stuff joins next run", "000001111", "00000111110"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := levelsToString(StuffBits(levelsFromString(tt.in)))
+			if got != tt.want {
+				t.Errorf("StuffBits(%s) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDestuffBitsRemovesStuffBits(t *testing.T) {
+	in := levelsFromString("000001000001")
+	got, err := DestuffBits(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levelsToString(got) != "0000000000" {
+		t.Errorf("destuffed = %s", levelsToString(got))
+	}
+}
+
+func TestDestuffBitsDetectsViolation(t *testing.T) {
+	_, err := DestuffBits(levelsFromString("000000"))
+	if !errors.Is(err, ErrStuffViolation) {
+		t.Fatalf("want ErrStuffViolation, got %v", err)
+	}
+	_, err = DestuffBits(levelsFromString("111111"))
+	if !errors.Is(err, ErrStuffViolation) {
+		t.Fatalf("want ErrStuffViolation, got %v", err)
+	}
+}
+
+func TestDestufferExpecting(t *testing.T) {
+	var d Destuffer
+	d.Reset()
+	for i := 0; i < StuffLimit; i++ {
+		if d.Expecting() {
+			t.Fatalf("expecting stuff bit too early at %d", i)
+		}
+		if _, err := d.Next(Dominant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Expecting() {
+		t.Fatal("destuffer must expect a stuff bit after five equal levels")
+	}
+}
+
+func TestStufferPendingStuff(t *testing.T) {
+	var s Stuffer
+	s.Reset()
+	for i := 0; i < StuffLimit-1; i++ {
+		s.Next(Recessive)
+		if s.PendingStuff() {
+			t.Fatalf("pending stuff too early at %d", i)
+		}
+	}
+	out := s.Next(Recessive)
+	if len(out) != 2 || out[0] != Recessive || out[1] != Dominant {
+		t.Fatalf("fifth equal bit must emit payload+stuff, got %v", out)
+	}
+	if s.PendingStuff() {
+		t.Fatal("stuff already emitted; must not be pending")
+	}
+}
+
+// TestStuffRoundTrip is the core property: destuff(stuff(x)) == x for any
+// payload bit sequence.
+func TestStuffRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%120 + 1
+		in := make([]Level, n)
+		for i := range in {
+			in[i] = Level(rng.Intn(2))
+		}
+		wire := StuffBits(in)
+		out, err := DestuffBits(wire)
+		if err != nil {
+			return false
+		}
+		return levelsToString(out) == levelsToString(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStuffedStreamNeverHasSixEqual: the defining invariant of the wire
+// format — no six consecutive equal levels ever appear after stuffing.
+func TestStuffedStreamNeverHasSixEqual(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%120 + 1
+		in := make([]Level, n)
+		for i := range in {
+			in[i] = Level(rng.Intn(2))
+		}
+		wire := StuffBits(in)
+		run := 0
+		var last Level
+		for i, b := range wire {
+			if i > 0 && b == last {
+				run++
+			} else {
+				run = 1
+			}
+			last = b
+			if run > StuffLimit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStuffOverheadBound: stuffing adds at most len/4 extra bits (one stuff
+// bit per four payload bits in the worst alternating-runs case).
+func TestStuffOverheadBound(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%120 + 1
+		in := make([]Level, n)
+		for i := range in {
+			in[i] = Level(rng.Intn(2))
+		}
+		wire := StuffBits(in)
+		return len(wire) <= n+n/4+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseStuffing(t *testing.T) {
+	// 20 all-dominant payload bits: each recessive stuff bit resets the run,
+	// so a stuff bit follows every 5 payload dominants — after payload bits
+	// 5, 10, 15, and 20, giving 24 wire bits.
+	in := make([]Level, 20) // all dominant
+	wire := StuffBits(in)
+	if len(wire) != 24 {
+		t.Fatalf("wire = %s (len %d), want 24 bits", levelsToString(wire), len(wire))
+	}
+	out, err := DestuffBits(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d != %d", len(out), len(in))
+	}
+}

@@ -1,0 +1,53 @@
+// Package cli holds the small argument-parsing helpers shared by the
+// command-line tools (CAN ID parsing and friends).
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"michican/internal/can"
+)
+
+// ParseID parses a base (11-bit) CAN identifier in decimal, hex (0x...) or
+// octal notation.
+func ParseID(s string) (can.ID, error) {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("parse CAN ID %q: %w", s, err)
+	}
+	id := can.ID(v)
+	if !id.Valid() {
+		return 0, fmt.Errorf("%w: %s", can.ErrIDRange, s)
+	}
+	return id, nil
+}
+
+// ParseExtID parses an identifier that may be either base or extended; ext
+// reports whether it exceeds 11 bits.
+func ParseExtID(s string) (id can.ID, ext bool, err error) {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, false, fmt.Errorf("parse CAN ID %q: %w", s, err)
+	}
+	id = can.ID(v)
+	if !id.ValidExt() {
+		return 0, false, fmt.Errorf("%w: %s exceeds 29 bits", can.ErrIDRange, s)
+	}
+	return id, !id.Valid(), nil
+}
+
+// ParseIDList parses a comma-separated list of base CAN identifiers.
+func ParseIDList(s string) ([]can.ID, error) {
+	parts := strings.Split(s, ",")
+	out := make([]can.ID, 0, len(parts))
+	for _, p := range parts {
+		id, err := ParseID(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

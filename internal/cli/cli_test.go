@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"testing"
+
+	"michican/internal/can"
+)
+
+func TestParseID(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    can.ID
+		wantErr bool
+	}{
+		{"0x173", 0x173, false},
+		{"371", 371, false},
+		{"0", 0, false},
+		{"0x7FF", 0x7FF, false},
+		{"0x800", 0, true},
+		{"zz", 0, true},
+		{"-1", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseID(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseID(%q) err = %v", tt.in, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParseID(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseExtID(t *testing.T) {
+	id, ext, err := ParseExtID("0x18DAF110")
+	if err != nil || !ext || id != 0x18DAF110 {
+		t.Errorf("extended parse: %v %v %v", id, ext, err)
+	}
+	id, ext, err = ParseExtID("0x173")
+	if err != nil || ext || id != 0x173 {
+		t.Errorf("base parse: %v %v %v", id, ext, err)
+	}
+	if _, _, err := ParseExtID("0x20000000"); err == nil {
+		t.Error("30-bit ID accepted")
+	}
+}
+
+func TestParseIDList(t *testing.T) {
+	ids, err := ParseIDList("0x064, 0x173,0x25F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []can.ID{0x064, 0x173, 0x25F}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+	if _, err := ParseIDList("0x10,bad"); err == nil {
+		t.Error("bad list accepted")
+	}
+}

@@ -1,0 +1,251 @@
+package controller
+
+import (
+	"testing"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+// recorder collects frames delivered to a controller's application.
+type recorder struct {
+	frames []can.Frame
+	times  []bus.BitTime
+}
+
+func (r *recorder) onReceive(t bus.BitTime, f can.Frame) {
+	r.frames = append(r.frames, f)
+	r.times = append(r.times, t)
+}
+
+func newTestController(name string, rec *recorder) *Controller {
+	cfg := Config{Name: name, AutoRecover: true}
+	if rec != nil {
+		cfg.OnReceive = rec.onReceive
+	}
+	return New(cfg)
+}
+
+func TestSingleFrameDelivery(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	rxc := newTestController("rx", &rx)
+	b.Attach(tx)
+	b.Attach(rxc)
+
+	want := can.Frame{ID: 0x123, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}}
+	if err := tx.Enqueue(want); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(400)
+
+	if len(rx.frames) != 1 {
+		t.Fatalf("receiver got %d frames, want 1", len(rx.frames))
+	}
+	if !rx.frames[0].Equal(&want) {
+		t.Errorf("received %s, want %s", rx.frames[0].String(), want.String())
+	}
+	if got := tx.Stats().TxSuccess; got != 1 {
+		t.Errorf("TxSuccess = %d, want 1", got)
+	}
+	if tx.PendingTx() != 0 {
+		t.Errorf("frame still queued after success")
+	}
+	if tx.TEC() != 0 || rxc.REC() != 0 {
+		t.Errorf("error counters moved on a clean bus: TEC=%d REC=%d", tx.TEC(), rxc.REC())
+	}
+}
+
+func TestZeroLengthFrameDelivery(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	want := can.Frame{ID: 0x7FF}
+	if err := tx.Enqueue(want); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(200)
+	if len(rx.frames) != 1 || !rx.frames[0].Equal(&want) {
+		t.Fatalf("zero-length frame not delivered: %v", rx.frames)
+	}
+}
+
+func TestEnqueueRejectsInvalidFrames(t *testing.T) {
+	c := newTestController("c", nil)
+	if err := c.Enqueue(can.Frame{ID: 0x800}); err == nil {
+		t.Error("oversized ID accepted")
+	}
+	if err := c.Enqueue(can.Frame{ID: 1, Data: make([]byte, 9)}); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestBackToBackFrames(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := tx.Enqueue(can.Frame{ID: 0x100, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Run(int64(n)*150 + 100)
+	if len(rx.frames) != n {
+		t.Fatalf("received %d frames, want %d", len(rx.frames), n)
+	}
+	for i, f := range rx.frames {
+		if f.Data[0] != byte(i) {
+			t.Errorf("frame %d out of order: payload %d", i, f.Data[0])
+		}
+	}
+	// Consecutive frames must be separated by at least EOF+IFS worth of bits.
+	for i := 1; i < len(rx.times); i++ {
+		if gap := rx.times[i] - rx.times[i-1]; gap < 44 {
+			t.Errorf("frames %d and %d only %d bits apart", i-1, i, gap)
+		}
+	}
+}
+
+func TestArbitrationLowestIDWins(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	high := newTestController("high", nil) // higher numeric ID = lower priority
+	low := newTestController("low", nil)
+	b.Attach(high)
+	b.Attach(low)
+	b.Attach(newTestController("rx", &rx))
+
+	if err := high.Enqueue(can.Frame{ID: 0x400, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := low.Enqueue(can.Frame{ID: 0x100, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(600)
+
+	if len(rx.frames) != 2 {
+		t.Fatalf("received %d frames, want 2", len(rx.frames))
+	}
+	if rx.frames[0].ID != 0x100 || rx.frames[1].ID != 0x400 {
+		t.Errorf("arbitration order wrong: %s then %s", rx.frames[0].String(), rx.frames[1].String())
+	}
+	if high.Stats().ArbitrationLosses == 0 {
+		t.Error("loser did not record an arbitration loss")
+	}
+	if high.TEC() != 0 || low.TEC() != 0 {
+		t.Error("arbitration must not raise errors")
+	}
+}
+
+func TestArbitrationTransmitterReceivesWinner(t *testing.T) {
+	// The losing transmitter must deliver the winner's frame to its own
+	// application (it becomes a receiver mid-frame).
+	b := bus.New(bus.Rate500k)
+	var loserRx recorder
+	winner := newTestController("winner", nil)
+	loser := New(Config{Name: "loser", AutoRecover: true, OnReceive: loserRx.onReceive})
+	b.Attach(winner)
+	b.Attach(loser)
+	b.Attach(newTestController("third", nil)) // someone to ACK
+
+	if err := winner.Enqueue(can.Frame{ID: 0x010, Data: []byte{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Enqueue(can.Frame{ID: 0x020, Data: []byte{8}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(600)
+
+	if len(loserRx.frames) == 0 || loserRx.frames[0].ID != 0x010 {
+		t.Fatalf("loser did not receive winner's frame: %v", loserRx.frames)
+	}
+	if winner.Stats().TxSuccess != 1 || loser.Stats().TxSuccess != 1 {
+		t.Errorf("both frames should eventually transmit: winner=%d loser=%d",
+			winner.Stats().TxSuccess, loser.Stats().TxSuccess)
+	}
+}
+
+func TestIdenticalIDCollisionResolvedByData(t *testing.T) {
+	// Two nodes sending the same ID simultaneously: arbitration cannot
+	// separate them; the first differing data bit causes a bit error for the
+	// node transmitting recessive. Both must survive (retransmit) without
+	// deadlock.
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	a := newTestController("a", nil)
+	c := newTestController("c", nil)
+	b.Attach(a)
+	b.Attach(c)
+	b.Attach(newTestController("rx", &rx))
+
+	if err := a.Enqueue(can.Frame{ID: 0x123, Data: []byte{0x00}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(can.Frame{ID: 0x123, Data: []byte{0xFF}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(1500)
+	if a.Stats().TxSuccess != 1 || c.Stats().TxSuccess != 1 {
+		t.Fatalf("both frames should transmit after the collision: a=%d c=%d",
+			a.Stats().TxSuccess, c.Stats().TxSuccess)
+	}
+	if len(rx.frames) != 2 {
+		t.Fatalf("receiver got %d frames, want 2", len(rx.frames))
+	}
+}
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := New(Config{Name: "tx", AutoRecover: true, SortQueueByPriority: true})
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	for _, id := range []can.ID{0x300, 0x100, 0x200} {
+		if err := tx.Enqueue(can.Frame{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Run(600)
+	if len(rx.frames) != 3 {
+		t.Fatalf("received %d frames", len(rx.frames))
+	}
+	want := []can.ID{0x100, 0x200, 0x300}
+	for i, f := range rx.frames {
+		if f.ID != want[i] {
+			t.Errorf("frame %d: got %s want %s", i, f.ID, want[i])
+		}
+	}
+}
+
+func TestFIFOQueueOrdering(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	for _, id := range []can.ID{0x300, 0x100, 0x200} {
+		if err := tx.Enqueue(can.Frame{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Run(600)
+	want := []can.ID{0x300, 0x100, 0x200}
+	if len(rx.frames) != 3 {
+		t.Fatalf("received %d frames", len(rx.frames))
+	}
+	for i, f := range rx.frames {
+		if f.ID != want[i] {
+			t.Errorf("frame %d: got %s want %s", i, f.ID, want[i])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package controller
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+// frameError dispatches a detected error to the transmitter or receiver
+// handling depending on this controller's role in the current frame.
+func (c *Controller) frameError(t bus.BitTime, kind ErrorKind) {
+	if c.transmitting {
+		c.txError(t, kind)
+	} else {
+		c.rxError(t, kind)
+	}
+}
+
+// txError handles an error detected while transmitting: the TEC grows by 8,
+// the frame stays queued for retransmission, and the node signals the error
+// according to its fault-confinement state.
+func (c *Controller) txError(t bus.BitTime, kind ErrorKind) {
+	c.stats.TxErrors[kind]++
+	if c.cfg.OnError != nil {
+		c.cfg.OnError(t, kind, true)
+	}
+	// ISO 11898-1 exception: an error-passive transmitter detecting an ACK
+	// error does not increment its TEC. This is what lets the sole live node
+	// on a degraded bus keep retransmitting without reaching bus-off.
+	if !(kind == AckError && c.state == ErrorPassive) {
+		c.tec += TxErrorPenalty
+	}
+	c.framesSinceTx = 0 // this frame attempt was ours
+	c.beginErrorSignal(t)
+}
+
+// rxError handles an error detected while receiving someone else's frame.
+func (c *Controller) rxError(t bus.BitTime, kind ErrorKind) {
+	c.stats.RxErrors[kind]++
+	if c.cfg.OnError != nil {
+		c.cfg.OnError(t, kind, false)
+	}
+	c.rec++
+	if c.framesSinceTx < 1<<30 {
+		c.framesSinceTx++ // the destroyed frame attempt was someone else's
+	}
+	c.beginErrorSignal(t)
+}
+
+// beginErrorSignal transitions into error signalling after an error was
+// detected at the just-observed bit. The error flag starts with the next bit.
+func (c *Controller) beginErrorSignal(t bus.BitTime) {
+	c.transmitting = false
+	c.plan = nil
+	c.resetRx()
+	c.updateState(t)
+	switch {
+	case c.state == BusOff:
+		// enterBusOff already set the phase.
+	case c.state == ErrorActive && !c.cfg.ListenOnly:
+		c.phase = phaseActiveFlag
+		c.flagCount = 0
+		c.driveNext = can.Dominant
+	default: // ErrorPassive, or listen-only (signals nothing)
+		c.phase = phasePassiveFlag
+		c.flagCount = 0
+		c.passiveLast = can.Recessive
+		c.passiveBegun = false
+	}
+}
+
+// observeActiveFlag drives the 6 dominant bits of an active error flag.
+func (c *Controller) observeActiveFlag(t bus.BitTime, level can.Level) {
+	c.flagCount++
+	if c.flagCount < ActiveFlagBits {
+		c.driveNext = can.Dominant
+		return
+	}
+	c.phase = phaseErrorDelim
+	c.delimCount = 0
+}
+
+// observePassiveFlag waits for the passive error flag to complete: per ISO
+// 11898-1 the flag is complete after 6 consecutive equal levels have been
+// detected (of either polarity — other nodes' active flags count).
+func (c *Controller) observePassiveFlag(t bus.BitTime, level can.Level) {
+	if c.passiveBegun && level == c.passiveLast {
+		c.flagCount++
+	} else {
+		c.passiveLast = level
+		c.passiveBegun = true
+		c.flagCount = 1
+	}
+	if c.flagCount >= PassiveFlagBits {
+		c.phase = phaseErrorDelim
+		c.delimCount = 0
+	}
+}
+
+// observeErrorDelim waits for the 8 recessive bits of the error delimiter.
+// A dominant level (other nodes still signalling) restarts the count.
+func (c *Controller) observeErrorDelim(t bus.BitTime, level can.Level) {
+	if level == can.Dominant {
+		c.delimCount = 0
+		return
+	}
+	c.delimCount++
+	if c.delimCount >= ErrorDelimiterBits {
+		c.phase = phaseIntermission
+		c.interCount = 0
+	}
+}
+
+// updateState applies the fault-confinement rules to the current counter
+// values (Fig. 1b): error-active below 128, error-passive above 127, bus-off
+// at a TEC of 256. Bus-off is left only through the recovery sequence.
+func (c *Controller) updateState(t bus.BitTime) {
+	if c.state == BusOff {
+		return
+	}
+	old := c.state
+	switch {
+	case c.tec >= BusOffThreshold:
+		c.enterBusOff(t, old)
+		return
+	case c.tec > PassiveThreshold || c.rec > PassiveThreshold:
+		c.state = ErrorPassive
+	default:
+		c.state = ErrorActive
+	}
+	c.notifyState(t, old, c.state)
+}
+
+// enterBusOff confines the node: it stops participating in traffic until
+// (optionally) the recovery sequence completes.
+func (c *Controller) enterBusOff(t bus.BitTime, old State) {
+	c.state = BusOff
+	c.phase = phaseBusOff
+	c.stats.BusOffEvents++
+	c.transmitting = false
+	c.plan = nil
+	// Entering bus-off aborts all pending transmission requests, as real
+	// controllers do (the application must re-submit after recovery). The
+	// Experiment-6 toggling attacker depends on this: after recovering from
+	// the 0x050 bus-off it moves on to 0x051.
+	c.queue.clear()
+	c.resetRx()
+	c.recoverSeqs, c.recoverRun = 0, 0
+	c.driveNext = can.Recessive
+	c.notifyState(t, old, c.state)
+}

@@ -1,0 +1,150 @@
+package controller
+
+import (
+	"testing"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+func TestExtendedFrameDelivery(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	want := can.Frame{ID: 0x18DAF110, Extended: true, Data: []byte{0xDE, 0xAD}}
+	if err := tx.Enqueue(want); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(400)
+	if len(rx.frames) != 1 {
+		t.Fatalf("received %d frames", len(rx.frames))
+	}
+	if !rx.frames[0].Equal(&want) {
+		t.Errorf("received %s ext=%v, want %s", rx.frames[0].String(), rx.frames[0].Extended, want.String())
+	}
+	if tx.TEC() != 0 {
+		t.Errorf("TEC = %d", tx.TEC())
+	}
+}
+
+func TestMixedFormatTraffic(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	frames := []can.Frame{
+		{ID: 0x100, Data: []byte{1}},
+		{ID: 0x04000123, Extended: true, Data: []byte{2}},
+		{ID: 0x7FF, Data: []byte{3}},
+		{ID: can.MaxExtID, Extended: true},
+	}
+	for _, f := range frames {
+		if err := tx.Enqueue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Run(1200)
+	if len(rx.frames) != len(frames) {
+		t.Fatalf("received %d/%d frames", len(rx.frames), len(frames))
+	}
+	for i := range frames {
+		if !rx.frames[i].Equal(&frames[i]) {
+			t.Errorf("frame %d: got %s ext=%v", i, rx.frames[i].String(), rx.frames[i].Extended)
+		}
+	}
+}
+
+func TestBaseBeatsExtendedWithSamePrefix(t *testing.T) {
+	// CAN 2.0B arbitration: a base frame wins against an extended frame
+	// sharing its 11-bit prefix (the extended SRR/IDE bits are recessive).
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	baseTx := newTestController("base", nil)
+	extTx := newTestController("ext", nil)
+	b.Attach(baseTx)
+	b.Attach(extTx)
+	b.Attach(newTestController("rx", &rx))
+
+	prefix := can.ID(0x123)
+	if err := baseTx.Enqueue(can.Frame{ID: prefix, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	extID := prefix<<can.ExtLowBits | 0x00001
+	if err := extTx.Enqueue(can.Frame{ID: extID, Extended: true, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(800)
+
+	if len(rx.frames) != 2 {
+		t.Fatalf("received %d frames", len(rx.frames))
+	}
+	if rx.frames[0].Extended || rx.frames[0].ID != prefix {
+		t.Errorf("base frame should win arbitration; first was %s ext=%v",
+			rx.frames[0].String(), rx.frames[0].Extended)
+	}
+	if !rx.frames[1].Extended {
+		t.Error("extended frame should follow")
+	}
+	if extTx.Stats().ArbitrationLosses == 0 {
+		t.Error("extended transmitter should have recorded an arbitration loss")
+	}
+	if extTx.TEC() != 0 {
+		t.Error("losing at SRR is arbitration, not an error")
+	}
+}
+
+func TestExtendedArbitrationLowerWins(t *testing.T) {
+	// Two extended frames: the lower 29-bit ID wins, even when the
+	// difference is only in the 18-bit extension.
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	lo := newTestController("lo", nil)
+	hi := newTestController("hi", nil)
+	b.Attach(lo)
+	b.Attach(hi)
+	b.Attach(newTestController("rx", &rx))
+
+	base := can.ID(0x123) << can.ExtLowBits
+	if err := hi.Enqueue(can.Frame{ID: base | 0x3FF00, Extended: true, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lo.Enqueue(can.Frame{ID: base | 0x00100, Extended: true, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(800)
+	if len(rx.frames) != 2 {
+		t.Fatalf("received %d frames", len(rx.frames))
+	}
+	if rx.frames[0].ID != base|0x00100 {
+		t.Errorf("lower extension should win: first = %s", rx.frames[0].ID)
+	}
+	if hi.Stats().ArbitrationLosses == 0 || hi.TEC() != 0 {
+		t.Error("loser must record an arbitration loss without errors")
+	}
+}
+
+func TestExtendedFrameJammedRampsTEC(t *testing.T) {
+	// Fault confinement applies identically to extended transmitters: a
+	// post-arbitration jam buses the attacker off in 32 attempts. The jam
+	// window sits after the extended arbitration field (positions 34-40).
+	b := bus.New(bus.Rate500k)
+	att := newTestController("att", nil)
+	witness := newTestController("w", nil)
+	jam := newJammer(34, 41)
+	b.Attach(att)
+	b.Attach(witness)
+	b.Attach(jam)
+
+	if err := att.Enqueue(can.Frame{ID: 0x1F000000, Extended: true, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	spin(t, b, func() bool { return att.State() == BusOff }, 8000, "extended attacker bus-off")
+	if att.Stats().TxAttempts != 32 {
+		t.Errorf("attempts = %d, want 32", att.Stats().TxAttempts)
+	}
+}

@@ -1,0 +1,84 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+func TestListenOnlyReceivesWithoutDriving(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	monitor := New(Config{Name: "monitor", AutoRecover: true, ListenOnly: true,
+		OnReceive: rx.onReceive})
+	tx := newTestController("tx", nil)
+	acker := newTestController("acker", nil) // someone must still ACK
+	b.Attach(monitor)
+	b.Attach(tx)
+	b.Attach(acker)
+
+	want := can.Frame{ID: 0x123, Data: []byte{1, 2}}
+	if err := tx.Enqueue(want); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(300)
+	if len(rx.frames) != 1 || !rx.frames[0].Equal(&want) {
+		t.Fatalf("monitor received %v", rx.frames)
+	}
+}
+
+func TestListenOnlyNeverAcks(t *testing.T) {
+	// With ONLY a listen-only monitor on the bus, the transmitter gets no
+	// ACK — proof the monitor does not touch the wire.
+	b := bus.New(bus.Rate500k)
+	monitor := New(Config{Name: "monitor", AutoRecover: true, ListenOnly: true})
+	tx := newTestController("tx", nil)
+	b.Attach(monitor)
+	b.Attach(tx)
+
+	if err := tx.Enqueue(can.Frame{ID: 0x100, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(2000)
+	if tx.Stats().TxSuccess != 0 {
+		t.Error("transmitter succeeded without any acking node")
+	}
+	if tx.Stats().TxErrors[AckError] == 0 {
+		t.Error("expected ACK errors")
+	}
+}
+
+func TestListenOnlyNeverSignalsErrors(t *testing.T) {
+	// Even when the monitor sees a destroyed frame it stays silent: the
+	// error episode on the wire is exactly as long as without the monitor.
+	run := func(withMonitor bool) int64 {
+		b := bus.New(bus.Rate500k)
+		tx := newTestController("tx", nil)
+		acker := newTestController("acker", nil)
+		b.Attach(tx)
+		b.Attach(acker)
+		if withMonitor {
+			b.Attach(New(Config{Name: "monitor", AutoRecover: true, ListenOnly: true}))
+		}
+		b.Attach(newJammer(13, 20))
+		if err := tx.Enqueue(can.Frame{ID: 0x100, Data: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+		b.RunUntil(func() bool { return tx.State() == BusOff }, 5000)
+		return int64(b.Now())
+	}
+	without := run(false)
+	with := run(true)
+	if with != without {
+		t.Errorf("monitor changed bus timing: %d vs %d bits", with, without)
+	}
+}
+
+func TestListenOnlyRejectsEnqueue(t *testing.T) {
+	monitor := New(Config{Name: "monitor", ListenOnly: true})
+	if err := monitor.Enqueue(can.Frame{ID: 1}); !errors.Is(err, ErrListenOnly) {
+		t.Errorf("err = %v, want ErrListenOnly", err)
+	}
+}

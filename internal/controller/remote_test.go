@@ -1,0 +1,118 @@
+package controller
+
+import (
+	"testing"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+func TestRemoteFrameDelivery(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	req := can.Frame{ID: 0x321, Remote: true, RequestLen: 4}
+	if err := tx.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(200)
+	if len(rx.frames) != 1 {
+		t.Fatalf("received %d frames", len(rx.frames))
+	}
+	got := rx.frames[0]
+	if !got.Remote || got.RequestLen != 4 || got.ID != 0x321 || len(got.Data) != 0 {
+		t.Errorf("received %s remote=%v len=%d", got.String(), got.Remote, got.RequestLen)
+	}
+}
+
+func TestRemoteRequestResponseCycle(t *testing.T) {
+	// The classical remote-frame pattern: a requester sends an RTR frame;
+	// the data owner's application answers with the matching data frame.
+	b := bus.New(bus.Rate500k)
+	owner := New(Config{Name: "owner", AutoRecover: true})
+	ownerApp := func(_ bus.BitTime, f can.Frame) {
+		if f.Remote && f.ID == 0x150 {
+			data := make([]byte, f.RequestLen)
+			for i := range data {
+				data[i] = byte(0xA0 + i)
+			}
+			_ = owner.Enqueue(can.Frame{ID: 0x150, Data: data})
+		}
+	}
+	owner = New(Config{Name: "owner", AutoRecover: true, OnReceive: ownerApp})
+	b.Attach(owner)
+
+	var answers []can.Frame
+	requester := New(Config{Name: "req", AutoRecover: true,
+		OnReceive: func(_ bus.BitTime, f can.Frame) {
+			if !f.Remote && f.ID == 0x150 {
+				answers = append(answers, f)
+			}
+		}})
+	b.Attach(requester)
+
+	if err := requester.Enqueue(can.Frame{ID: 0x150, Remote: true, RequestLen: 3}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(500)
+	if len(answers) != 1 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	if len(answers[0].Data) != 3 || answers[0].Data[0] != 0xA0 {
+		t.Errorf("answer = %s", answers[0].String())
+	}
+}
+
+func TestDataFrameWinsOverRemoteSameID(t *testing.T) {
+	// RTR is the final arbitration bit: when a data frame and a remote
+	// frame with the same ID start together, the data frame wins and the
+	// remote transmitter records an arbitration loss, not an error.
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	dataTx := newTestController("data", nil)
+	remoteTx := newTestController("remote", nil)
+	b.Attach(dataTx)
+	b.Attach(remoteTx)
+	b.Attach(newTestController("rx", &rx))
+
+	if err := dataTx.Enqueue(can.Frame{ID: 0x222, Data: []byte{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := remoteTx.Enqueue(can.Frame{ID: 0x222, Remote: true, RequestLen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(500)
+
+	if len(rx.frames) != 2 {
+		t.Fatalf("received %d frames", len(rx.frames))
+	}
+	if rx.frames[0].Remote || rx.frames[1].Remote != true {
+		t.Errorf("order wrong: %v then %v", rx.frames[0].String(), rx.frames[1].String())
+	}
+	if remoteTx.Stats().ArbitrationLosses == 0 {
+		t.Error("remote transmitter should lose arbitration at the RTR bit")
+	}
+	if remoteTx.TEC() != 0 {
+		t.Error("losing at RTR must not be an error")
+	}
+}
+
+func TestExtendedRemoteFrameDelivery(t *testing.T) {
+	b := bus.New(bus.Rate500k)
+	var rx recorder
+	tx := newTestController("tx", nil)
+	b.Attach(tx)
+	b.Attach(newTestController("rx", &rx))
+
+	req := can.Frame{ID: 0x1ABCDEF0, Extended: true, Remote: true, RequestLen: 8}
+	if err := tx.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(300)
+	if len(rx.frames) != 1 || !rx.frames[0].Equal(&req) {
+		t.Fatalf("extended remote frame not delivered: %v", rx.frames)
+	}
+}

@@ -1,0 +1,114 @@
+package controller
+
+import "michican/internal/can"
+
+// txPlan is a fully serialized transmission: the wire bits of one frame
+// (stuff bits included, ACK slot recessive) plus the geometry the transmit
+// engine needs while monitoring the bus bit by bit.
+type txPlan struct {
+	frame can.Frame
+	// bits is the wire sequence from SOF through the last EOF bit.
+	bits []can.Level
+	// arbEnd is the wire index just past the arbitration field (the 11 ID
+	// bits plus RTR, including any stuff bits falling inside). A dominant
+	// level read while sending a recessive payload bit before arbEnd means
+	// arbitration was lost, not a bit error.
+	arbEnd int
+	// isStuff marks wire positions holding stuff bits. Two compliant nodes
+	// still arbitrating have sent identical prefixes and therefore stuff at
+	// identical positions, so a dominant level read during a transmitted
+	// recessive stuff bit can never be a competing arbitration winner — it
+	// is a stuff error even inside the arbitration field (this is the
+	// paper's best case, where the counterattack triggers an error as early
+	// as the RTR bit).
+	isStuff []bool
+	// ackIdx is the wire index of the ACK slot, where reading dominant while
+	// sending recessive means the frame was acknowledged.
+	ackIdx int
+}
+
+// newTxPlan serializes a frame for transmission.
+func newTxPlan(f can.Frame) *txPlan {
+	if f.FD {
+		wire, isStuff, arbEnd, ackIdx := can.FDWirePlan(&f)
+		return &txPlan{frame: f, bits: wire, arbEnd: arbEnd, isStuff: isStuff, ackIdx: ackIdx}
+	}
+	body := can.UnstuffedBody(&f)
+	arbEndPos := can.Layout{Extended: f.Extended}.ArbEndPos()
+	var s can.Stuffer
+	s.Reset()
+	wire := make([]can.Level, 0, len(body)+len(body)/4+3+can.EOFBits)
+	isStuff := make([]bool, 0, cap(wire))
+	arbEnd := 0
+	for pos, b := range body {
+		out := s.Next(b)
+		wire = append(wire, out...)
+		isStuff = append(isStuff, false)
+		if len(out) == 2 {
+			isStuff = append(isStuff, true)
+		}
+		// The arbitration field covers unstuffed positions 1..RTR (position
+		// 12 for base frames, 32 for extended ones); stuff bits emitted
+		// inside stay subject to the stuff-error rule above.
+		if pos <= arbEndPos {
+			arbEnd = len(wire)
+		}
+	}
+	wire = append(wire, can.Recessive) // CRC delimiter
+	ackIdx := len(wire)
+	wire = append(wire, can.Recessive) // ACK slot (transmitter sends recessive)
+	wire = append(wire, can.Recessive) // ACK delimiter
+	for i := 0; i < can.EOFBits; i++ {
+		wire = append(wire, can.Recessive)
+	}
+	for len(isStuff) < len(wire) {
+		isStuff = append(isStuff, false)
+	}
+	return &txPlan{frame: f, bits: wire, arbEnd: arbEnd, isStuff: isStuff, ackIdx: ackIdx}
+}
+
+// txQueue is the controller's transmit mailbox. The head of the queue is the
+// frame currently being (re)transmitted.
+type txQueue struct {
+	frames []can.Frame
+}
+
+func (q *txQueue) push(f can.Frame, sortByPriority bool) {
+	if !sortByPriority {
+		q.frames = append(q.frames, f)
+		return
+	}
+	// Insert keeping ascending ID order (lowest ID = highest priority first).
+	i := len(q.frames)
+	for i > 0 && q.frames[i-1].ID > f.ID {
+		i--
+	}
+	q.frames = append(q.frames, can.Frame{})
+	copy(q.frames[i+1:], q.frames[i:])
+	q.frames[i] = f
+}
+
+func (q *txQueue) head() (can.Frame, bool) {
+	if len(q.frames) == 0 {
+		return can.Frame{}, false
+	}
+	return q.frames[0], true
+}
+
+// remove deletes the first queued frame equal to f. The transmit path uses
+// it after a successful transmission: with a priority-sorted mailbox a
+// higher-priority frame may have been inserted at the head while the
+// completed frame was in flight, so popping the head would drop the wrong
+// element.
+func (q *txQueue) remove(f can.Frame) {
+	for i := range q.frames {
+		if q.frames[i].Equal(&f) {
+			q.frames = append(q.frames[:i], q.frames[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *txQueue) len() int { return len(q.frames) }
+
+func (q *txQueue) clear() { q.frames = nil }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// ECU bundles an ordinary application CAN controller with the MichiCAN
+// defense patch, sharing the same physical attachment point — the paper's
+// picture of a defended node, where the integrated CAN controller keeps
+// doing the ECU's normal job while the defense taps CAN_RX and occasionally
+// commandeers CAN_TX through the pin mux.
+type ECU struct {
+	// Controller is the ECU's normal protocol controller (sends the ECU's
+	// own traffic, ACKs, raises error flags).
+	Controller *controller.Controller
+	// Defense is the MichiCAN patch; nil for an unpatched ECU.
+	Defense *Defense
+}
+
+var _ bus.Node = (*ECU)(nil)
+
+// NewECU wires a controller and an optional defense into one bus node. The
+// defense learns to recognize the controller's own transmissions so it never
+// counterattacks its host's legitimate frames.
+func NewECU(c *controller.Controller, d *Defense) *ECU {
+	if d != nil && d.cfg.SelfTransmitting == nil {
+		d.cfg.SelfTransmitting = c.Transmitting
+	}
+	return &ECU{Controller: c, Defense: d}
+}
+
+// Drive implements bus.Node: the wire sees the wired-AND of the controller's
+// output and the defense's counterattack pull (they share the TX pin).
+func (e *ECU) Drive(t bus.BitTime) can.Level {
+	level := e.Controller.Drive(t)
+	if e.Defense != nil {
+		level = level.And(e.Defense.Drive(t))
+	}
+	return level
+}
+
+// Observe implements bus.Node: both halves sample the same CAN_RX line.
+func (e *ECU) Observe(t bus.BitTime, level can.Level) {
+	e.Controller.Observe(t, level)
+	if e.Defense != nil {
+		e.Defense.Observe(t, level)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// newExtTestbed builds a defended bus with a configurable defense and one
+// plain attacker controller.
+func newExtTestbed(t *testing.T, cfg Config) (*bus.Bus, *Defense, *controller.Controller) {
+	t.Helper()
+	b := bus.New(bus.Rate50k)
+	defense := buildDefense(t, []can.ID{0x173}, 0, cfg)
+	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
+	b.Attach(NewECU(defCtl, defense))
+	att := controller.New(controller.Config{Name: "attacker", AutoRecover: true})
+	b.Attach(att)
+	return b, defense, att
+}
+
+func TestExtendedAttackerEradicatedWhenAware(t *testing.T) {
+	// An extended-ID DoS whose 11-bit prefix (0x064) is in the detection
+	// range: the extended-aware defense monitors through the 18-bit
+	// extension and strikes after the extended RTR, ramping the attacker's
+	// TEC to bus-off in the usual 32 attempts.
+	b, defense, att := newExtTestbed(t, Config{Name: "michican", ExtendedAware: true})
+	extID := can.ID(0x064)<<can.ExtLowBits | 0x15555
+	if err := att.Enqueue(can.Frame{ID: extID, Extended: true, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.RunUntil(func() bool { return att.State() == controller.BusOff }, 8000) {
+		t.Fatalf("extended attacker not bused off (TEC=%d attempts=%d det=%d)",
+			att.TEC(), att.Stats().TxAttempts, defense.Stats().Detections)
+	}
+	if att.Stats().TxAttempts != 32 {
+		t.Errorf("attempts = %d, want 32", att.Stats().TxAttempts)
+	}
+	if att.Stats().TxSuccess != 0 {
+		t.Errorf("attacker leaked %d frames", att.Stats().TxSuccess)
+	}
+}
+
+func TestExtendedAttackerOnlyNeutralizedWhenUnaware(t *testing.T) {
+	// The paper's 11-bit design strikes at frame position 13, which for an
+	// extended frame is still arbitration (SRR/IDE): the pull forces an
+	// arbitration loss instead of an error. The attack never gets a frame
+	// through (starved — availability preserved!) but the attacker's TEC
+	// never moves and it is never confined.
+	b, defense, att := newExtTestbed(t, Config{Name: "michican"})
+	extID := can.ID(0x064)<<can.ExtLowBits | 0x15555
+	if err := att.Enqueue(can.Frame{ID: extID, Extended: true, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(10_000)
+	if att.Stats().TxSuccess != 0 {
+		t.Errorf("attacker leaked %d frames through the unaware defense", att.Stats().TxSuccess)
+	}
+	if att.State() == controller.BusOff {
+		t.Error("unaware defense should not be able to eradicate an extended attacker")
+	}
+	if att.Stats().ArbitrationLosses == 0 {
+		t.Error("the pull should read as repeated arbitration losses")
+	}
+	if defense.Stats().Counterattacks == 0 {
+		t.Error("defense should have been striking")
+	}
+	t.Logf("unaware defense: %d arbitration losses, TEC=%d — neutralized, not eradicated",
+		att.Stats().ArbitrationLosses, att.TEC())
+}
+
+func TestExtendedAwareLeavesBaseTimingIntact(t *testing.T) {
+	// With extended awareness the base-frame strike moves one bit later
+	// (after IDE); eradication must still take exactly 32 attempts and the
+	// bus-off time must stay in the paper's band.
+	b, _, att := newExtTestbed(t, Config{Name: "michican", ExtendedAware: true})
+	if err := att.Enqueue(can.Frame{ID: 0x064, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	start := b.Now()
+	if !b.RunUntil(func() bool { return att.State() == controller.BusOff }, 3000) {
+		t.Fatal("base attacker not bused off by the extended-aware defense")
+	}
+	elapsed := int64(b.Now() - start)
+	if att.Stats().TxAttempts != 32 {
+		t.Errorf("attempts = %d, want 32", att.Stats().TxAttempts)
+	}
+	if elapsed < 1000 || elapsed > 1450 {
+		t.Errorf("bus-off time %d bits outside the paper band", elapsed)
+	}
+}
+
+func TestBenignExtendedTrafficPasses(t *testing.T) {
+	// Extended frames whose prefix is NOT in the detection range sail
+	// through, aware or not.
+	for _, aware := range []bool{false, true} {
+		b, defense, att := newExtTestbed(t, Config{Name: "michican", ExtendedAware: aware})
+		// Prefix 0x200 > defender 0x173: outside the detection range.
+		extID := can.ID(0x200)<<can.ExtLowBits | 0x00042
+		if err := att.Enqueue(can.Frame{ID: extID, Extended: true, Data: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+		b.Run(500)
+		if att.Stats().TxSuccess != 1 {
+			t.Errorf("aware=%v: benign extended frame blocked", aware)
+		}
+		if defense.Stats().Counterattacks != 0 {
+			t.Errorf("aware=%v: counterattacked benign extended traffic", aware)
+		}
+	}
+}

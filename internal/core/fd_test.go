@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// MichiCAN against CAN FD attackers: the arbitration phase is bit-identical
+// to classical CAN, so the FSM detects unchanged, and the pull — which for
+// an FD frame overwrites the recessive FDF bit right after arbitration —
+// induces the bit error even earlier than for classical frames.
+
+func TestFDAttackerEradicated(t *testing.T) {
+	for _, aware := range []bool{false, true} {
+		b, defense, att := newExtTestbed(t, Config{Name: "michican", ExtendedAware: aware})
+		if err := att.Enqueue(can.Frame{ID: 0x064, FD: true, Data: make([]byte, 64)}); err != nil {
+			t.Fatal(err)
+		}
+		if !b.RunUntil(func() bool { return att.State() == controller.BusOff }, 8000) {
+			t.Fatalf("aware=%v: FD attacker not bused off (TEC=%d attempts=%d)",
+				aware, att.TEC(), att.Stats().TxAttempts)
+		}
+		if att.Stats().TxAttempts != 32 {
+			t.Errorf("aware=%v: attempts = %d, want 32", aware, att.Stats().TxAttempts)
+		}
+		if att.Stats().TxSuccess != 0 {
+			t.Errorf("aware=%v: FD attack frames leaked", aware)
+		}
+		if defense.Stats().Counterattacks < 32 {
+			t.Errorf("aware=%v: counterattacks = %d", aware, defense.Stats().Counterattacks)
+		}
+	}
+}
+
+func TestBenignFDTrafficPasses(t *testing.T) {
+	b, defense, att := newExtTestbed(t, Config{Name: "michican"})
+	if err := att.Enqueue(can.Frame{ID: 0x200, FD: true, Data: make([]byte, 24)}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(800)
+	if att.Stats().TxSuccess != 1 {
+		t.Error("benign FD frame blocked")
+	}
+	if defense.Stats().Counterattacks != 0 {
+		t.Error("counterattacked benign FD traffic")
+	}
+}

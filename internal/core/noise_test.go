@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// glitchNode injects random dominant bits with a fixed probability.
+type glitchNode struct {
+	rng  *rand.Rand
+	prob float64
+}
+
+func (g *glitchNode) Drive(bus.BitTime) can.Level {
+	if g.rng.Float64() < g.prob {
+		return can.Dominant
+	}
+	return can.Recessive
+}
+
+func (g *glitchNode) Observe(bus.BitTime, can.Level) {}
+
+// TestNoiseFalsePositivesNeverConfineBenignNode verifies the paper's
+// Sec. IV-E argument: a bit flip can make a legitimate frame look malicious
+// for one attempt (the defense may even counterattack it), but a benign node
+// needs 32 *consecutive* destroyed attempts to reach bus-off — under
+// sporadic noise the probability is effectively zero, because every
+// successful retransmission decrements the TEC again.
+func TestNoiseFalsePositivesNeverConfineBenignNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := bus.New(bus.Rate50k)
+
+	// Defender at 0x173; benign peer at 0x064 (legitimate, so not in D).
+	defense := buildDefense(t, []can.ID{0x064, 0x173}, 1, Config{Name: "michican"})
+	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
+	b.Attach(NewECU(defCtl, defense))
+
+	benign := controller.New(controller.Config{Name: "benign", AutoRecover: true})
+	b.Attach(benign)
+	b.Attach(&glitchNode{rng: rng, prob: 0.001})
+
+	// The benign node streams frames continuously for 4 simulated seconds.
+	const want = 1000
+	sentReq := 0
+	for step := int64(0); step < 200_000; step++ {
+		if benign.PendingTx() == 0 && sentReq < want {
+			if err := benign.Enqueue(can.Frame{ID: 0x064, Data: []byte{byte(sentReq)}}); err != nil {
+				t.Fatal(err)
+			}
+			sentReq++
+		}
+		b.Step()
+	}
+
+	if benign.Stats().BusOffEvents != 0 {
+		t.Errorf("benign node reached bus-off %d times under sporadic noise",
+			benign.Stats().BusOffEvents)
+	}
+	if benign.State() == controller.BusOff {
+		t.Error("benign node confined")
+	}
+	if benign.Stats().TxSuccess < want*9/10 {
+		t.Errorf("benign throughput collapsed: %d/%d", benign.Stats().TxSuccess, sentReq)
+	}
+	// Noise may cause occasional false detections (a corrupted ID image);
+	// they must stay rare relative to traffic.
+	fp := defense.Stats().Counterattacks
+	if fp > sentReq/20 {
+		t.Errorf("false counterattacks = %d over %d frames (>5%%)", fp, sentReq)
+	}
+	t.Logf("noise run: %d frames delivered, %d false detections/counterattacks, benign TEC=%d",
+		benign.Stats().TxSuccess, fp, benign.TEC())
+}

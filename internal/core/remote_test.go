@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// The stealthy link-layer DoS of Palanca et al. [27] uses *remote* frames:
+// data-less requests that occupy the bus at high priority. Algorithm 1's
+// pull becomes effective from the IDE bit onward — one position past the
+// remote frame's recessive RTR, i.e. already outside base-format
+// arbitration — so remote attackers are eradicated like data-frame ones,
+// in both defense modes.
+
+func TestRemoteDoSEradicatedWhenUnaware(t *testing.T) {
+	b, defense, att := newExtTestbed(t, Config{Name: "michican"})
+	if err := att.Enqueue(can.Frame{ID: 0x064, Remote: true, RequestLen: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.RunUntil(func() bool { return att.State() == controller.BusOff }, 5000) {
+		t.Fatalf("remote attacker not bused off (TEC=%d attempts=%d)",
+			att.TEC(), att.Stats().TxAttempts)
+	}
+	if att.Stats().TxSuccess != 0 {
+		t.Errorf("remote DoS frames leaked: %d", att.Stats().TxSuccess)
+	}
+	if att.Stats().TxAttempts != 32 {
+		t.Errorf("attempts = %d, want 32", att.Stats().TxAttempts)
+	}
+	if defense.Stats().Counterattacks == 0 {
+		t.Error("defense should have been striking")
+	}
+}
+
+func TestRemoteDoSEradicatedWhenAware(t *testing.T) {
+	b, _, att := newExtTestbed(t, Config{Name: "michican", ExtendedAware: true})
+	if err := att.Enqueue(can.Frame{ID: 0x064, Remote: true, RequestLen: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.RunUntil(func() bool { return att.State() == controller.BusOff }, 5000) {
+		t.Fatalf("remote attacker not bused off (TEC=%d attempts=%d)",
+			att.TEC(), att.Stats().TxAttempts)
+	}
+	if att.Stats().TxAttempts != 32 {
+		t.Errorf("attempts = %d, want 32", att.Stats().TxAttempts)
+	}
+}
+
+func TestBenignRemoteRequestPasses(t *testing.T) {
+	// A remote request for a legitimate higher ID passes both modes.
+	for _, aware := range []bool{false, true} {
+		b, defense, att := newExtTestbed(t, Config{Name: "michican", ExtendedAware: aware})
+		if err := att.Enqueue(can.Frame{ID: 0x200, Remote: true, RequestLen: 2}); err != nil {
+			t.Fatal(err)
+		}
+		b.Run(300)
+		if att.Stats().TxSuccess != 1 {
+			t.Errorf("aware=%v: benign remote request blocked", aware)
+		}
+		if defense.Stats().Counterattacks != 0 {
+			t.Errorf("aware=%v: counterattacked a benign remote request", aware)
+		}
+	}
+}

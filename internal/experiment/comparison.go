@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+	"michican/internal/core"
+	"michican/internal/fsm"
+	"michican/internal/ids"
+	"michican/internal/parrot"
+)
+
+// ComparisonRow is one measured row of the Table-I head-to-head: the same
+// persistent spoofing attacker against an IDS, Parrot, and MichiCAN.
+type ComparisonRow struct {
+	// System names the defense.
+	System string
+	// DetectionBits is the latency from the attack's first SOF to the first
+	// detection (IDS alert, Parrot spoof observation, MichiCAN FSM verdict).
+	DetectionBits int64
+	// Eradicated reports whether the attacker reached bus-off within the
+	// run.
+	Eradicated bool
+	// BusOffBits is the time to bus-off (0 when never).
+	BusOffBits int64
+	// LeakedFrames counts complete attacker frames that reached the bus.
+	LeakedFrames int
+}
+
+// String renders the row.
+func (r ComparisonRow) String() string {
+	erad := fmt.Sprintf("bus-off in %d bits", r.BusOffBits)
+	if !r.Eradicated {
+		erad = "NEVER eradicated"
+	}
+	return fmt.Sprintf("%-9s detection after %4d bits  leaked %3d frames  %s",
+		r.System, r.DetectionBits, r.LeakedFrames, erad)
+}
+
+// DefenseComparison measures the Table-I properties head to head: the same
+// persistent spoofer (victim ID 0x173) against each defense class on an
+// otherwise identical bus. The structural result the paper argues: the IDS
+// detects after a full frame and cannot eradicate; Parrot detects after a
+// full frame and eradicates slowly by flooding; MichiCAN detects inside the
+// ID field and eradicates in one clean campaign.
+func DefenseComparison(cfg Config) ([]ComparisonRow, error) {
+	cfg = cfg.Defaults()
+	rows := make([]ComparisonRow, 0, 3)
+	for _, system := range []string{"IDS", "Parrot", "MichiCAN"} {
+		row, err := comparisonRun(cfg, system)
+		if err != nil {
+			return nil, fmt.Errorf("comparison %s: %w", system, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func comparisonRun(cfg Config, system string) (ComparisonRow, error) {
+	b := bus.New(cfg.Rate)
+	row := ComparisonRow{System: system, DetectionBits: -1}
+
+	// A benign peer provides ACKs and periodic legitimate traffic that the
+	// IDS can train on.
+	peerPeriod := cfg.Rate.Bits(20 * time.Millisecond)
+	peer := controller.New(controller.Config{Name: "peer", AutoRecover: true})
+	b.Attach(peer)
+
+	var detectedAt bus.BitTime = -1
+	markDetect := func(t bus.BitTime) {
+		if detectedAt < 0 {
+			detectedAt = t
+		}
+	}
+
+	switch system {
+	case "IDS":
+		b.Attach(ids.New(ids.Config{
+			Name:         "ids",
+			TrainingBits: cfg.Rate.Bits(500 * time.Millisecond),
+			OnAlert:      func(a ids.Alert) { markDetect(a.At) },
+		}))
+		// The spoofed ECU exists but is undefended.
+		b.Attach(controller.New(controller.Config{Name: "victim", AutoRecover: true}))
+	case "Parrot":
+		b.Attach(parrot.New(parrot.Config{
+			Name:     "parrot",
+			OwnID:    DefenderID,
+			OnDetect: markDetect,
+		}))
+	case "MichiCAN":
+		v, err := fsm.NewIVN([]can.ID{0x0A0, DefenderID})
+		if err != nil {
+			return row, err
+		}
+		ds, err := fsm.NewDetectionSet(v, v.Index(DefenderID))
+		if err != nil {
+			return row, err
+		}
+		def, err := core.New(core.Config{
+			Name:     "michican",
+			FSM:      fsm.Build(ds),
+			OnDetect: func(t bus.BitTime, _ int) { markDetect(t) },
+		})
+		if err != nil {
+			return row, err
+		}
+		b.Attach(core.NewECU(controller.New(controller.Config{Name: "victim", AutoRecover: true}), def))
+	default:
+		return row, fmt.Errorf("unknown system %q", system)
+	}
+
+	// Warm-up (IDS training) with periodic peer traffic.
+	warmBits := cfg.Rate.Bits(600 * time.Millisecond)
+	nextPeer := bus.BitTime(0)
+	tick := func() {
+		if b.Now() >= nextPeer {
+			if peer.PendingTx() == 0 {
+				_ = peer.Enqueue(can.Frame{ID: 0x0A0, Data: []byte{0x42}})
+			}
+			nextPeer += bus.BitTime(peerPeriod)
+		}
+		b.Step()
+	}
+	for i := int64(0); i < warmBits; i++ {
+		tick()
+	}
+
+	// Attack: persistent spoof of the defender's ID.
+	att := attack.NewFabrication("spoofer", DefenderID,
+		[]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 0)
+	attackStart := b.Now()
+	b.Attach(att)
+	total := cfg.Rate.Bits(cfg.Duration)
+	busOffAt := bus.BitTime(-1)
+	for i := int64(0); i < total; i++ {
+		tick()
+		if busOffAt < 0 && att.Controller().Stats().BusOffEvents > 0 {
+			busOffAt = b.Now()
+			break
+		}
+	}
+
+	if detectedAt >= 0 {
+		row.DetectionBits = int64(detectedAt - attackStart)
+	}
+	row.LeakedFrames = att.Controller().Stats().TxSuccess
+	if busOffAt >= 0 {
+		row.Eradicated = true
+		row.BusOffBits = int64(busOffAt - attackStart)
+	}
+	return row, nil
+}

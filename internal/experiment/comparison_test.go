@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"michican/internal/bus"
+)
+
+func TestDefenseComparison(t *testing.T) {
+	rows, err := DefenseComparison(Config{Rate: bus.Rate50k, Duration: 2 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	idsRow, parrotRow, michRow := byName["IDS"], byName["Parrot"], byName["MichiCAN"]
+
+	// Everyone detects.
+	for _, r := range rows {
+		if r.DetectionBits < 0 {
+			t.Errorf("%s never detected", r.System)
+		}
+	}
+	// Frame-level systems cannot beat one full frame (~108 bits for 8-byte
+	// payloads); MichiCAN detects inside the ID field of the first attempt.
+	if idsRow.DetectionBits < 100 || parrotRow.DetectionBits < 100 {
+		t.Errorf("frame-level detection too fast: ids=%d parrot=%d",
+			idsRow.DetectionBits, parrotRow.DetectionBits)
+	}
+	if michRow.DetectionBits >= idsRow.DetectionBits {
+		t.Errorf("MichiCAN (%d) must detect before the IDS (%d)",
+			michRow.DetectionBits, idsRow.DetectionBits)
+	}
+	// Eradication: Table I's core column.
+	if idsRow.Eradicated {
+		t.Error("an IDS cannot eradicate")
+	}
+	if !parrotRow.Eradicated || !michRow.Eradicated {
+		t.Error("both active defenses must eradicate")
+	}
+	if michRow.BusOffBits >= parrotRow.BusOffBits {
+		t.Errorf("MichiCAN (%d bits) must beat Parrot (%d bits)",
+			michRow.BusOffBits, parrotRow.BusOffBits)
+	}
+	// Leakage: MichiCAN leaks nothing; Parrot at least the detection
+	// instance; the IDS everything.
+	if michRow.LeakedFrames != 0 {
+		t.Errorf("MichiCAN leaked %d frames", michRow.LeakedFrames)
+	}
+	if parrotRow.LeakedFrames < 1 {
+		t.Error("Parrot must leak at least the first instance")
+	}
+	if idsRow.LeakedFrames < 100 {
+		t.Errorf("IDS leaked only %d frames?", idsRow.LeakedFrames)
+	}
+}

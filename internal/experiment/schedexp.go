@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+
+	"michican/internal/bus"
+	"michican/internal/restbus"
+	"michican/internal/sched"
+)
+
+// SchedRow summarizes the schedulability of one vehicle bus and the bus-off
+// budget MichiCAN's counterattack must respect on it (the Sec. V-C safety
+// argument, generalized from the paper's 5000-bit rule of thumb via the
+// response-time analysis of Davis et al. [49]).
+type SchedRow struct {
+	// Vehicle and Bus identify the matrix.
+	Vehicle, Bus string
+	// Rate is the analyzed bus speed.
+	Rate bus.Rate
+	// Utilization is the worst-case bus utilization Σ C/T.
+	Utilization float64
+	// Schedulable reports whether every message meets its implicit deadline.
+	Schedulable bool
+	// BudgetBits is the largest exceptional bus occupation (e.g. a bus-off
+	// campaign) that fits in every message's slack.
+	BudgetBits int64
+	// SingleAttackerOK / FourAttackersOK report whether the measured clean
+	// bus-off times (≈1248 bits for one attacker, ≈4660 for four) fit the
+	// budget.
+	SingleAttackerOK, FourAttackersOK bool
+}
+
+// String renders the row.
+func (r SchedRow) String() string {
+	s := "schedulable"
+	if !r.Schedulable {
+		s = "UNSCHEDULABLE"
+	}
+	return fmt.Sprintf("%-38s %-10s U=%5.1f%%  %s  budget=%5d bits  A=1:%v A=4:%v",
+		r.Vehicle, r.Bus, r.Utilization*100, s, r.BudgetBits, r.SingleAttackerOK, r.FourAttackersOK)
+}
+
+// Schedulability analyzes all eight vehicle buses at the given rate and
+// checks the paper's feasibility claims against each bus's real slack.
+func Schedulability(rate bus.Rate) ([]SchedRow, error) {
+	if rate == 0 {
+		rate = bus.Rate500k
+	}
+	var rows []SchedRow
+	for _, v := range restbus.Vehicles() {
+		for _, m := range restbus.Buses(v) {
+			ok, err := sched.Schedulable(m, rate)
+			if err != nil {
+				return nil, fmt.Errorf("sched %s/%s: %w", m.Vehicle, m.Bus, err)
+			}
+			budget, err := sched.MaxBusOffBudget(m, rate)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SchedRow{
+				Vehicle:          m.Vehicle,
+				Bus:              m.Bus,
+				Rate:             rate,
+				Utilization:      sched.Utilization(m, rate),
+				Schedulable:      ok,
+				BudgetBits:       budget,
+				SingleAttackerOK: int64(TheoryTotalBits) <= budget,
+				FourAttackersOK:  4660 <= budget,
+			})
+		}
+	}
+	return rows, nil
+}

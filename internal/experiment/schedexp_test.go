@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+
+	"michican/internal/bus"
+)
+
+func TestSchedulability(t *testing.T) {
+	rows, err := Schedulability(bus.Rate500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Schedulable {
+			t.Errorf("%s/%s unschedulable", r.Vehicle, r.Bus)
+		}
+		// A single clean bus-off (≈1248 bits) must fit every bus's slack —
+		// the paper's core feasibility claim survives the full
+		// response-time analysis.
+		if !r.SingleAttackerOK {
+			t.Errorf("%s/%s: single-attacker bus-off does not fit the slack (budget %d)",
+				r.Vehicle, r.Bus, r.BudgetBits)
+		}
+		if r.BudgetBits <= 0 {
+			t.Errorf("%s/%s: non-positive budget", r.Vehicle, r.Bus)
+		}
+	}
+	// The refinement beyond the paper: on the busy powertrain buses the
+	// four-attacker campaign (≈4660 bits) exceeds the real slack even though
+	// it fits the paper's 5000-bit rule of thumb.
+	tightBuses := 0
+	for _, r := range rows {
+		if r.Bus == "powertrain" && !r.FourAttackersOK {
+			tightBuses++
+		}
+	}
+	if tightBuses == 0 {
+		t.Error("expected at least one powertrain bus where A=4 exceeds the analytic slack")
+	}
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"michican/internal/bus"
+)
+
+func TestSplitScenario(t *testing.T) {
+	res, err := SplitScenario(Config{Rate: bus.Rate50k, Duration: time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DoSEradicated {
+		t.Error("the full half must keep eradicating DoS attacks")
+	}
+	if !res.SpoofLowEradicated {
+		t.Error("a light member must eradicate spoofing of its own ID")
+	}
+	if res.LightLoad >= res.FullLoad {
+		t.Errorf("light CPU (%.1f%%) must undercut full CPU (%.1f%%)",
+			res.LightLoad*100, res.FullLoad*100)
+	}
+	if res.FullLoad-res.LightLoad < 0.02 {
+		t.Errorf("split saves only %.1f points of CPU; expected a visible gap",
+			(res.FullLoad-res.LightLoad)*100)
+	}
+	t.Log(res.String())
+}
+
+func TestDetectionSweep(t *testing.T) {
+	rows, err := DetectionSweep([]int{2, 8, 32, 96}, 150, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Detection gets later and FSMs bigger as the IVN densifies.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanBits <= rows[i-1].MeanBits {
+			t.Errorf("mean detection must grow with N: N=%d %.2f vs N=%d %.2f",
+				rows[i-1].N, rows[i-1].MeanBits, rows[i].N, rows[i].MeanBits)
+		}
+		if rows[i].MeanStates <= rows[i-1].MeanStates {
+			t.Errorf("FSM size must grow with N")
+		}
+	}
+	// The paper's aggregate mean of ≈9 bits corresponds to dense IVNs.
+	last := rows[len(rows)-1]
+	if last.MeanBits < 6.5 || last.MeanBits > 10.5 {
+		t.Errorf("N=%d mean = %.2f, expected near the paper's 9", last.N, last.MeanBits)
+	}
+	for _, r := range rows {
+		t.Log(r.String())
+	}
+	if _, err := DetectionSweep([]int{0}, 10, 1); err == nil {
+		t.Error("invalid N accepted")
+	}
+}

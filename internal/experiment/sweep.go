@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"michican/internal/fsm"
+	"michican/internal/stats"
+)
+
+// DetectionSweepRow is one point of the detection-latency sweep: how the
+// mean FSM decision position grows with the IVN size N. The paper reports a
+// single aggregate (mean ≈ 9 bits over 160,000 FSMs) without stating its N
+// distribution; the sweep makes the dependence explicit.
+type DetectionSweepRow struct {
+	// N is the IVN size.
+	N int
+	// FSMs is the number of random FSMs evaluated at this N.
+	FSMs int
+	// MeanBits / MaxBits summarize the detection positions.
+	MeanBits float64
+	MaxBits  int
+	// MeanStates is the average FSM size at this N (feeds the CPU model).
+	MeanStates float64
+}
+
+// String renders the row.
+func (r DetectionSweepRow) String() string {
+	return fmt.Sprintf("N=%3d  mean detection=%5.2f bits  max=%2d  mean FSM states=%6.0f",
+		r.N, r.MeanBits, r.MaxBits, r.MeanStates)
+}
+
+// DetectionSweep evaluates per-N detection statistics over random IVNs for
+// each N in sizes, with perN FSMs per point.
+func DetectionSweep(sizes []int, perN int, seed int64) ([]DetectionSweepRow, error) {
+	if perN <= 0 {
+		perN = 1000
+	}
+	rows := make([]DetectionSweepRow, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("experiment: IVN size %d", n)
+		}
+		var acc, states stats.Accumulator
+		maxBits := 0
+		for i := 0; i < perN; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(n)*1_000_003 + int64(i)))
+			ivn, err := fsm.RandomIVN(rng, n)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := fsm.NewDetectionSet(ivn, rng.Intn(n))
+			if err != nil {
+				return nil, err
+			}
+			machine := fsm.Build(ds)
+			st, err := machine.Stats(ds)
+			if err != nil {
+				return nil, fmt.Errorf("N=%d: %w", n, err)
+			}
+			if st.Detected > 0 {
+				acc.Add(st.MeanBits)
+				if st.MaxBits > maxBits {
+					maxBits = st.MaxBits
+				}
+			}
+			states.Add(float64(machine.Size()))
+		}
+		rows = append(rows, DetectionSweepRow{
+			N:          n,
+			FSMs:       perN,
+			MeanBits:   acc.Mean(),
+			MaxBits:    maxBits,
+			MeanStates: states.Mean(),
+		})
+	}
+	return rows, nil
+}

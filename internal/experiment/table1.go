@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rating is a qualitative Table-I cell.
+type Rating uint8
+
+// Table-I rating scale (the paper uses filled/empty circle glyphs).
+const (
+	No Rating = iota + 1
+	Unknown
+	Yes
+)
+
+// String renders the rating glyph.
+func (r Rating) String() string {
+	switch r {
+	case No:
+		return "○"
+	case Unknown:
+		return "◐"
+	case Yes:
+		return "●"
+	default:
+		return "?"
+	}
+}
+
+// OverheadClass is Table I's traffic-overhead scale.
+type OverheadClass uint8
+
+// Overhead classes from Table I's footnote.
+const (
+	OverheadNone OverheadClass = iota + 1
+	OverheadNegligible
+	OverheadMedium
+	OverheadVeryHigh
+)
+
+// String renders the class.
+func (o OverheadClass) String() string {
+	switch o {
+	case OverheadNone:
+		return "none"
+	case OverheadNegligible:
+		return "negligible"
+	case OverheadMedium:
+		return "medium"
+	case OverheadVeryHigh:
+		return "very high"
+	default:
+		return "?"
+	}
+}
+
+// Table1Row is one countermeasure's property vector (Table I).
+type Table1Row struct {
+	System             string
+	BackwardCompatible Rating
+	RealTime           Rating
+	Eradication        Rating
+	TrafficOverhead    OverheadClass
+	// MeasuredHere reports whether this repository reproduces the system's
+	// behaviour (MichiCAN and Parrot are implemented; the rest are
+	// documented from their papers).
+	MeasuredHere bool
+}
+
+// Table1 returns the countermeasure comparison. The IDS, Parrot and MichiCAN
+// rows are backed by this repository's implementations (see the
+// DefenseComparison, BusLoad and Table2 experiments); the others carry the
+// paper's assessment.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{System: "IDS [15-17]", BackwardCompatible: Yes, RealTime: No, Eradication: No, TrafficOverhead: OverheadNone, MeasuredHere: true},
+		{System: "Parrot+ [18]", BackwardCompatible: Yes, RealTime: No, Eradication: Yes, TrafficOverhead: OverheadVeryHigh, MeasuredHere: true},
+		{System: "CANSentry [19]", BackwardCompatible: No, RealTime: No, Eradication: Yes, TrafficOverhead: OverheadNegligible},
+		{System: "CANeleon [20]", BackwardCompatible: No, RealTime: Yes, Eradication: Yes, TrafficOverhead: OverheadNegligible},
+		{System: "CANARY [21]", BackwardCompatible: No, RealTime: Yes, Eradication: Yes, TrafficOverhead: OverheadNegligible},
+		{System: "ZBCAN [22]", BackwardCompatible: Yes, RealTime: Yes, Eradication: Yes, TrafficOverhead: OverheadMedium},
+		{System: "MichiCAN", BackwardCompatible: Yes, RealTime: Yes, Eradication: Yes, TrafficOverhead: OverheadNegligible, MeasuredHere: true},
+	}
+}
+
+// FormatTable1 renders the comparison as a text table.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-10s %-9s %-11s %-10s %s\n",
+		"System", "BackCompat", "RealTime", "Eradicates", "Overhead", "Measured")
+	for _, r := range rows {
+		measured := ""
+		if r.MeasuredHere {
+			measured = "✓ (this repo)"
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %-9s %-11s %-10s %s\n",
+			r.System, r.BackwardCompatible, r.RealTime, r.Eradication, r.TrafficOverhead, measured)
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+// Package fsm implements MichiCAN's detection machinery (Sec. IV-A): the
+// per-ECU detection range 𝔻 of malicious CAN identifiers and the binary-tree
+// finite state machine that classifies an incoming 11-bit CAN ID bit by bit,
+// deciding as early as possible whether the ID is malicious.
+//
+// The FSM is generated offline (by the OEM, per the paper's initial
+// configuration phase — cmd/fsmgen plays that role here) and evaluated online
+// by the defense's interrupt handler, one ID bit per nominal bit time.
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"michican/internal/can"
+)
+
+// Decision is the FSM's verdict about the CAN ID observed so far.
+type Decision uint8
+
+const (
+	// Undecided means more ID bits are needed.
+	Undecided Decision = iota
+	// Malicious means the ID prefix can only complete to an ID in 𝔻; the
+	// defense raises the counterattack flag and stops the FSM.
+	Malicious
+	// Benign means the ID prefix can only complete to IDs outside 𝔻.
+	Benign
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Undecided:
+		return "undecided"
+	case Malicious:
+		return "malicious"
+	case Benign:
+		return "benign"
+	default:
+		return fmt.Sprintf("Decision(%d)", uint8(d))
+	}
+}
+
+// IVN is the ordered list 𝔼 of legitimate CAN IDs on the in-vehicle network,
+// one per ECU (the paper assumes each unique CAN ID is tied to exactly one
+// ECU). Construct with NewIVN to enforce ordering and uniqueness.
+type IVN struct {
+	ids []can.ID
+}
+
+// Errors returned by IVN construction.
+var (
+	// ErrEmptyIVN indicates that no ECU IDs were supplied.
+	ErrEmptyIVN = errors.New("fsm: IVN needs at least one ECU")
+	// ErrDuplicateID indicates a CAN ID claimed by two ECUs.
+	ErrDuplicateID = errors.New("fsm: duplicate CAN ID in IVN")
+)
+
+// NewIVN builds the ordered ECU list 𝔼 from the set of legitimate CAN IDs.
+// IDs may be passed in any order; duplicates and out-of-range IDs are
+// rejected.
+func NewIVN(ids []can.ID) (*IVN, error) {
+	if len(ids) == 0 {
+		return nil, ErrEmptyIVN
+	}
+	sorted := make([]can.ID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, id := range sorted {
+		if !id.Valid() {
+			return nil, fmt.Errorf("%w: %#x", can.ErrIDRange, uint32(id))
+		}
+		if i > 0 && sorted[i-1] == id {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+		}
+	}
+	return &IVN{ids: sorted}, nil
+}
+
+// Size returns the number of ECUs N = |𝔼|.
+func (v *IVN) Size() int { return len(v.ids) }
+
+// IDs returns a copy of the ordered ID list (ascending = priority order).
+func (v *IVN) IDs() []can.ID {
+	out := make([]can.ID, len(v.ids))
+	copy(out, v.ids)
+	return out
+}
+
+// Index returns the position of id within 𝔼, or -1 if the ID is not a
+// legitimate ECU ID.
+func (v *IVN) Index(id can.ID) int {
+	i := sort.Search(len(v.ids), func(k int) bool { return v.ids[k] >= id })
+	if i < len(v.ids) && v.ids[i] == id {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether id belongs to a legitimate ECU.
+func (v *IVN) Contains(id can.ID) bool { return v.Index(id) >= 0 }
+
+// DetectionSet is the set 𝔻 of CAN IDs a particular ECU must flag as
+// malicious, represented as a bitmap over the 2048 possible identifiers.
+type DetectionSet struct {
+	mask [can.MaxID + 1]bool
+	n    int
+}
+
+// NewDetectionSet builds 𝔻 per Definition IV.4 for the ECU at position i of
+// 𝔼 (the "full scenario"): every ID j with 0 ≤ j ≤ 𝔼_i that is not a
+// legitimate ID of a higher-priority ECU. The ECU's own ID is included —
+// observing it from another node is a spoofing attack (Def. IV.1); lower
+// unknown IDs are DoS attacks (Def. IV.2).
+func NewDetectionSet(v *IVN, i int) (*DetectionSet, error) {
+	if i < 0 || i >= v.Size() {
+		return nil, fmt.Errorf("fsm: ECU index %d out of range [0,%d)", i, v.Size())
+	}
+	var d DetectionSet
+	own := v.ids[i]
+	for j := can.ID(0); j <= own; j++ {
+		legit := v.Contains(j) && j != own
+		if !legit {
+			d.mask[j] = true
+			d.n++
+		}
+	}
+	return &d, nil
+}
+
+// NewSpoofOnlySet builds the "light scenario" detection set: only the ECU's
+// own ID is flagged (spoofing detection without DoS coverage), used for the
+// lower-priority half 𝔼₁ when the IVN is split (Sec. IV-A).
+func NewSpoofOnlySet(v *IVN, i int) (*DetectionSet, error) {
+	if i < 0 || i >= v.Size() {
+		return nil, fmt.Errorf("fsm: ECU index %d out of range [0,%d)", i, v.Size())
+	}
+	var d DetectionSet
+	d.mask[v.ids[i]] = true
+	d.n = 1
+	return &d, nil
+}
+
+// NewCustomSet builds a detection set from an explicit list of malicious
+// IDs. It is the hook for deployments that flag additional ranges (e.g. the
+// ParkSense protection covering IDs below a feature's lowest ID).
+func NewCustomSet(ids []can.ID) (*DetectionSet, error) {
+	var d DetectionSet
+	for _, id := range ids {
+		if !id.Valid() {
+			return nil, fmt.Errorf("%w: %#x", can.ErrIDRange, uint32(id))
+		}
+		if !d.mask[id] {
+			d.mask[id] = true
+			d.n++
+		}
+	}
+	return &d, nil
+}
+
+// Contains reports whether id ∈ 𝔻.
+func (d *DetectionSet) Contains(id can.ID) bool {
+	return id.Valid() && d.mask[id]
+}
+
+// Size returns |𝔻|.
+func (d *DetectionSet) Size() int { return d.n }
+
+// IDs returns the malicious IDs in ascending order.
+func (d *DetectionSet) IDs() []can.ID {
+	out := make([]can.ID, 0, d.n)
+	for id := range d.mask {
+		if d.mask[id] {
+			out = append(out, can.ID(id))
+		}
+	}
+	return out
+}

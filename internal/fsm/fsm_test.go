@@ -1,0 +1,337 @@
+package fsm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"michican/internal/can"
+)
+
+func mustIVN(t *testing.T, ids ...can.ID) *IVN {
+	t.Helper()
+	v, err := NewIVN(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewIVNValidation(t *testing.T) {
+	if _, err := NewIVN(nil); !errors.Is(err, ErrEmptyIVN) {
+		t.Error("empty IVN accepted")
+	}
+	if _, err := NewIVN([]can.ID{0x10, 0x10}); !errors.Is(err, ErrDuplicateID) {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := NewIVN([]can.ID{0x800}); !errors.Is(err, can.ErrIDRange) {
+		t.Error("out-of-range ID accepted")
+	}
+}
+
+func TestIVNOrdering(t *testing.T) {
+	v := mustIVN(t, 0x300, 0x005, 0x0F0)
+	ids := v.IDs()
+	want := []can.ID{0x005, 0x0F0, 0x300}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+	if v.Index(0x0F0) != 1 || v.Index(0x123) != -1 {
+		t.Error("Index lookup wrong")
+	}
+	if !v.Contains(0x005) || v.Contains(0x006) {
+		t.Error("Contains lookup wrong")
+	}
+}
+
+// TestDetectionSetPaperExample reproduces the worked example from Sec. IV-A:
+// 𝔼 = {0x005, 0x00F}. The ECU with 0x00F must flag 0x000–0x004 and
+// 0x006–0x00F (its own ID included) but not 0x005.
+func TestDetectionSetPaperExample(t *testing.T) {
+	v := mustIVN(t, 0x005, 0x00F)
+	d, err := NewDetectionSet(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := can.ID(0); id <= 0x004; id++ {
+		if !d.Contains(id) {
+			t.Errorf("%s should be flagged (DoS range)", id)
+		}
+	}
+	if d.Contains(0x005) {
+		t.Error("0x005 is the other legitimate ECU; must not be flagged")
+	}
+	for id := can.ID(0x006); id <= 0x00F; id++ {
+		if !d.Contains(id) {
+			t.Errorf("%s should be flagged", id)
+		}
+	}
+	if d.Contains(0x010) {
+		t.Error("IDs above own must not be flagged (miscellaneous attacks are benign)")
+	}
+	if d.Size() != 15 {
+		t.Errorf("|D| = %d, want 15", d.Size())
+	}
+}
+
+func TestDetectionSetLowestPriorityECU(t *testing.T) {
+	// The highest-priority ECU (lowest ID) flags everything at or below its
+	// own ID except nothing (no higher-priority legitimate IDs exist).
+	v := mustIVN(t, 0x005, 0x00F)
+	d, err := NewDetectionSet(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := can.ID(0); id <= 0x005; id++ {
+		if !d.Contains(id) {
+			t.Errorf("%s should be flagged by ECU_1", id)
+		}
+	}
+	if d.Contains(0x006) {
+		t.Error("ECU_1 cannot judge IDs above its own")
+	}
+}
+
+func TestNewDetectionSetIndexRange(t *testing.T) {
+	v := mustIVN(t, 0x10)
+	if _, err := NewDetectionSet(v, 1); err == nil {
+		t.Error("out-of-range ECU index accepted")
+	}
+	if _, err := NewSpoofOnlySet(v, -1); err == nil {
+		t.Error("negative ECU index accepted")
+	}
+}
+
+func TestSpoofOnlySet(t *testing.T) {
+	v := mustIVN(t, 0x100, 0x200, 0x300)
+	d, err := NewSpoofOnlySet(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1 || !d.Contains(0x200) {
+		t.Fatalf("light scenario set must contain exactly the own ID; got %v", d.IDs())
+	}
+}
+
+func TestNewCustomSet(t *testing.T) {
+	d, err := NewCustomSet([]can.ID{5, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2 {
+		t.Errorf("duplicates must collapse: size %d", d.Size())
+	}
+	if _, err := NewCustomSet([]can.ID{0x900}); err == nil {
+		t.Error("invalid ID accepted")
+	}
+}
+
+func TestFSMClassifyMatchesSet(t *testing.T) {
+	v := mustIVN(t, 0x005, 0x064, 0x173, 0x25F, 0x3E8)
+	for i := 0; i < v.Size(); i++ {
+		d, err := NewDetectionSet(v, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := Build(d)
+		if _, err := f.Stats(d); err != nil {
+			t.Errorf("ECU %d: %v", i, err)
+		}
+	}
+}
+
+func TestFSMStreamingMatchesClassify(t *testing.T) {
+	v := mustIVN(t, 0x064, 0x173)
+	d, err := NewDetectionSet(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(d)
+	for id := can.ID(0); id <= can.MaxID; id++ {
+		want, wantBits := f.Classify(id)
+		f.Reset()
+		var got Decision
+		gotBits := 0
+		for i := 0; i < can.IDBits; i++ {
+			got = f.Step(id.Bit(i))
+			if got != Undecided && gotBits == 0 {
+				gotBits = i + 1
+			}
+		}
+		if got != want {
+			t.Fatalf("ID %s: streaming %v, batch %v", id, got, want)
+		}
+		if want != Undecided && gotBits != wantBits {
+			t.Fatalf("ID %s: streaming decided at %d, batch at %d", id, gotBits, wantBits)
+		}
+	}
+}
+
+func TestFSMStepAfterDecisionIsStable(t *testing.T) {
+	d, err := NewCustomSet([]can.ID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(d)
+	f.Reset()
+	for i := 0; i < can.IDBits; i++ {
+		f.Step(can.Dominant)
+	}
+	dec := f.Decided()
+	for i := 0; i < 5; i++ {
+		if got := f.Step(can.Recessive); got != dec {
+			t.Fatal("decision changed after being reached")
+		}
+	}
+}
+
+func TestFSMEarlyDecisionDominantPrefix(t *testing.T) {
+	// With 𝔻 = [0, 0x0FF] (all IDs with the top 3 bits dominant), the FSM
+	// must decide malicious after exactly 3 bits for any ID inside.
+	ids := make([]can.ID, 0x100)
+	for i := range ids {
+		ids[i] = can.ID(i)
+	}
+	d, err := NewCustomSet(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(d)
+	dec, bits := f.Classify(0x012)
+	if dec != Malicious || bits != 3 {
+		t.Fatalf("Classify(0x012) = %v after %d bits, want malicious after 3", dec, bits)
+	}
+	dec, bits = f.Classify(0x100)
+	if dec != Benign || bits != 3 {
+		t.Fatalf("Classify(0x100) = %v after %d bits, want benign after 3", dec, bits)
+	}
+}
+
+func TestFSMEmptySet(t *testing.T) {
+	d, err := NewCustomSet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(d)
+	if f.Size() != 1 {
+		t.Errorf("empty set should build a single benign leaf, size %d", f.Size())
+	}
+	dec, bits := f.Classify(0x123)
+	if dec != Benign || bits != 0 {
+		t.Errorf("empty set: Classify = %v/%d", dec, bits)
+	}
+}
+
+func TestFSMFullSet(t *testing.T) {
+	ids := make([]can.ID, int(can.MaxID)+1)
+	for i := range ids {
+		ids[i] = can.ID(i)
+	}
+	d, err := NewCustomSet(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(d)
+	if f.Size() != 1 {
+		t.Errorf("full set should collapse to one malicious leaf, size %d", f.Size())
+	}
+}
+
+// TestFSMEquivalenceProperty: for random IVNs, the FSM decision equals the
+// naive membership test for every possible identifier.
+func TestFSMEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%40 + 2
+		v, err := RandomIVN(rng, n)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(n)
+		d, err := NewDetectionSet(v, i)
+		if err != nil {
+			return false
+		}
+		f := Build(d)
+		_, err = f.Stats(d)
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIVNProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v, err := RandomIVN(rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 30 {
+		t.Fatalf("size %d", v.Size())
+	}
+	ids := v.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("IDs not strictly ascending")
+		}
+	}
+	if _, err := RandomIVN(rng, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := RandomIVN(rng, 5000); err == nil {
+		t.Error("n beyond ID space accepted")
+	}
+}
+
+func TestFSMDot(t *testing.T) {
+	d, err := NewCustomSet([]can.ID{0x7FF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(d)
+	dot := f.Dot("test")
+	if len(dot) == 0 || dot[0] != 'd' {
+		t.Error("dot output malformed")
+	}
+}
+
+// TestDetectionLatencyShape checks the headline Sec. V-B result at reduced
+// scale: over random IVNs, the mean detection bit position is well below the
+// full 11 bits (the paper reports a mean of ~9).
+func TestDetectionLatencyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	total, count := 0.0, 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(62)
+		v, err := RandomIVN(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := rng.Intn(n)
+		d, err := NewDetectionSet(v, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Size() == 0 {
+			continue
+		}
+		stats, err := Build(d).Stats(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += stats.MeanBits
+		count++
+	}
+	mean := total / float64(count)
+	if mean >= float64(can.IDBits) {
+		t.Errorf("mean detection position %.2f should be below 11", mean)
+	}
+	if mean < 4 || mean > 10.5 {
+		t.Errorf("mean detection position %.2f outside plausible band [4,10.5]", mean)
+	}
+	t.Logf("mean detection bit position over %d random FSMs: %.2f (paper: ~9)", count, mean)
+}

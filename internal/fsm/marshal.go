@@ -1,0 +1,102 @@
+package fsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary FSM image format — the artifact the OEM's offline tool patches into
+// ECU firmware (Sec. IV-A: "unique FSMs are generated and patched into each
+// ECU's source code"):
+//
+//	magic   [4]byte  "MFSM"
+//	version uint8    1
+//	nodes   uint32   state count
+//	per node:
+//	  kind  uint8    0 = internal, 1 = malicious leaf, 2 = benign leaf
+//	  child0, child1 uint32 (internal nodes only)
+const (
+	fsmMagic   = "MFSM"
+	fsmVersion = 1
+)
+
+// Errors returned by Unmarshal.
+var (
+	// ErrBadImage indicates a corrupt or truncated FSM image.
+	ErrBadImage = errors.New("fsm: bad FSM image")
+	// ErrBadVersion indicates an unsupported image version.
+	ErrBadVersion = errors.New("fsm: unsupported FSM image version")
+)
+
+// Marshal serializes the FSM into its firmware image.
+func (f *FSM) Marshal() []byte {
+	out := make([]byte, 0, 9+len(f.nodes)*9)
+	out = append(out, fsmMagic...)
+	out = append(out, fsmVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(f.nodes)))
+	for _, n := range f.nodes {
+		switch n.decision {
+		case Malicious:
+			out = append(out, 1)
+		case Benign:
+			out = append(out, 2)
+		default:
+			out = append(out, 0)
+			out = binary.BigEndian.AppendUint32(out, uint32(n.child[0]))
+			out = binary.BigEndian.AppendUint32(out, uint32(n.child[1]))
+		}
+	}
+	return out
+}
+
+// Unmarshal reconstructs an FSM from its firmware image, validating the
+// structure (magic, version, child indices in range).
+func Unmarshal(image []byte) (*FSM, error) {
+	if len(image) < 9 {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadImage)
+	}
+	if string(image[:4]) != fsmMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	if image[4] != fsmVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, image[4])
+	}
+	count := binary.BigEndian.Uint32(image[5:9])
+	if count == 0 || count > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible node count %d", ErrBadImage, count)
+	}
+	f := &FSM{nodes: make([]treeNode, 0, count)}
+	off := 9
+	for i := uint32(0); i < count; i++ {
+		if off >= len(image) {
+			return nil, fmt.Errorf("%w: truncated node %d", ErrBadImage, i)
+		}
+		kind := image[off]
+		off++
+		switch kind {
+		case 1:
+			f.nodes = append(f.nodes, treeNode{child: [2]int32{-1, -1}, decision: Malicious})
+		case 2:
+			f.nodes = append(f.nodes, treeNode{child: [2]int32{-1, -1}, decision: Benign})
+		case 0:
+			if off+8 > len(image) {
+				return nil, fmt.Errorf("%w: truncated children of node %d", ErrBadImage, i)
+			}
+			c0 := int32(binary.BigEndian.Uint32(image[off:]))
+			c1 := int32(binary.BigEndian.Uint32(image[off+4:]))
+			off += 8
+			if c0 < 0 || c1 < 0 || uint32(c0) >= count || uint32(c1) >= count {
+				return nil, fmt.Errorf("%w: node %d child out of range", ErrBadImage, i)
+			}
+			f.nodes = append(f.nodes, treeNode{child: [2]int32{c0, c1}})
+		default:
+			return nil, fmt.Errorf("%w: node %d kind %d", ErrBadImage, i, kind)
+		}
+	}
+	if off != len(image) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadImage, len(image)-off)
+	}
+	f.Reset()
+	return f, nil
+}

@@ -1,0 +1,128 @@
+package fsm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"michican/internal/can"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	v := mustIVN(t, 0x064, 0x173, 0x25F)
+	ds, err := NewDetectionSet(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := Build(ds)
+	restored, err := Unmarshal(original.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != original.Size() {
+		t.Fatalf("size %d != %d", restored.Size(), original.Size())
+	}
+	for id := can.ID(0); id <= can.MaxID; id++ {
+		d1, b1 := original.Classify(id)
+		d2, b2 := restored.Classify(id)
+		if d1 != d2 || b1 != b2 {
+			t.Fatalf("ID %s: (%v,%d) vs (%v,%d)", id, d1, b1, d2, b2)
+		}
+	}
+}
+
+// TestMarshalRoundTripProperty: any generated FSM survives the image format.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%30 + 2
+		v, err := RandomIVN(rng, n)
+		if err != nil {
+			return false
+		}
+		ds, err := NewDetectionSet(v, rng.Intn(n))
+		if err != nil {
+			return false
+		}
+		original := Build(ds)
+		restored, err := Unmarshal(original.Marshal())
+		if err != nil {
+			return false
+		}
+		_, err = restored.Stats(ds)
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	v := mustIVN(t, 0x100, 0x200)
+	ds, err := NewDetectionSet(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Build(ds).Marshal()
+
+	tests := []struct {
+		name  string
+		image []byte
+	}{
+		{"empty", nil},
+		{"short", good[:5]},
+		{"bad magic", append([]byte("XFSM"), good[4:]...)},
+		{"bad version", func() []byte {
+			b := append([]byte{}, good...)
+			b[4] = 99
+			return b
+		}()},
+		{"truncated body", good[:len(good)-3]},
+		{"trailing bytes", append(append([]byte{}, good...), 0)},
+		{"bad kind", func() []byte {
+			b := append([]byte{}, good...)
+			b[9] = 7
+			return b
+		}()},
+		{"zero nodes", func() []byte {
+			b := append([]byte{}, good[:9]...)
+			b[5], b[6], b[7], b[8] = 0, 0, 0, 0
+			return b
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.image); err == nil {
+				t.Error("corrupt image accepted")
+			}
+		})
+	}
+}
+
+func TestUnmarshalChildOutOfRange(t *testing.T) {
+	// Hand-build an image whose internal node points beyond the node count.
+	image := []byte("MFSM")
+	image = append(image, 1)          // version
+	image = append(image, 0, 0, 0, 1) // 1 node
+	image = append(image, 0)          // internal node...
+	image = append(image, 0, 0, 0, 9) // child0 out of range
+	image = append(image, 0, 0, 0, 0) // child1
+	_, err := Unmarshal(image)
+	if !errors.Is(err, ErrBadImage) {
+		t.Fatalf("want ErrBadImage, got %v", err)
+	}
+}
+
+func TestMarshalStable(t *testing.T) {
+	v := mustIVN(t, 0x050, 0x300)
+	ds, err := NewDetectionSet(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Build(ds).Marshal()
+	b := Build(ds).Marshal()
+	if string(a) != string(b) {
+		t.Error("image not deterministic")
+	}
+}

@@ -1,0 +1,27 @@
+package fsm
+
+import (
+	"math/rand"
+
+	"michican/internal/can"
+)
+
+// RandomIVN draws a random in-vehicle network of n distinct CAN IDs using
+// the supplied generator. It backs the paper's detection-latency study
+// (Sec. V-B evaluates 160,000 random FSMs).
+func RandomIVN(rng *rand.Rand, n int) (*IVN, error) {
+	if n <= 0 || n > int(can.MaxID)+1 {
+		return nil, ErrEmptyIVN
+	}
+	seen := make(map[can.ID]struct{}, n)
+	ids := make([]can.ID, 0, n)
+	for len(ids) < n {
+		id := can.ID(rng.Intn(int(can.MaxID) + 1))
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		ids = append(ids, id)
+	}
+	return NewIVN(ids)
+}

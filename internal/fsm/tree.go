@@ -1,0 +1,183 @@
+package fsm
+
+import (
+	"fmt"
+	"strings"
+
+	"michican/internal/can"
+)
+
+// FSM is the earliest-decision binary tree over the 11 CAN ID bits (MSB
+// first). Each internal node branches on the next observed ID bit; a subtree
+// whose identifiers are entirely inside (or entirely outside) the detection
+// set collapses into a Malicious (or Benign) leaf, which is what lets most
+// attacks be detected before the full 11-bit ID has been observed
+// (Sec. V-B reports a mean detection position of ~9 bits).
+type FSM struct {
+	nodes []treeNode
+	// eval is the streaming cursor used by Step.
+	eval int32
+	done Decision
+}
+
+// treeNode is one state. Leaves carry a decision; internal nodes carry child
+// indices for the dominant (0) and recessive (1) transitions.
+type treeNode struct {
+	child    [2]int32 // -1 on leaves
+	decision Decision // Undecided on internal nodes
+}
+
+// Build generates the FSM for a detection set. The construction is the
+// paper's offline initial-configuration step.
+func Build(d *DetectionSet) *FSM {
+	f := &FSM{nodes: make([]treeNode, 0, 64)}
+	f.build(d, 0, 0, can.MaxID)
+	f.Reset()
+	return f
+}
+
+// build recursively constructs the subtree covering identifier range
+// [lo, hi] at the given bit depth and returns its node index.
+func (f *FSM) build(d *DetectionSet, depth int, lo, hi can.ID) int32 {
+	count := 0
+	for id := lo; ; id++ {
+		if d.mask[id] {
+			count++
+		}
+		if id == hi {
+			break
+		}
+	}
+	idx := int32(len(f.nodes))
+	total := int(hi-lo) + 1
+	switch {
+	case count == total:
+		f.nodes = append(f.nodes, treeNode{child: [2]int32{-1, -1}, decision: Malicious})
+	case count == 0:
+		f.nodes = append(f.nodes, treeNode{child: [2]int32{-1, -1}, decision: Benign})
+	default:
+		f.nodes = append(f.nodes, treeNode{child: [2]int32{-1, -1}})
+		mid := lo + can.ID(total/2)
+		left := f.build(d, depth+1, lo, mid-1) // dominant = 0 = lower half
+		right := f.build(d, depth+1, mid, hi)  // recessive = 1 = upper half
+		f.nodes[idx].child[0] = left
+		f.nodes[idx].child[1] = right
+	}
+	return idx
+}
+
+// Reset rewinds the streaming evaluator to the root (done at every SOF).
+func (f *FSM) Reset() {
+	f.eval = 0
+	f.done = f.nodes[0].decision
+}
+
+// Step consumes the next CAN ID bit (MSB first) and returns the decision so
+// far. Once a decision is reached further calls return it unchanged; the
+// defense stops stepping the FSM after a decision to save CPU cycles
+// (Algorithm 1, line 11).
+func (f *FSM) Step(bit can.Level) Decision {
+	if f.done != Undecided {
+		return f.done
+	}
+	next := f.nodes[f.eval].child[bit&1]
+	f.eval = next
+	f.done = f.nodes[next].decision
+	return f.done
+}
+
+// Decided returns the current decision of the streaming evaluator.
+func (f *FSM) Decided() Decision { return f.done }
+
+// Classify evaluates a complete identifier and returns the decision together
+// with the number of ID bits consumed before the decision was reached (the
+// detection bit position of Sec. V-B; 11 means the full ID was needed).
+func (f *FSM) Classify(id can.ID) (Decision, int) {
+	node := int32(0)
+	if dec := f.nodes[0].decision; dec != Undecided {
+		return dec, 0
+	}
+	for i := 0; i < can.IDBits; i++ {
+		node = f.nodes[node].child[id.Bit(i)&1]
+		if dec := f.nodes[node].decision; dec != Undecided {
+			return dec, i + 1
+		}
+	}
+	// The tree bottoms out at depth 11 with a decision by construction.
+	return f.nodes[node].decision, can.IDBits
+}
+
+// Size returns the number of FSM states, the complexity measure behind the
+// paper's "CPU load depends on FSM complexity" observation.
+func (f *FSM) Size() int { return len(f.nodes) }
+
+// Depth returns the maximum decision depth over all 2048 identifiers.
+func (f *FSM) Depth() int {
+	max := 0
+	for id := can.ID(0); id <= can.MaxID; id++ {
+		if _, d := f.Classify(id); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DetectionStats summarizes how early the FSM detects the IDs it flags.
+type DetectionStats struct {
+	// Detected counts identifiers classified malicious.
+	Detected int
+	// MeanBits is the mean detection bit position over detected IDs.
+	MeanBits float64
+	// MaxBits is the worst-case detection bit position.
+	MaxBits int
+}
+
+// Stats computes detection statistics against the generating set, verifying
+// a 100% detection rate in the process: every ID in d must classify
+// malicious and every ID outside must classify benign, or an error is
+// returned (the paper's correctness check over 160,000 random FSMs).
+func (f *FSM) Stats(d *DetectionSet) (DetectionStats, error) {
+	var out DetectionStats
+	sum := 0
+	for id := can.ID(0); id <= can.MaxID; id++ {
+		dec, bits := f.Classify(id)
+		want := Benign
+		if d.mask[id] {
+			want = Malicious
+		}
+		if dec != want {
+			return out, fmt.Errorf("fsm: ID %s classified %v, want %v", id, dec, want)
+		}
+		if dec == Malicious {
+			out.Detected++
+			sum += bits
+			if bits > out.MaxBits {
+				out.MaxBits = bits
+			}
+		}
+	}
+	if out.Detected > 0 {
+		out.MeanBits = float64(sum) / float64(out.Detected)
+	}
+	return out, nil
+}
+
+// Dot renders the FSM in Graphviz dot syntax (for cmd/fsmgen).
+func (f *FSM) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", name)
+	for i, n := range f.nodes {
+		switch n.decision {
+		case Malicious:
+			fmt.Fprintf(&b, "  n%d [label=\"MAL\" shape=box style=filled fillcolor=salmon];\n", i)
+		case Benign:
+			fmt.Fprintf(&b, "  n%d [label=\"OK\" shape=box style=filled fillcolor=palegreen];\n", i)
+		default:
+			fmt.Fprintf(&b, "  n%d [label=\"\" shape=circle];\n", i)
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"0\"];\n", i, n.child[0])
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"1\"];\n", i, n.child[1])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+	"michican/internal/core"
+	"michican/internal/fsm"
+	"michican/internal/restbus"
+)
+
+// dualBus wires a gateway between a 500 kbit/s powertrain bus and a
+// 125 kbit/s body bus and returns both plus a lockstep group.
+func dualBus(t *testing.T, filter Filter) (*bus.Bus, *bus.Bus, *Gateway, *bus.Group) {
+	t.Helper()
+	pt := bus.New(bus.Rate500k)
+	body := bus.New(bus.Rate125k)
+	gw := New("gateway", filter)
+	p0, err := gw.Port(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := gw.Port(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Attach(p0)
+	body.Attach(p1)
+	return pt, body, gw, bus.NewGroup(pt, body)
+}
+
+func TestPortValidation(t *testing.T) {
+	gw := New("g", nil)
+	if _, err := gw.Port(2); err == nil {
+		t.Error("port 2 accepted")
+	}
+	if _, err := gw.Port(-1); err == nil {
+		t.Error("port -1 accepted")
+	}
+}
+
+func TestForwardAcrossRates(t *testing.T) {
+	pt, body, gw, grp := dualBus(t, nil)
+
+	// A sender and an acking peer on the powertrain; a receiver on the body.
+	sender := controller.New(controller.Config{Name: "ecm", AutoRecover: true})
+	pt.Attach(sender)
+	pt.Attach(controller.New(controller.Config{Name: "peer", AutoRecover: true}))
+	var got []can.Frame
+	body.Attach(controller.New(controller.Config{Name: "cluster", AutoRecover: true,
+		OnReceive: func(_ bus.BitTime, f can.Frame) { got = append(got, f) }}))
+
+	want := can.Frame{ID: 0x123, Data: []byte{0xCA, 0xFE}}
+	if err := sender.Enqueue(want); err != nil {
+		t.Fatal(err)
+	}
+	grp.RunFor(10 * time.Millisecond)
+
+	if len(got) != 1 || !got[0].Equal(&want) {
+		t.Fatalf("body side received %v", got)
+	}
+	st := gw.Stats()
+	if st.ReceivedByPort[0] != 1 || st.ForwardedByPort[1] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFilterBlocks(t *testing.T) {
+	pt, body, gw, grp := dualBus(t, AllowIDs(0x200))
+	sender := controller.New(controller.Config{Name: "ecm", AutoRecover: true})
+	pt.Attach(sender)
+	pt.Attach(controller.New(controller.Config{Name: "peer", AutoRecover: true}))
+	var got []can.Frame
+	body.Attach(controller.New(controller.Config{Name: "cluster", AutoRecover: true,
+		OnReceive: func(_ bus.BitTime, f can.Frame) { got = append(got, f) }}))
+
+	if err := sender.Enqueue(can.Frame{ID: 0x123, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Enqueue(can.Frame{ID: 0x200, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	grp.RunFor(10 * time.Millisecond)
+	if len(got) != 1 || got[0].ID != 0x200 {
+		t.Fatalf("filter failed: body received %v", got)
+	}
+	if gw.Stats().Dropped != 1 {
+		t.Errorf("dropped = %d", gw.Stats().Dropped)
+	}
+}
+
+func TestDoSDoesNotCrossFilteringGateway(t *testing.T) {
+	// A traditional DoS on the body bus starves the body domain, but a
+	// filtering gateway keeps the powertrain clean — domain isolation.
+	pt, body, gw, grp := dualBus(t, AllowIDs(0x200))
+	_ = gw
+	ptTraffic := restbus.NewReplayer("pt", &restbus.Matrix{Messages: []restbus.Message{
+		{ID: 0x0C0, Transmitter: "ECM", DLC: 8, Period: 10 * time.Millisecond},
+	}}, bus.Rate500k, nil)
+	pt.Attach(ptTraffic)
+	pt.Attach(controller.New(controller.Config{Name: "pt-peer", AutoRecover: true}))
+	body.Attach(controller.New(controller.Config{Name: "body-peer", AutoRecover: true}))
+	body.Attach(attack.NewTraditionalDoS("dos"))
+
+	grp.RunFor(300 * time.Millisecond)
+	if ptTraffic.Stats().DeadlineMisses != 0 {
+		t.Errorf("powertrain missed %d deadlines despite the gateway", ptTraffic.Stats().DeadlineMisses)
+	}
+	if ptTraffic.Stats().Transmitted < 25 {
+		t.Errorf("powertrain delivered only %d frames", ptTraffic.Stats().Transmitted)
+	}
+}
+
+func TestMichiCANOnGatewayDefendsDomain(t *testing.T) {
+	// MichiCAN deployed on the gateway's powertrain port eradicates an
+	// attacker inside that domain; the body side keeps flowing throughout.
+	pt, body, _, grp := dualBus(t, AllowIDs(0x200))
+	pt.Attach(controller.New(controller.Config{Name: "pt-peer", AutoRecover: true}))
+
+	ivn, err := fsm.NewIVN([]can.ID{0x0C0, 0x200, 0x7F0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := fsm.NewDetectionSet(ivn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := core.New(core.Config{Name: "gw-michican", FSM: fsm.Build(ds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Attach(def)
+
+	bodyTraffic := restbus.NewReplayer("body", &restbus.Matrix{Messages: []restbus.Message{
+		{ID: 0x300, Transmitter: "BCM", DLC: 4, Period: 20 * time.Millisecond},
+	}}, bus.Rate125k, nil)
+	body.Attach(bodyTraffic)
+	body.Attach(controller.New(controller.Config{Name: "body-peer", AutoRecover: true}))
+
+	att := attack.NewTargetedDoS("dos", 0x050)
+	pt.Attach(att)
+
+	grp.RunFor(300 * time.Millisecond)
+	if att.Controller().Stats().BusOffEvents == 0 {
+		t.Error("powertrain attacker not eradicated by the gateway's defense")
+	}
+	if att.Controller().Stats().TxSuccess != 0 {
+		t.Errorf("attack frames leaked: %d", att.Controller().Stats().TxSuccess)
+	}
+	if bodyTraffic.Stats().DeadlineMisses != 0 {
+		t.Errorf("body domain missed %d deadlines", bodyTraffic.Stats().DeadlineMisses)
+	}
+}

@@ -1,0 +1,166 @@
+// Package ids implements a frequency-based intrusion detection system — the
+// kind of reactive, frame-level IDS the paper's Table I compares MichiCAN
+// against ([15]-[17]): it learns each CAN ID's inter-arrival statistics
+// during a training window and afterwards flags frequency anomalies
+// (injected duplicates, floods) and unknown identifiers.
+//
+// The IDS exists as a *measured* baseline: it receives complete frames (no
+// bit-level access), so its detection necessarily lags the attack by at
+// least one full frame, and it has no eradication capability whatsoever —
+// the two Table-I deficits MichiCAN was designed to fix.
+package ids
+
+import (
+	"fmt"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// AlertKind classifies an IDS detection.
+type AlertKind uint8
+
+const (
+	// UnknownID flags an identifier never seen during training.
+	UnknownID AlertKind = iota + 1
+	// FrequencyAnomaly flags a known identifier arriving much faster than
+	// its learned period.
+	FrequencyAnomaly
+)
+
+// String names the alert kind.
+func (k AlertKind) String() string {
+	switch k {
+	case UnknownID:
+		return "unknown-id"
+	case FrequencyAnomaly:
+		return "frequency-anomaly"
+	default:
+		return fmt.Sprintf("AlertKind(%d)", uint8(k))
+	}
+}
+
+// Alert is one IDS detection.
+type Alert struct {
+	// At is the bus time of the complete frame that triggered the alert.
+	At bus.BitTime
+	// ID is the offending identifier.
+	ID can.ID
+	// Kind classifies the anomaly.
+	Kind AlertKind
+}
+
+// Config parameterizes the IDS.
+type Config struct {
+	// Name identifies the node.
+	Name string
+	// TrainingBits is the observation window before enforcement starts.
+	TrainingBits int64
+	// RateFactor is how much faster than the learned minimum inter-arrival
+	// a frame must arrive to count as a frequency anomaly (default 2: twice
+	// as fast).
+	RateFactor float64
+	// ListenOnly puts the IDS in bus-monitoring mode: it never ACKs and
+	// never signals errors, making it electrically invisible. Leave false
+	// when the IDS doubles as an ordinary receiving node.
+	ListenOnly bool
+	// OnAlert fires for every detection.
+	OnAlert func(Alert)
+}
+
+// IDS is the monitoring node. It implements bus.Node and is completely
+// passive apart from ACKing well-formed frames (it is an ordinary receiver).
+type IDS struct {
+	cfg   Config
+	ctl   *controller.Controller
+	start bus.BitTime
+	began bool
+
+	// Learned model: minimum observed inter-arrival per ID during training.
+	lastSeen map[can.ID]bus.BitTime
+	minGap   map[can.ID]int64
+	trained  bool
+
+	alerts []Alert
+}
+
+var _ bus.Node = (*IDS)(nil)
+
+// New creates an IDS with the given configuration.
+func New(cfg Config) *IDS {
+	if cfg.TrainingBits <= 0 {
+		cfg.TrainingBits = 50_000 // 1 s at 50 kbit/s
+	}
+	if cfg.RateFactor <= 1 {
+		cfg.RateFactor = 2
+	}
+	d := &IDS{
+		cfg:      cfg,
+		lastSeen: make(map[can.ID]bus.BitTime),
+		minGap:   make(map[can.ID]int64),
+	}
+	d.ctl = controller.New(controller.Config{
+		Name:        cfg.Name,
+		AutoRecover: true,
+		ListenOnly:  cfg.ListenOnly,
+		OnReceive:   d.onFrame,
+	})
+	return d
+}
+
+// Alerts returns a copy of the alerts raised since enforcement began.
+func (d *IDS) Alerts() []Alert {
+	out := make([]Alert, len(d.alerts))
+	copy(out, d.alerts)
+	return out
+}
+
+// Trained reports whether the training window has elapsed.
+func (d *IDS) Trained() bool { return d.trained }
+
+// onFrame updates the model (training) or checks it (enforcement).
+func (d *IDS) onFrame(t bus.BitTime, f can.Frame) {
+	last, seen := d.lastSeen[f.ID]
+	d.lastSeen[f.ID] = t
+	if !d.trained {
+		if seen {
+			gap := int64(t - last)
+			if cur, ok := d.minGap[f.ID]; !ok || gap < cur {
+				d.minGap[f.ID] = gap
+			}
+		}
+		return
+	}
+	// Enforcement.
+	minGap, known := d.minGap[f.ID]
+	if !known {
+		d.raise(Alert{At: t, ID: f.ID, Kind: UnknownID})
+		return
+	}
+	if seen && float64(t-last) < float64(minGap)/d.cfg.RateFactor {
+		d.raise(Alert{At: t, ID: f.ID, Kind: FrequencyAnomaly})
+	}
+}
+
+func (d *IDS) raise(a Alert) {
+	d.alerts = append(d.alerts, a)
+	if d.cfg.OnAlert != nil {
+		d.cfg.OnAlert(a)
+	}
+}
+
+// Drive implements bus.Node.
+func (d *IDS) Drive(t bus.BitTime) can.Level { return d.ctl.Drive(t) }
+
+// Observe implements bus.Node.
+func (d *IDS) Observe(t bus.BitTime, level can.Level) {
+	if !d.began {
+		d.start = t
+		d.began = true
+	}
+	if !d.trained && int64(t-d.start) >= d.cfg.TrainingBits {
+		d.trained = true
+	}
+	d.ctl.Observe(t, level)
+}

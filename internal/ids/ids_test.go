@@ -1,0 +1,180 @@
+package ids
+
+import (
+	"testing"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+	"michican/internal/restbus"
+)
+
+// vehicleBus builds a bus with benign periodic traffic and an attached IDS.
+func vehicleBus(trainingBits int64) (*bus.Bus, *IDS, *restbus.Replayer) {
+	b := bus.New(bus.Rate50k)
+	m := &restbus.Matrix{Messages: []restbus.Message{
+		{ID: 0x100, Transmitter: "A", DLC: 8, Period: 20 * time.Millisecond},
+		{ID: 0x200, Transmitter: "B", DLC: 4, Period: 50 * time.Millisecond},
+	}}
+	r := restbus.NewReplayer("ecus", m, bus.Rate50k, nil)
+	b.Attach(r)
+	d := New(Config{Name: "ids", TrainingBits: trainingBits})
+	b.Attach(d)
+	return b, d, r
+}
+
+func TestIDSNoFalsePositivesOnBenignTraffic(t *testing.T) {
+	b, d, _ := vehicleBus(25_000) // 0.5 s training
+	b.RunFor(2 * time.Second)
+	if !d.Trained() {
+		t.Fatal("training window never elapsed")
+	}
+	if len(d.Alerts()) != 0 {
+		t.Errorf("false positives on benign traffic: %v", d.Alerts())
+	}
+}
+
+func TestIDSFlagsUnknownID(t *testing.T) {
+	b, d, _ := vehicleBus(25_000)
+	b.RunFor(600 * time.Millisecond) // training done
+	spoofer := controller.New(controller.Config{Name: "s", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x064, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(100 * time.Millisecond)
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != UnknownID || alerts[0].ID != 0x064 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestIDSFlagsInjectionFlood(t *testing.T) {
+	b, d, _ := vehicleBus(25_000)
+	b.RunFor(600 * time.Millisecond)
+	// Fabrication: spoof the known ID 0x100 far above its learned rate.
+	period := bus.Rate50k.Bits(2 * time.Millisecond)
+	b.Attach(attack.NewFabrication("fab", 0x100, []byte{0xFF}, period))
+	b.RunFor(200 * time.Millisecond)
+	anomalies := 0
+	for _, a := range d.Alerts() {
+		if a.Kind == FrequencyAnomaly && a.ID == 0x100 {
+			anomalies++
+		}
+	}
+	if anomalies < 20 {
+		t.Errorf("frequency anomalies = %d, want many", anomalies)
+	}
+}
+
+func TestIDSCannotEradicate(t *testing.T) {
+	// The Table-I deficit: the IDS detects the traditional DoS but the
+	// flood continues unimpeded — detection without eradication.
+	b, d, r := vehicleBus(25_000)
+	b.RunFor(600 * time.Millisecond)
+	att := attack.NewTraditionalDoS("dos")
+	b.Attach(att)
+	b.RunFor(400 * time.Millisecond)
+
+	if len(d.Alerts()) == 0 {
+		t.Fatal("IDS missed the flood")
+	}
+	if att.Controller().Stats().TxSuccess < 50 {
+		t.Errorf("flood delivered only %d frames?", att.Controller().Stats().TxSuccess)
+	}
+	if att.Controller().State() == controller.BusOff {
+		t.Error("an IDS has no way to bus the attacker off")
+	}
+	if r.Stats().DeadlineMisses == 0 {
+		t.Error("victims should be starving despite the IDS")
+	}
+}
+
+func TestIDSDetectionLagsAtLeastOneFrame(t *testing.T) {
+	// The structural latency disadvantage vs MichiCAN: the IDS sees only
+	// complete frames, so its first alert comes no earlier than the end of
+	// the first injected frame, while MichiCAN flags within the ID field.
+	b, d, _ := vehicleBus(25_000)
+	b.RunFor(600 * time.Millisecond)
+	spoofStart := b.Now()
+	spoofer := controller.New(controller.Config{Name: "s", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x050, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(50 * time.Millisecond)
+	alerts := d.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no alert")
+	}
+	latency := int64(alerts[0].At - spoofStart)
+	// A full 8-byte frame is ≥ 108 bits; MichiCAN's detection position for
+	// an unknown low ID is ≤ 11 bits + strike at 13.
+	if latency < 100 {
+		t.Errorf("IDS alert after %d bits — cannot be faster than one frame", latency)
+	}
+}
+
+func TestIDSListenOnlyIsInvisible(t *testing.T) {
+	// A stealth IDS must not change the wire at all: with another receiver
+	// providing ACKs, traffic and detections proceed while the IDS itself
+	// never drives a bit.
+	b := bus.New(bus.Rate50k)
+	m := &restbus.Matrix{Messages: []restbus.Message{
+		{ID: 0x100, Transmitter: "A", DLC: 8, Period: 20 * time.Millisecond},
+	}}
+	b.Attach(restbus.NewReplayer("ecus", m, bus.Rate50k, nil))
+	b.Attach(controller.New(controller.Config{Name: "acker", AutoRecover: true}))
+	d := New(Config{Name: "stealth", TrainingBits: 25_000, ListenOnly: true})
+	b.Attach(d)
+
+	b.RunFor(600 * time.Millisecond)
+	spoofer := controller.New(controller.Config{Name: "s", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x050, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(100 * time.Millisecond)
+	if len(d.Alerts()) == 0 {
+		t.Error("stealth IDS missed the injection")
+	}
+}
+
+func TestAlertKindStrings(t *testing.T) {
+	if UnknownID.String() != "unknown-id" || FrequencyAnomaly.String() != "frequency-anomaly" {
+		t.Error("alert kind names changed")
+	}
+	if AlertKind(99).String() == "" {
+		t.Error("unknown kind must render something")
+	}
+}
+
+func TestIDSDefaults(t *testing.T) {
+	d := New(Config{Name: "d"}) // defaults: 50k training bits, factor 2
+	if d.cfg.TrainingBits != 50_000 || d.cfg.RateFactor != 2 {
+		t.Errorf("defaults = %d / %f", d.cfg.TrainingBits, d.cfg.RateFactor)
+	}
+}
+
+func TestIDSOnAlertCallback(t *testing.T) {
+	fired := 0
+	b := bus.New(bus.Rate50k)
+	m := &restbus.Matrix{Messages: []restbus.Message{
+		{ID: 0x100, Transmitter: "A", DLC: 2, Period: 20 * time.Millisecond},
+	}}
+	b.Attach(restbus.NewReplayer("ecus", m, bus.Rate50k, nil))
+	d := New(Config{Name: "ids", TrainingBits: 10_000, OnAlert: func(Alert) { fired++ }})
+	b.Attach(d)
+	b.RunFor(300 * time.Millisecond)
+	spoofer := controller.New(controller.Config{Name: "s", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x055, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(50 * time.Millisecond)
+	if fired == 0 {
+		t.Error("OnAlert never fired")
+	}
+}

@@ -1,0 +1,92 @@
+package mcu
+
+import (
+	"errors"
+	"time"
+)
+
+// DefaultSamplePoint is the position within the nominal bit time where CAN
+// controllers (and MichiCAN's software replica) sample the bus: 70%
+// (Sec. IV-C).
+const DefaultSamplePoint = 0.70
+
+// BitClock models the software bit-timing machinery of Sec. IV-C: a timer
+// interrupt that should fire at the sample point of every bit, an oscillator
+// with a drift measured in parts per million, a hard synchronization at each
+// SOF edge, and a fudge factor compensating the constant frame-reset work
+// executed between the SOF edge and the restart of the timer.
+//
+// BitClock answers the question the paper answers empirically: does the
+// sample point stay inside the bit for an entire maximum-length frame given
+// the oscillator drift, or must the defense resynchronize more often?
+type BitClock struct {
+	// BitTime is the nominal bit duration (e.g. 2µs at 500 kbit/s).
+	BitTime time.Duration
+	// SamplePoint is the target sampling position within the bit, as a
+	// fraction in (0,1).
+	SamplePoint float64
+	// DriftPPM is the oscillator drift in parts per million. Positive means
+	// the local clock runs fast (samples creep earlier in later bits).
+	DriftPPM float64
+	// FudgeFactor is the constant time consumed by the frame-reset work at
+	// SOF before the timer restarts; the first interrupt is scheduled this
+	// much earlier to compensate (Sec. IV-C).
+	FudgeFactor time.Duration
+	// ResetError is any residual error of the fudge-factor compensation
+	// (positive = first sample lands late by this much).
+	ResetError time.Duration
+}
+
+// ErrBadSamplePoint indicates a sample point outside (0,1).
+var ErrBadSamplePoint = errors.New("mcu: sample point must be in (0,1)")
+
+// SampleOffset returns the position, as a fraction of the bit time, at which
+// bit n (0 = first bit after the hard sync at SOF) is sampled. The hard sync
+// zeroes accumulated jitter; afterwards each bit accrues DriftPPM of error.
+func (c *BitClock) SampleOffset(n int) (float64, error) {
+	if c.SamplePoint <= 0 || c.SamplePoint >= 1 {
+		return 0, ErrBadSamplePoint
+	}
+	drift := c.DriftPPM * 1e-6 * float64(n+1)
+	resid := 0.0
+	if c.BitTime > 0 {
+		resid = float64(c.ResetError) / float64(c.BitTime)
+	}
+	return c.SamplePoint + resid - drift, nil
+}
+
+// MaxSafeBits returns how many consecutive bits can be sampled after a hard
+// sync before the sample point leaves the safe window [margin, 1-margin] of
+// the bit. A CAN frame is at most ~130 wire bits, so a return value above
+// that means the defense stays synchronized for any single frame.
+func (c *BitClock) MaxSafeBits(margin float64) (int, error) {
+	if c.SamplePoint <= 0 || c.SamplePoint >= 1 {
+		return 0, ErrBadSamplePoint
+	}
+	n := 0
+	for {
+		off, err := c.SampleOffset(n)
+		if err != nil {
+			return n, err
+		}
+		if off < margin || off > 1-margin {
+			return n, nil
+		}
+		n++
+		if n > 1_000_000 {
+			return n, nil // effectively unbounded
+		}
+	}
+}
+
+// FirstInterruptDelay returns the delay from the SOF edge to the first timer
+// interrupt: one sample point into the bit, minus the fudge factor that
+// accounts for the frame-reset work (Sec. IV-C: 1.4µs minus the fudge factor
+// at 500 kbit/s).
+func (c *BitClock) FirstInterruptDelay() time.Duration {
+	d := time.Duration(float64(c.BitTime)*c.SamplePoint) - c.FudgeFactor
+	if d < 0 {
+		return 0
+	}
+	return d
+}

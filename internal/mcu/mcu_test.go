@@ -1,0 +1,303 @@
+package mcu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"michican/internal/can"
+)
+
+func TestPinMuxDefaults(t *testing.T) {
+	p := NewPinMux()
+	if p.TXEnabled() {
+		t.Error("CAN_TX must start released")
+	}
+	if p.DriveLevel() != can.Recessive {
+		t.Error("released pin must not drive the bus")
+	}
+	if p.ReadRX() != can.Recessive {
+		t.Error("idle bus reads recessive")
+	}
+}
+
+func TestPinMuxPullLowRequiresEnable(t *testing.T) {
+	p := NewPinMux()
+	p.PullLow()
+	if p.DriveLevel() != can.Recessive {
+		t.Error("PullLow without EnableTX must be a no-op")
+	}
+	p.EnableTX()
+	p.PullLow()
+	if p.DriveLevel() != can.Dominant {
+		t.Error("enabled+pulled pin must drive dominant")
+	}
+	p.DisableTX()
+	if p.TXEnabled() {
+		t.Error("DisableTX must release the pin")
+	}
+	if p.DriveLevel() != can.Recessive {
+		t.Error("released pin drives recessive")
+	}
+}
+
+func TestPinMuxEnableCount(t *testing.T) {
+	p := NewPinMux()
+	p.EnableTX()
+	p.EnableTX() // already enabled; not a new counterattack
+	p.DisableTX()
+	p.EnableTX()
+	if p.TxEnableCount != 2 {
+		t.Errorf("TxEnableCount = %d, want 2", p.TxEnableCount)
+	}
+}
+
+func TestPinMuxLatchRead(t *testing.T) {
+	p := NewPinMux()
+	p.LatchRX(can.Dominant)
+	if p.ReadRX() != can.Dominant {
+		t.Error("latched level not visible on ReadRX")
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	m := NewMeter(ArduinoDue)
+	m.Charge(OpISREnterExit)
+	m.Charge(OpReadRX)
+	m.EndInvocation()
+	want := ArduinoDue.CostISR + ArduinoDue.CostReadRX
+	if m.TotalCycles() != want {
+		t.Errorf("TotalCycles = %d, want %d", m.TotalCycles(), want)
+	}
+	if m.Invocations() != 1 {
+		t.Errorf("Invocations = %d", m.Invocations())
+	}
+	if m.MaxCyclesPerBit() != want {
+		t.Errorf("MaxCyclesPerBit = %d, want %d", m.MaxCyclesPerBit(), want)
+	}
+}
+
+func TestMeterUtilization(t *testing.T) {
+	m := NewMeter(Profile{Name: "test", ClockHz: 1_000_000, CostISR: 10})
+	// 1 MHz clock, 1 kbit/s bus: 1000 cycles per bit.
+	for i := 0; i < 100; i++ {
+		m.Charge(OpISREnterExit) // 10 cycles per bit
+		m.EndInvocation()
+	}
+	got := m.Utilization(100, 1000)
+	if got < 0.0099 || got > 0.0101 {
+		t.Errorf("Utilization = %f, want 0.01", got)
+	}
+	if m.Utilization(0, 1000) != 0 {
+		t.Error("zero elapsed must yield zero utilization")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(ArduinoDue)
+	m.Charge(OpReadRX)
+	m.EndInvocation()
+	m.Reset()
+	if m.TotalCycles() != 0 || m.Invocations() != 0 || m.MeanCyclesPerBit() != 0 {
+		t.Error("Reset must clear accumulators")
+	}
+}
+
+func TestFSMStepCostGrowsWithStates(t *testing.T) {
+	small := ArduinoDue.FSMStepCost(10)
+	large := ArduinoDue.FSMStepCost(1000)
+	if large <= small {
+		t.Errorf("FSM cost must grow with state count: %d vs %d", small, large)
+	}
+}
+
+func TestProfileCyclesPerBit(t *testing.T) {
+	// 84 MHz at 125 kbit/s = 672 cycles per bit.
+	if got := ArduinoDue.CyclesPerBit(125_000); got != 672 {
+		t.Errorf("CyclesPerBit = %v, want 672", got)
+	}
+	if ArduinoDue.CyclesPerBit(0) != 0 {
+		t.Error("zero rate must not divide")
+	}
+}
+
+func TestFitsBitTimeReproducesDueLimit(t *testing.T) {
+	// The paper: the Due is reliable at 125 kbit/s but not above. A handler
+	// with a representative vehicle-bus FSM (~300 states) must fit at 125k
+	// and fail at 250k.
+	worst := ArduinoDue.CostISR + ArduinoDue.CostReadRX + ArduinoDue.CostStuffTrack +
+		ArduinoDue.CostFrameStore + ArduinoDue.FSMStepCost(300)
+	if !ArduinoDue.FitsBitTime(worst, 125_000) {
+		t.Errorf("worst-case handler (%d cycles) should fit a 125 kbit/s bit time", worst)
+	}
+	if ArduinoDue.FitsBitTime(worst, 250_000) {
+		t.Errorf("worst-case handler (%d cycles) should NOT fit a 250 kbit/s bit time", worst)
+	}
+	// The S32K144 runs 500 kbit/s (Sec. VI-B).
+	worstNXP := NXPS32K144.CostISR + NXPS32K144.CostReadRX + NXPS32K144.CostStuffTrack +
+		NXPS32K144.CostFrameStore + NXPS32K144.FSMStepCost(300)
+	if !NXPS32K144.FitsBitTime(worstNXP, 500_000) {
+		t.Errorf("S32K144 worst case (%d cycles) should fit a 500 kbit/s bit time", worstNXP)
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.Name == "" || p.ClockHz == 0 || p.CostISR == 0 {
+			t.Errorf("profile %+v incomplete", p)
+		}
+		for _, op := range []Op{OpISREnterExit, OpReadRX, OpStuffTrack, OpFrameStore,
+			OpCounterattack, OpIdleTrack, OpFrameReset, OpFSMStep} {
+			if p.Cost(op) <= 0 {
+				t.Errorf("%s: op %v has non-positive cost", p.Name, op)
+			}
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpISREnterExit, OpReadRX, OpStuffTrack, OpFrameStore, OpFSMStep,
+		OpCounterattack, OpIdleTrack, OpFrameReset}
+	seen := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Errorf("op %d has empty or duplicate name %q", op, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBitClockSampleOffset(t *testing.T) {
+	c := &BitClock{BitTime: 2 * time.Microsecond, SamplePoint: 0.70}
+	off, err := c.SampleOffset(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0.70 {
+		t.Errorf("zero-drift sample offset = %f, want 0.70", off)
+	}
+}
+
+func TestBitClockDriftDirection(t *testing.T) {
+	c := &BitClock{BitTime: 2 * time.Microsecond, SamplePoint: 0.70, DriftPPM: 100}
+	o0, _ := c.SampleOffset(0)
+	o100, _ := c.SampleOffset(100)
+	if o100 >= o0 {
+		t.Error("positive drift must move samples earlier over time")
+	}
+}
+
+func TestBitClockBadSamplePoint(t *testing.T) {
+	c := &BitClock{BitTime: time.Microsecond, SamplePoint: 1.5}
+	if _, err := c.SampleOffset(0); !errors.Is(err, ErrBadSamplePoint) {
+		t.Error("bad sample point accepted")
+	}
+	if _, err := c.MaxSafeBits(0.1); !errors.Is(err, ErrBadSamplePoint) {
+		t.Error("bad sample point accepted by MaxSafeBits")
+	}
+}
+
+func TestBitClockStaysSyncedForOneFrame(t *testing.T) {
+	// Crystal oscillators are ≤100 ppm; a hard sync at SOF must keep the
+	// sample point within the bit for a full maximum-length frame (~130 wire
+	// bits) — the property MichiCAN's synchronization design relies on.
+	c := &BitClock{BitTime: 2 * time.Microsecond, SamplePoint: 0.70, DriftPPM: 100}
+	n, err := c.MaxSafeBits(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 130 {
+		t.Errorf("only %d bits safe at 100 ppm; a full frame needs ≥130", n)
+	}
+}
+
+func TestBitClockExtremeDriftFails(t *testing.T) {
+	// A 10,000 ppm (1%) oscillator cannot hold sync for a frame — this is
+	// why resynchronization exists at all.
+	c := &BitClock{BitTime: 2 * time.Microsecond, SamplePoint: 0.70, DriftPPM: 10_000}
+	n, err := c.MaxSafeBits(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= 130 {
+		t.Errorf("1%% drift should lose sync within a frame, lasted %d bits", n)
+	}
+}
+
+func TestFirstInterruptDelay(t *testing.T) {
+	c := &BitClock{
+		BitTime:     2 * time.Microsecond,
+		SamplePoint: 0.70,
+		FudgeFactor: 200 * time.Nanosecond,
+	}
+	// Sec. IV-C: at 500 kbit/s the first interrupt fires at 1.4µs minus the
+	// fudge factor.
+	if got, want := c.FirstInterruptDelay(), 1200*time.Nanosecond; got != want {
+		t.Errorf("FirstInterruptDelay = %v, want %v", got, want)
+	}
+	c.FudgeFactor = 10 * time.Microsecond
+	if c.FirstInterruptDelay() != 0 {
+		t.Error("delay must clamp at zero")
+	}
+}
+
+func TestResetErrorShiftsSamples(t *testing.T) {
+	c := &BitClock{
+		BitTime:     2 * time.Microsecond,
+		SamplePoint: 0.70,
+		ResetError:  200 * time.Nanosecond,
+	}
+	off, err := c.SampleOffset(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off <= 0.70 {
+		t.Errorf("positive reset error must delay samples: %f", off)
+	}
+}
+
+func TestMeterClassifiedLoads(t *testing.T) {
+	// 1 MHz clock, 1 kbit/s bus: 1000 cycles per bit.
+	p := Profile{Name: "t", ClockHz: 1_000_000, CostISR: 100, CostIdleTrack: 100,
+		CostStuffTrack: 300, CostFSMBase: 50, CostFSMPerState: 1}
+	m := NewMeter(p)
+	// 10 idle bits at 200 cycles, 10 active bits at 400 cycles.
+	for i := 0; i < 10; i++ {
+		m.Charge(OpISREnterExit)
+		m.Charge(OpIdleTrack)
+		m.EndInvocationAs(false)
+	}
+	for i := 0; i < 10; i++ {
+		m.Charge(OpISREnterExit)
+		m.Charge(OpStuffTrack)
+		m.EndInvocationAs(true)
+	}
+	if got := m.IdleLoad(1000); got != 0.2 {
+		t.Errorf("IdleLoad = %f, want 0.2", got)
+	}
+	if got := m.ActiveLoad(1000); got != 0.4 {
+		t.Errorf("ActiveLoad = %f, want 0.4", got)
+	}
+	if got := m.CombinedLoad(1000); got < 0.2999 || got > 0.3001 {
+		t.Errorf("CombinedLoad = %f, want 0.3", got)
+	}
+	if got := m.MeanCyclesPerBit(); got != 300 {
+		t.Errorf("MeanCyclesPerBit = %f, want 300", got)
+	}
+	// FSM step charging: 50 + 1*100 = 150 cycles.
+	m.Reset()
+	m.ChargeFSMStep(100)
+	m.EndInvocationAs(true)
+	if m.TotalCycles() != 150 {
+		t.Errorf("FSM step cycles = %d, want 150", m.TotalCycles())
+	}
+	// Zero-rate and empty-class guards.
+	empty := NewMeter(p)
+	if empty.IdleLoad(1000) != 0 || empty.ActiveLoad(1000) != 0 || empty.MeanCyclesPerBit() != 0 {
+		t.Error("empty meter loads must be zero")
+	}
+	if m.IdleLoad(0) != 0 || m.ActiveLoad(0) != 0 {
+		t.Error("zero rate loads must be zero")
+	}
+}

@@ -1,0 +1,147 @@
+package parrot
+
+import (
+	"testing"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+	"michican/internal/trace"
+)
+
+func TestParrotDetectsAfterCompleteFrame(t *testing.T) {
+	b := bus.New(bus.Rate50k)
+	d := New(Config{Name: "parrot", OwnID: 0x173})
+	b.Attach(d)
+	witness := controller.New(controller.Config{Name: "w", AutoRecover: true})
+	b.Attach(witness)
+
+	spoofer := controller.New(controller.Config{Name: "spoofer", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x173, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(200)
+	if d.Stats().Detections != 1 {
+		t.Fatalf("detections = %d, want 1 (after the complete first instance)", d.Stats().Detections)
+	}
+	// The first instance got through untouched — Parrot's inherent latency.
+	if spoofer.Stats().TxSuccess != 1 {
+		t.Errorf("first spoofed frame should complete, success=%d", spoofer.Stats().TxSuccess)
+	}
+	if !d.Counterattacking() {
+		t.Error("counterattack should be armed after detection")
+	}
+}
+
+func TestParrotIgnoresOtherIDs(t *testing.T) {
+	b := bus.New(bus.Rate50k)
+	d := New(Config{Name: "parrot", OwnID: 0x173})
+	b.Attach(d)
+	other := controller.New(controller.Config{Name: "o", AutoRecover: true})
+	b.Attach(other)
+	if err := other.Enqueue(can.Frame{ID: 0x200, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(200)
+	if d.Stats().Detections != 0 || d.Counterattacking() {
+		t.Error("Parrot reacted to a foreign ID")
+	}
+}
+
+func TestParrotBusesOffPersistentSpoofer(t *testing.T) {
+	b := bus.New(bus.Rate50k)
+	d := New(Config{Name: "parrot", OwnID: 0x173})
+	b.Attach(d)
+	witness := controller.New(controller.Config{Name: "w", AutoRecover: true})
+	b.Attach(witness)
+	att := attack.NewFabrication("spoofer", 0x173, []byte{0xFF, 0xFF, 0xFF, 0xFF}, 0)
+	b.Attach(att)
+
+	if !b.RunUntil(func() bool { return att.Controller().State() == controller.BusOff }, 30_000) {
+		t.Fatalf("spoofer never bused off (TEC=%d, parrot TEC=%d, collisions=%d)",
+			att.Controller().TEC(), d.Controller().TEC(), d.Stats().Collisions)
+	}
+	if d.Controller().State() == controller.BusOff {
+		t.Error("Parrot itself must survive the counterattack")
+	}
+	if d.Stats().Collisions == 0 {
+		t.Error("bus-off without collisions is impossible for Parrot")
+	}
+	t.Logf("spoofer bused off after %d bits; parrot TEC=%d, collisions=%d, flood frames=%d",
+		b.Now(), d.Controller().TEC(), d.Stats().Collisions, d.Stats().FloodFrames)
+}
+
+func TestParrotFloodSaturatesBus(t *testing.T) {
+	// Sec. V-E: during the counterattack the bus load approaches 97.7%.
+	b := bus.New(bus.Rate50k)
+	rec := trace.NewRecorder()
+	b.AttachTap(rec)
+	d := New(Config{Name: "parrot", OwnID: 0x173, QuietFrames: 1 << 30}) // never stand down
+	b.Attach(d)
+	witness := controller.New(controller.Config{Name: "w", AutoRecover: true})
+	b.Attach(witness)
+
+	// One complete spoof instance arms the flood, then the spoofer goes
+	// silent; Parrot keeps flooding.
+	spoofer := controller.New(controller.Config{Name: "s", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x173, Data: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(200 * time.Millisecond)
+
+	events := trace.Decode(rec.Bits(), rec.Start())
+	load := trace.Load(events, int64(rec.Len()))
+	if load < 0.90 {
+		t.Errorf("flood bus load = %.1f%%, want ≳90%% (paper: ≈97.7%%)", load*100)
+	}
+	t.Logf("Parrot counterattack bus load: %.1f%%", load*100)
+}
+
+func TestParrotStandsDownAfterQuiet(t *testing.T) {
+	b := bus.New(bus.Rate50k)
+	d := New(Config{Name: "parrot", OwnID: 0x173, QuietFrames: 4})
+	b.Attach(d)
+	witness := controller.New(controller.Config{Name: "w", AutoRecover: true})
+	b.Attach(witness)
+	spoofer := controller.New(controller.Config{Name: "s", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x173, Data: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(100 * time.Millisecond)
+	if d.Counterattacking() {
+		t.Error("Parrot should stand down after uncontested flood frames")
+	}
+	if d.Stats().FloodFrames < 4 {
+		t.Errorf("flood frames = %d, want ≥ QuietFrames", d.Stats().FloodFrames)
+	}
+}
+
+func TestParrotStarvesBenignTrafficDuringFlood(t *testing.T) {
+	// The cost Table I charges Parrot for: its counterattack blocks the
+	// whole bus, unlike MichiCAN's 7-bit pull.
+	b := bus.New(bus.Rate50k)
+	d := New(Config{Name: "parrot", OwnID: 0x050, QuietFrames: 1 << 30})
+	b.Attach(d)
+	benign := controller.New(controller.Config{Name: "benign", AutoRecover: true})
+	b.Attach(benign)
+	spoofer := controller.New(controller.Config{Name: "s", AutoRecover: true})
+	b.Attach(spoofer)
+	if err := spoofer.Enqueue(can.Frame{ID: 0x050, Data: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(20 * time.Millisecond) // flood armed and running
+	// Now benign traffic with a LOWER priority than the flood ID tries to go
+	// out repeatedly.
+	if err := benign.Enqueue(can.Frame{ID: 0x400, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(100 * time.Millisecond)
+	if benign.Stats().TxSuccess != 0 {
+		t.Errorf("lower-priority frame got through Parrot's flood (%d)", benign.Stats().TxSuccess)
+	}
+}

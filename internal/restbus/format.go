@@ -1,0 +1,126 @@
+package restbus
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"michican/internal/can"
+)
+
+// Text format for communication matrices, in the spirit of the OpenDBC
+// files the paper consults (Sec. IV-A, V-F). One message per line:
+//
+//	# vehicle: 2017 Pacifica bus: body
+//	message 0x260 PAM dlc=8 period=20ms
+//
+// The third field is the transmitting ECU (overridable with tx=); dlc
+// defaults to 8 and period to 100ms. Comments (#) and blank lines are
+// ignored; the header comment is optional.
+//
+// ErrBadMatrix indicates a syntax or semantic error in a matrix file.
+var ErrBadMatrix = errors.New("restbus: bad matrix file")
+
+// ParseMatrix reads a communication matrix in the text format.
+func ParseMatrix(r io.Reader) (*Matrix, error) {
+	m := &Matrix{}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	seen := make(map[can.ID]bool)
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseHeaderComment(m, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "message" {
+			return nil, fmt.Errorf("%w: line %d: want \"message <id> <name> ...\"", ErrBadMatrix, lineNo)
+		}
+		idv, err := strconv.ParseUint(fields[1], 0, 16)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: id: %v", ErrBadMatrix, lineNo, err)
+		}
+		id := can.ID(idv)
+		if !id.Valid() {
+			return nil, fmt.Errorf("%w: line %d: id %#x exceeds 11 bits", ErrBadMatrix, lineNo, idv)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: line %d: duplicate id %s", ErrBadMatrix, lineNo, id)
+		}
+		seen[id] = true
+		msg := Message{ID: id, Transmitter: fields[2], DLC: 8, Period: 100 * time.Millisecond}
+		for _, attr := range fields[3:] {
+			key, value, ok := strings.Cut(attr, "=")
+			if !ok {
+				return nil, fmt.Errorf("%w: line %d: attribute %q", ErrBadMatrix, lineNo, attr)
+			}
+			switch key {
+			case "dlc":
+				dlc, err := strconv.Atoi(value)
+				if err != nil || dlc < 0 || dlc > can.MaxDataLen {
+					return nil, fmt.Errorf("%w: line %d: dlc %q", ErrBadMatrix, lineNo, value)
+				}
+				msg.DLC = dlc
+			case "period":
+				p, err := time.ParseDuration(value)
+				if err != nil || p <= 0 {
+					return nil, fmt.Errorf("%w: line %d: period %q", ErrBadMatrix, lineNo, value)
+				}
+				msg.Period = p
+			case "tx":
+				msg.Transmitter = value
+			default:
+				return nil, fmt.Errorf("%w: line %d: unknown attribute %q", ErrBadMatrix, lineNo, key)
+			}
+		}
+		m.Messages = append(m.Messages, msg)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.Messages) == 0 {
+		return nil, fmt.Errorf("%w: no messages", ErrBadMatrix)
+	}
+	// Keep ascending ID order (Matrix invariant).
+	for i := 1; i < len(m.Messages); i++ {
+		for j := i; j > 0 && m.Messages[j-1].ID > m.Messages[j].ID; j-- {
+			m.Messages[j-1], m.Messages[j] = m.Messages[j], m.Messages[j-1]
+		}
+	}
+	return m, nil
+}
+
+// parseHeaderComment extracts "# vehicle: X bus: Y" metadata when present.
+func parseHeaderComment(m *Matrix, line string) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	if v, rest, ok := strings.Cut(body, "bus:"); ok {
+		if name, ok := strings.CutPrefix(strings.TrimSpace(v), "vehicle:"); ok {
+			m.Vehicle = strings.TrimSpace(name)
+		}
+		m.Bus = strings.TrimSpace(rest)
+	} else if name, ok := strings.CutPrefix(body, "vehicle:"); ok {
+		m.Vehicle = strings.TrimSpace(name)
+	}
+}
+
+// FormatMatrix renders a matrix in the text format; ParseMatrix inverts it.
+func FormatMatrix(m *Matrix) string {
+	var b strings.Builder
+	if m.Vehicle != "" || m.Bus != "" {
+		fmt.Fprintf(&b, "# vehicle: %s bus: %s\n", m.Vehicle, m.Bus)
+	}
+	for _, msg := range m.Messages {
+		fmt.Fprintf(&b, "message %s %s dlc=%d period=%s\n",
+			msg.ID, msg.Transmitter, msg.DLC, msg.Period)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package restbus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleMatrix = `
+# vehicle: TestCar bus: body
+
+message 0x260 PAM dlc=8 period=20ms
+message 0x100 ECM dlc=4 period=10ms
+message 0x300 BCM
+`
+
+func TestParseMatrix(t *testing.T) {
+	m, err := ParseMatrix(strings.NewReader(sampleMatrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vehicle != "TestCar" || m.Bus != "body" {
+		t.Errorf("header = %q/%q", m.Vehicle, m.Bus)
+	}
+	if len(m.Messages) != 3 {
+		t.Fatalf("messages = %d", len(m.Messages))
+	}
+	// Sorted ascending.
+	if m.Messages[0].ID != 0x100 || m.Messages[1].ID != 0x260 || m.Messages[2].ID != 0x300 {
+		t.Errorf("order = %v %v %v", m.Messages[0].ID, m.Messages[1].ID, m.Messages[2].ID)
+	}
+	if m.Messages[0].DLC != 4 || m.Messages[0].Period != 10*time.Millisecond || m.Messages[0].Transmitter != "ECM" {
+		t.Errorf("message 0x100 = %+v", m.Messages[0])
+	}
+	// Defaults.
+	if m.Messages[2].DLC != 8 || m.Messages[2].Period != 100*time.Millisecond {
+		t.Errorf("defaults = %+v", m.Messages[2])
+	}
+}
+
+func TestParseMatrixTxOverride(t *testing.T) {
+	m, err := ParseMatrix(strings.NewReader("message 0x10 NAME tx=REAL dlc=2 period=1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Messages[0].Transmitter != "REAL" {
+		t.Errorf("tx = %q", m.Messages[0].Transmitter)
+	}
+}
+
+func TestParseMatrixErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"not a message", "frame 0x10 A\n"},
+		{"too few fields", "message 0x10\n"},
+		{"bad id", "message zz A\n"},
+		{"id too large", "message 0x800 A\n"},
+		{"duplicate id", "message 0x10 A\nmessage 0x10 B\n"},
+		{"bad dlc", "message 0x10 A dlc=9\n"},
+		{"negative dlc", "message 0x10 A dlc=-1\n"},
+		{"bad period", "message 0x10 A period=fast\n"},
+		{"zero period", "message 0x10 A period=0s\n"},
+		{"unknown attr", "message 0x10 A color=red\n"},
+		{"malformed attr", "message 0x10 A dlc\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseMatrix(strings.NewReader(tt.in)); !errors.Is(err, ErrBadMatrix) {
+				t.Errorf("want ErrBadMatrix, got %v", err)
+			}
+		})
+	}
+}
+
+func TestFormatParseMatrixRoundTrip(t *testing.T) {
+	for _, v := range Vehicles() {
+		for _, m := range Buses(v) {
+			text := FormatMatrix(m)
+			got, err := ParseMatrix(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Vehicle, m.Bus, err)
+			}
+			if got.Vehicle != m.Vehicle || got.Bus != m.Bus {
+				t.Errorf("header lost: %q/%q", got.Vehicle, got.Bus)
+			}
+			if len(got.Messages) != len(m.Messages) {
+				t.Fatalf("message count %d != %d", len(got.Messages), len(m.Messages))
+			}
+			for i := range m.Messages {
+				if got.Messages[i] != m.Messages[i] {
+					t.Fatalf("message %d: %+v != %+v", i, got.Messages[i], m.Messages[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package restbus
+
+import (
+	"math/rand"
+	"time"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+)
+
+// ReplayStats summarizes a replayer's delivery performance.
+type ReplayStats struct {
+	// Enqueued counts message instances scheduled.
+	Enqueued int
+	// Transmitted counts instances that made it onto the bus.
+	Transmitted int
+	// DeadlineMisses counts instances whose predecessor was still pending
+	// when the next period arrived (the instance is dropped, as a real
+	// mailbox overwrite would).
+	DeadlineMisses int
+	// MissByID breaks deadline misses down per message ID.
+	MissByID map[can.ID]int
+	// MaxLatencyBits is the worst observed queueing+transmission latency per
+	// message ID, in bit times (enqueue to successful transmission) — the
+	// empirical counterpart of the sched package's response-time analysis.
+	MaxLatencyBits map[can.ID]int64
+}
+
+// Replayer injects a matrix's periodic traffic onto the bus through a single
+// compliant controller — the paper's PCAN-USB restbus node. It implements
+// bus.Node.
+type Replayer struct {
+	ctl   *controller.Controller
+	rate  bus.Rate
+	items []schedItem
+	stats ReplayStats
+	// outstanding[id] is true while an instance of id awaits transmission.
+	outstanding map[can.ID]bool
+	// enqueuedAt[id] is the bit time the pending instance was queued.
+	enqueuedAt map[can.ID]bus.BitTime
+}
+
+type schedItem struct {
+	msg        Message
+	periodBits int64
+	nextDue    bus.BitTime
+	seq        byte
+}
+
+var _ bus.Node = (*Replayer)(nil)
+
+// NewReplayer creates a restbus node for the matrix at the given bus rate.
+// The rng, when non-nil, staggers the initial phase of each message (real
+// ECUs do not boot in phase); a nil rng starts everything at time zero.
+func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replayer {
+	r := &Replayer{
+		rate:        rate,
+		items:       make([]schedItem, 0, len(m.Messages)),
+		outstanding: make(map[can.ID]bool, len(m.Messages)),
+		enqueuedAt:  make(map[can.ID]bus.BitTime, len(m.Messages)),
+	}
+	r.ctl = controller.New(controller.Config{
+		Name:                name,
+		AutoRecover:         true,
+		SortQueueByPriority: true,
+		OnTransmit: func(t bus.BitTime, f can.Frame) {
+			r.stats.Transmitted++
+			if r.outstanding[f.ID] {
+				lat := int64(t - r.enqueuedAt[f.ID] + 1)
+				if r.stats.MaxLatencyBits == nil {
+					r.stats.MaxLatencyBits = make(map[can.ID]int64)
+				}
+				if lat > r.stats.MaxLatencyBits[f.ID] {
+					r.stats.MaxLatencyBits[f.ID] = lat
+				}
+			}
+			r.outstanding[f.ID] = false
+		},
+	})
+	for _, msg := range m.Messages {
+		period := rate.Bits(msg.Period)
+		if period < 1 {
+			period = 1
+		}
+		item := schedItem{msg: msg, periodBits: period}
+		if rng != nil {
+			item.nextDue = bus.BitTime(rng.Int63n(period))
+		}
+		r.items = append(r.items, item)
+	}
+	return r
+}
+
+// Controller exposes the replayer's protocol controller.
+func (r *Replayer) Controller() *controller.Controller { return r.ctl }
+
+// Stats returns a copy of the delivery statistics.
+func (r *Replayer) Stats() ReplayStats { return r.stats }
+
+// Drive implements bus.Node.
+func (r *Replayer) Drive(t bus.BitTime) can.Level { return r.ctl.Drive(t) }
+
+// Observe implements bus.Node: due messages are enqueued, then the
+// controller advances one bit.
+func (r *Replayer) Observe(t bus.BitTime, level can.Level) {
+	for i := range r.items {
+		item := &r.items[i]
+		if t < item.nextDue {
+			continue
+		}
+		item.nextDue = t + bus.BitTime(item.periodBits)
+		if r.outstanding[item.msg.ID] {
+			// The previous instance never got out: deadline missed; the
+			// fresh instance replaces it logically (we keep the queued
+			// frame — its payload is stale but its slot is reused).
+			r.stats.DeadlineMisses++
+			if r.stats.MissByID == nil {
+				r.stats.MissByID = make(map[can.ID]int)
+			}
+			r.stats.MissByID[item.msg.ID]++
+			continue
+		}
+		item.seq++
+		data := make([]byte, item.msg.DLC)
+		if item.msg.DLC > 0 {
+			data[0] = item.seq
+		}
+		if err := r.ctl.Enqueue(can.Frame{ID: item.msg.ID, Data: data}); err == nil {
+			r.stats.Enqueued++
+			r.outstanding[item.msg.ID] = true
+			r.enqueuedAt[item.msg.ID] = t
+		}
+	}
+	r.ctl.Observe(t, level)
+}
+
+// MissRate returns the fraction of scheduled instances that missed their
+// deadline.
+func (r *Replayer) MissRate() float64 {
+	total := r.stats.Enqueued + r.stats.DeadlineMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.stats.DeadlineMisses) / float64(total)
+}
+
+// PeriodOf returns the configured period for an ID, or zero when the matrix
+// does not carry it.
+func (r *Replayer) PeriodOf(id can.ID) time.Duration {
+	for _, item := range r.items {
+		if item.msg.ID == id {
+			return item.msg.Period
+		}
+	}
+	return 0
+}

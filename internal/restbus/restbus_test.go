@@ -1,0 +1,189 @@
+package restbus
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+func TestBusesDeterministic(t *testing.T) {
+	a := Buses(VehD)
+	b := Buses(VehD)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("each vehicle has two buses, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Messages) != len(b[i].Messages) {
+			t.Fatalf("bus %d not deterministic", i)
+		}
+		for j := range a[i].Messages {
+			if a[i].Messages[j] != b[i].Messages[j] {
+				t.Fatalf("bus %d message %d differs across generations", i, j)
+			}
+		}
+	}
+}
+
+func TestMatricesWellFormed(t *testing.T) {
+	for _, v := range Vehicles() {
+		for _, m := range Buses(v) {
+			seen := make(map[can.ID]bool)
+			lastID := can.ID(0)
+			for i, msg := range m.Messages {
+				if !msg.ID.Valid() {
+					t.Errorf("%s/%s: invalid ID %v", m.Vehicle, m.Bus, msg.ID)
+				}
+				if seen[msg.ID] {
+					t.Errorf("%s/%s: duplicate ID %v", m.Vehicle, m.Bus, msg.ID)
+				}
+				seen[msg.ID] = true
+				if i > 0 && msg.ID < lastID {
+					t.Errorf("%s/%s: not sorted", m.Vehicle, m.Bus)
+				}
+				lastID = msg.ID
+				if msg.DLC < 0 || msg.DLC > 8 {
+					t.Errorf("%s/%s: DLC %d", m.Vehicle, m.Bus, msg.DLC)
+				}
+				if msg.Period <= 0 {
+					t.Errorf("%s/%s: period %v", m.Vehicle, m.Bus, msg.Period)
+				}
+				if msg.Transmitter == "" {
+					t.Errorf("%s/%s: missing transmitter", m.Vehicle, m.Bus)
+				}
+			}
+		}
+	}
+}
+
+func TestVehiclesDiffer(t *testing.T) {
+	a := Buses(VehA)[0]
+	d := Buses(VehD)[0]
+	same := len(a.Messages) == len(d.Messages)
+	if same {
+		for i := range a.Messages {
+			if a.Messages[i].ID != d.Messages[i].ID {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different vehicles must have different matrices")
+	}
+}
+
+func TestMatrixLoadRealistic(t *testing.T) {
+	// Sec. V-E cites 40% observed bus load in real vehicles and 80% as the
+	// recommended ceiling. On a 500 kbit/s powertrain bus our matrices must
+	// land in a plausible band.
+	for _, v := range Vehicles() {
+		m := Buses(v)[0]
+		load := m.Load(bus.Rate500k)
+		if load < 0.10 || load > 0.80 {
+			t.Errorf("%s powertrain load at 500k = %.1f%%, want within [10%%, 80%%]",
+				v, load*100)
+		}
+	}
+}
+
+func TestMatrixLoadScalesWithRate(t *testing.T) {
+	m := Buses(VehD)[0]
+	if m.Load(bus.Rate250k) <= m.Load(bus.Rate500k) {
+		t.Error("halving the bus speed must increase the load")
+	}
+	if m.Load(0) != 0 {
+		t.Error("zero rate must not divide")
+	}
+}
+
+func TestMinPeriod(t *testing.T) {
+	m := &Matrix{Messages: []Message{
+		{ID: 1, Period: 100 * time.Millisecond},
+		{ID: 2, Period: 10 * time.Millisecond},
+	}}
+	if m.MinPeriod() != 10*time.Millisecond {
+		t.Errorf("MinPeriod = %v", m.MinPeriod())
+	}
+	empty := &Matrix{}
+	if empty.MinPeriod() != 0 {
+		t.Error("empty matrix MinPeriod should be 0")
+	}
+}
+
+func TestReplayerDeliversTraffic(t *testing.T) {
+	m := &Matrix{Vehicle: "test", Bus: "t", Messages: []Message{
+		{ID: 0x100, Transmitter: "E1", DLC: 8, Period: 10 * time.Millisecond},
+		{ID: 0x200, Transmitter: "E2", DLC: 4, Period: 20 * time.Millisecond},
+	}}
+	b := bus.New(bus.Rate500k)
+	r := NewReplayer("restbus", m, bus.Rate500k, nil)
+	b.Attach(r)
+	// An acknowledging peer so transmissions complete.
+	peer := NewReplayer("peer", &Matrix{}, bus.Rate500k, nil)
+	b.Attach(peer)
+
+	b.RunFor(100 * time.Millisecond)
+	st := r.Stats()
+	// 100ms: ~10 instances of 0x100 and ~5 of 0x200.
+	if st.Transmitted < 13 || st.Transmitted > 17 {
+		t.Errorf("transmitted %d frames, want ≈15", st.Transmitted)
+	}
+	if st.DeadlineMisses != 0 {
+		t.Errorf("unexpected deadline misses on an idle bus: %d", st.DeadlineMisses)
+	}
+	if r.MissRate() != 0 {
+		t.Errorf("miss rate %f", r.MissRate())
+	}
+}
+
+func TestReplayerDeadlineMissesUnderDoS(t *testing.T) {
+	// A traditional DoS flood starves the restbus: deadline misses must
+	// accumulate.
+	m := &Matrix{Vehicle: "test", Bus: "t", Messages: []Message{
+		{ID: 0x100, Transmitter: "E1", DLC: 8, Period: 10 * time.Millisecond},
+	}}
+	b := bus.New(bus.Rate500k)
+	r := NewReplayer("restbus", m, bus.Rate500k, nil)
+	b.Attach(r)
+	b.Attach(attack.NewTraditionalDoS("flood"))
+
+	b.RunFor(200 * time.Millisecond)
+	if r.Stats().DeadlineMisses == 0 {
+		t.Error("DoS flood should cause deadline misses")
+	}
+	if r.MissRate() <= 0.3 {
+		t.Errorf("miss rate %f under continuous flood, want > 0.3", r.MissRate())
+	}
+}
+
+func TestReplayerStaggeredStart(t *testing.T) {
+	m := Buses(VehD)[0]
+	b := bus.New(bus.Rate500k)
+	r := NewReplayer("restbus", m, bus.Rate500k, rand.New(rand.NewSource(1)))
+	b.Attach(r)
+	peer := NewReplayer("peer", &Matrix{}, bus.Rate500k, nil)
+	b.Attach(peer)
+	b.RunFor(200 * time.Millisecond)
+	st := r.Stats()
+	if st.Transmitted == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	if r.MissRate() > 0.05 {
+		t.Errorf("healthy bus miss rate %f, want ~0", r.MissRate())
+	}
+}
+
+func TestPeriodOf(t *testing.T) {
+	m := &Matrix{Messages: []Message{{ID: 0x42, DLC: 1, Period: time.Second}}}
+	r := NewReplayer("r", m, bus.Rate500k, nil)
+	if r.PeriodOf(0x42) != time.Second {
+		t.Error("PeriodOf known ID wrong")
+	}
+	if r.PeriodOf(0x43) != 0 {
+		t.Error("PeriodOf unknown ID must be 0")
+	}
+}

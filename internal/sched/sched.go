@@ -1,0 +1,198 @@
+// Package sched implements the classical CAN schedulability analysis of
+// Davis, Burns, Bril & Lukkien ("Controller Area Network (CAN)
+// schedulability analysis: Refuted, revisited and revised", Real-Time
+// Systems 35, 2007) — the paper's reference [49] and the source of its
+// deadline arguments: the 10 ms minimum deadline that bounds the tolerable
+// bus-off time (Sec. V-C) and the harmlessness of miscellaneous attacks
+// (Sec. IV-A).
+//
+// The analysis computes, for every periodic message of a communication
+// matrix, its worst-case transmission time C, blocking from lower-priority
+// traffic B, and worst-case response time R via the standard fixed-point
+// iteration. A message set is schedulable when every R stays within its
+// deadline (here: the period, the usual implicit-deadline assumption).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/restbus"
+)
+
+// FrameTimeBits returns the worst-case on-wire length of a base-format data
+// frame with s payload bytes: the 34+8s stuffable bits, the maximum
+// ⌊(34+8s−1)/4⌋ stuff bits, and the 13-bit fixed trailer (CRC delimiter,
+// ACK, ACK delimiter, EOF, intermission). For s = 8 this is the classic 135
+// bit times.
+func FrameTimeBits(dataLen int) int {
+	stuffable := 34 + 8*dataLen
+	maxStuff := (stuffable - 1) / 4
+	return stuffable + maxStuff + 13
+}
+
+// Result is the analysis outcome for one message.
+type Result struct {
+	// ID is the message identifier (priority).
+	ID can.ID
+	// C is the worst-case transmission time.
+	C time.Duration
+	// B is the blocking time: the longest lower-priority frame that may
+	// occupy the bus when the message becomes ready.
+	B time.Duration
+	// R is the worst-case response time (queueing + transmission).
+	R time.Duration
+	// Deadline is the implicit deadline (the period).
+	Deadline time.Duration
+	// Schedulable reports R ≤ Deadline.
+	Schedulable bool
+}
+
+// String renders the result row.
+func (r Result) String() string {
+	verdict := "ok"
+	if !r.Schedulable {
+		verdict = "MISSES DEADLINE"
+	}
+	return fmt.Sprintf("%s C=%v B=%v R=%v D=%v %s", r.ID, r.C, r.B, r.R, r.Deadline, verdict)
+}
+
+// Errors returned by Analyze.
+var (
+	// ErrEmptyMatrix indicates a matrix without messages.
+	ErrEmptyMatrix = errors.New("sched: empty matrix")
+	// ErrOverUtilized indicates total utilization ≥ 1: the fixed point
+	// cannot converge for at least one message.
+	ErrOverUtilized = errors.New("sched: bus utilization ≥ 100%")
+)
+
+// Utilization returns the worst-case bus utilization of the matrix at the
+// given rate: Σ C_m / T_m.
+func Utilization(m *restbus.Matrix, rate bus.Rate) float64 {
+	u := 0.0
+	for _, msg := range m.Messages {
+		if msg.Period <= 0 {
+			continue
+		}
+		c := float64(FrameTimeBits(msg.DLC)) / float64(rate)
+		u += c / msg.Period.Seconds()
+	}
+	return u
+}
+
+// Analyze runs the response-time analysis over the matrix at the given bus
+// rate, assuming priority equals the CAN ID (lower wins) and implicit
+// deadlines (deadline = period). Results come back in ascending ID order.
+func Analyze(m *restbus.Matrix, rate bus.Rate) ([]Result, error) {
+	if m == nil || len(m.Messages) == 0 {
+		return nil, ErrEmptyMatrix
+	}
+	if Utilization(m, rate) >= 1 {
+		return nil, fmt.Errorf("%w: %.1f%%", ErrOverUtilized, Utilization(m, rate)*100)
+	}
+	msgs := make([]restbus.Message, len(m.Messages))
+	copy(msgs, m.Messages)
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].ID < msgs[j].ID })
+
+	bit := rate.BitDuration()
+	cOf := func(msg restbus.Message) time.Duration {
+		return time.Duration(FrameTimeBits(msg.DLC)) * bit
+	}
+
+	results := make([]Result, 0, len(msgs))
+	for i, msg := range msgs {
+		c := cOf(msg)
+		// Blocking: the longest lower-priority frame already on the wire.
+		var b time.Duration
+		for _, lp := range msgs[i+1:] {
+			if blk := cOf(lp); blk > b {
+				b = blk
+			}
+		}
+		// Fixed-point iteration for the queueing delay w:
+		//   w = B + Σ_{hp} ⌈(w + τ_bit) / T_k⌉ · C_k
+		w := b
+		for iter := 0; iter < 10_000; iter++ {
+			next := b
+			for _, hp := range msgs[:i] {
+				interf := (w + bit + hp.Period - 1) / hp.Period
+				next += time.Duration(interf) * cOf(hp)
+			}
+			if next == w {
+				break
+			}
+			w = next
+			if w > 10*msg.Period && msg.Period > 0 {
+				break // diverging well past the deadline; report as miss
+			}
+		}
+		r := Result{
+			ID:       msg.ID,
+			C:        c,
+			B:        b,
+			R:        w + c,
+			Deadline: msg.Period,
+		}
+		r.Schedulable = r.R <= r.Deadline
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Schedulable reports whether every message of the matrix meets its
+// deadline at the given rate.
+func Schedulable(m *restbus.Matrix, rate bus.Rate) (bool, error) {
+	results, err := Analyze(m, rate)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range results {
+		if !r.Schedulable {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MaxBusOffBudget returns, for a matrix, the largest bus occupation (in bit
+// times) that an exceptional episode — such as a MichiCAN bus-off campaign —
+// may add without any message missing its implicit deadline, assuming the
+// episode behaves like top-priority interference. This generalizes the
+// paper's 5000-bit rule of thumb (10 ms at 500 kbit/s, Sec. V-C).
+func MaxBusOffBudget(m *restbus.Matrix, rate bus.Rate) (int64, error) {
+	results, err := Analyze(m, rate)
+	if err != nil {
+		return 0, err
+	}
+	bit := rate.BitDuration()
+	budget := int64(1 << 62)
+	for _, r := range results {
+		slack := r.Deadline - r.R
+		if slack < 0 {
+			return 0, nil
+		}
+		if b := int64(slack / bit); b < budget {
+			budget = b
+		}
+	}
+	return budget, nil
+}
+
+// FrameTimeBitsFD returns the worst-case on-wire length of a base-format
+// CAN FD frame (constant bit rate) with an s-byte payload: the dynamically
+// stuffable region (22 + 8s bits) with its maximum stuff bits, the
+// fixed-stuff-protected stuff-count and CRC field (27 bits for CRC-17, 32
+// for CRC-21), and the 13-bit trailer.
+func FrameTimeBitsFD(dataLen int) int {
+	stuffable := 22 + 8*dataLen
+	maxStuff := (stuffable - 1) / 4
+	crcField := 27 // FSB + 4 SC + (FSB + 4)×4 CRC-17 bits = 6 FSB + 21
+	if dataLen > 16 {
+		crcField = 32 // 7 FSB + 25
+	}
+	return stuffable + maxStuff + crcField + 13
+}

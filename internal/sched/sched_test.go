@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/restbus"
+)
+
+func TestFrameTimeBitsClassicValues(t *testing.T) {
+	// The canonical worst-case lengths from the CAN literature: 135 bit
+	// times for an 8-byte frame, 55 for a 0-byte frame.
+	if got := FrameTimeBits(8); got != 135 {
+		t.Errorf("FrameTimeBits(8) = %d, want 135", got)
+	}
+	if got := FrameTimeBits(0); got != 55 {
+		t.Errorf("FrameTimeBits(0) = %d, want 55", got)
+	}
+	// Monotone in the payload.
+	for s := 1; s <= 8; s++ {
+		if FrameTimeBits(s) <= FrameTimeBits(s-1) {
+			t.Errorf("not monotone at %d", s)
+		}
+	}
+}
+
+func TestFrameTimeBitsUpperBoundsEncoder(t *testing.T) {
+	// The analytic worst case must dominate every actual encoding (+IFS).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		dlc := rng.Intn(9)
+		f := can.Frame{ID: can.ID(rng.Intn(2048))}
+		if dlc > 0 {
+			f.Data = make([]byte, dlc)
+			rng.Read(f.Data)
+		}
+		actual := can.WireLen(&f) + can.IFSBits
+		if actual > FrameTimeBits(dlc) {
+			t.Fatalf("frame %s: actual %d bits > analytic bound %d", f.String(), actual, FrameTimeBits(dlc))
+		}
+	}
+	// All-dominant payloads maximize stuffing; the bound must still hold
+	// and be reasonably tight.
+	f := can.Frame{ID: 0x000, Data: make([]byte, 8)}
+	actual := can.WireLen(&f) + can.IFSBits
+	if actual > FrameTimeBits(8) {
+		t.Fatalf("worst stuffing case %d > bound %d", actual, FrameTimeBits(8))
+	}
+}
+
+func testMatrix() *restbus.Matrix {
+	return &restbus.Matrix{Vehicle: "t", Bus: "t", Messages: []restbus.Message{
+		{ID: 0x100, Transmitter: "A", DLC: 8, Period: 10 * time.Millisecond},
+		{ID: 0x200, Transmitter: "B", DLC: 8, Period: 20 * time.Millisecond},
+		{ID: 0x300, Transmitter: "C", DLC: 4, Period: 50 * time.Millisecond},
+	}}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	res, err := Analyze(testMatrix(), bus.Rate500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// Ascending priority order; R grows down the priority order.
+	for i := 1; i < len(res); i++ {
+		if res[i].ID < res[i-1].ID {
+			t.Fatal("results not sorted")
+		}
+	}
+	// The highest-priority message suffers only blocking: R = B + C.
+	if res[0].R != res[0].B+res[0].C {
+		t.Errorf("top priority R = %v, want B+C = %v", res[0].R, res[0].B+res[0].C)
+	}
+	// The lowest-priority message has no blocking (nothing below it).
+	if res[2].B != 0 {
+		t.Errorf("lowest priority B = %v, want 0", res[2].B)
+	}
+	for _, r := range res {
+		if !r.Schedulable {
+			t.Errorf("%v unschedulable on a lightly loaded bus", r.ID)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(&restbus.Matrix{}, bus.Rate500k); !errors.Is(err, ErrEmptyMatrix) {
+		t.Error("empty matrix accepted")
+	}
+	over := &restbus.Matrix{Messages: []restbus.Message{
+		{ID: 0x100, DLC: 8, Period: 200 * time.Microsecond}, // 135 bits per 200µs at 500k = 135%...
+	}}
+	if _, err := Analyze(over, bus.Rate500k); !errors.Is(err, ErrOverUtilized) {
+		t.Error("overutilized matrix accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := Utilization(testMatrix(), bus.Rate500k)
+	// 135/0.01 + 135/0.02 + 103/0.05 bits/s over 500k ≈ 4.5%.
+	if u < 0.03 || u > 0.06 {
+		t.Errorf("utilization = %.3f", u)
+	}
+	if Utilization(testMatrix(), bus.Rate50k) <= u {
+		t.Error("slower bus must raise utilization")
+	}
+}
+
+func TestVehicleMatricesSchedulable(t *testing.T) {
+	// The synthetic vehicle matrices must be schedulable at their native
+	// 500 kbit/s — otherwise they would not be realistic vehicle buses.
+	for _, v := range restbus.Vehicles() {
+		for _, m := range restbus.Buses(v) {
+			ok, err := Schedulable(m, bus.Rate500k)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Vehicle, m.Bus, err)
+			}
+			if !ok {
+				t.Errorf("%s/%s not schedulable at 500k", m.Vehicle, m.Bus)
+			}
+		}
+	}
+}
+
+func TestPaperDeadlineBudget(t *testing.T) {
+	// Sec. V-C reasons with a 10 ms deadline = 5000 bits at 500 kbit/s. A
+	// lightly loaded matrix whose fastest message has a 10 ms period must
+	// yield a bus-off budget near (but below) 5000 bits.
+	budget, err := MaxBusOffBudget(testMatrix(), bus.Rate500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget < 3500 || budget > 5000 {
+		t.Errorf("budget = %d bits, expected a bit under the 5000-bit rule of thumb", budget)
+	}
+	t.Logf("bus-off budget for the test matrix: %d bits (paper's rule of thumb: 5000)", budget)
+}
+
+// TestAnalysisUpperBoundsSimulation is the validation the analysis exists
+// for: simulate the matrix with one independent node per message and verify
+// that every observed latency stays within the analytic worst case.
+func TestAnalysisUpperBoundsSimulation(t *testing.T) {
+	matrix := testMatrix()
+	res, err := Analyze(matrix, bus.Rate500k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := make(map[can.ID]int64, len(res))
+	bit := bus.Rate500k.BitDuration()
+	for _, r := range res {
+		bound[r.ID] = int64(r.R / bit)
+	}
+
+	b := bus.New(bus.Rate500k)
+	replayers := make([]*restbus.Replayer, 0, len(matrix.Messages))
+	for _, msg := range matrix.Messages {
+		one := &restbus.Matrix{Messages: []restbus.Message{msg}}
+		r := restbus.NewReplayer(msg.Transmitter, one, bus.Rate500k, rand.New(rand.NewSource(int64(msg.ID))))
+		replayers = append(replayers, r)
+		b.Attach(r)
+	}
+	b.RunFor(2 * time.Second)
+
+	for _, r := range replayers {
+		st := r.Stats()
+		if st.Transmitted == 0 {
+			t.Fatal("no traffic")
+		}
+		if st.DeadlineMisses != 0 {
+			t.Errorf("%v: unexpected deadline misses", st.MissByID)
+		}
+		for id, lat := range st.MaxLatencyBits {
+			if lat > bound[id] {
+				t.Errorf("%s: observed latency %d bits exceeds analytic bound %d", id, lat, bound[id])
+			}
+		}
+	}
+}
+
+func TestFrameTimeBitsFDUpperBoundsEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 8, 12, 16, 20, 32, 48, 64} {
+		for trial := 0; trial < 50; trial++ {
+			f := can.Frame{ID: can.ID(rng.Intn(2048)), FD: true}
+			if n > 0 {
+				f.Data = make([]byte, n)
+				rng.Read(f.Data)
+			}
+			actual := can.WireLen(&f) + can.IFSBits
+			if actual > FrameTimeBitsFD(n) {
+				t.Fatalf("FD len=%d: actual %d > bound %d", n, actual, FrameTimeBitsFD(n))
+			}
+		}
+		// All-dominant payload maximizes dynamic stuffing.
+		f := can.Frame{ID: 0x000, FD: true, Data: make([]byte, n)}
+		actual := can.WireLen(&f) + can.IFSBits
+		if actual > FrameTimeBitsFD(n) {
+			t.Fatalf("FD worst stuffing len=%d: %d > %d", n, actual, FrameTimeBitsFD(n))
+		}
+	}
+	// An FD frame carries up to 64 bytes in one arbitration slot: the bound
+	// must still beat eight separate classical frames.
+	if FrameTimeBitsFD(64) >= 8*FrameTimeBits(8) {
+		t.Errorf("FD-64 (%d bits) should undercut 8 classical frames (%d bits)",
+			FrameTimeBitsFD(64), 8*FrameTimeBits(8))
+	}
+}

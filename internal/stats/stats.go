@@ -1,0 +1,183 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness needs: streaming mean/variance (Welford), min/max, percentiles,
+// and fixed-width histograms.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming summary statistics over float64 samples
+// using Welford's algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest sample (0 with no samples).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Summary is a value snapshot of an Accumulator.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+}
+
+// Summarize snapshots the accumulator.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{N: a.n, Mean: a.Mean(), StdDev: a.StdDev(), Min: a.Min(), Max: a.Max()}
+}
+
+// Merge combines two accumulators into one covering both sample sets, using
+// the parallel variance formula of Chan et al. Useful for fan-out/fan-in
+// experiment workers.
+func Merge(a, b Accumulator) Accumulator {
+	if a.n == 0 {
+		return b
+	}
+	if b.n == 0 {
+		return a
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	out := Accumulator{
+		n:    n,
+		mean: a.mean + delta*float64(b.n)/float64(n),
+		m2:   a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n),
+		min:  a.min,
+		max:  a.max,
+	}
+	if b.min < out.min {
+		out.min = b.min
+	}
+	if b.max > out.max {
+		out.max = b.max
+	}
+	return out
+}
+
+// ErrNoSamples indicates a percentile query on an empty data set.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of the samples using
+// linear interpolation between closest ranks. The input is not modified.
+func Percentile(samples []float64, p float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); samples outside
+// the range land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []int
+	Underflow int
+	Overflow  int
+}
+
+// NewHistogram creates a histogram with n buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || hi <= lo {
+		return nil, errors.New("stats: histogram needs n > 0 and hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i == len(h.Buckets) {
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Underflow + h.Overflow
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}

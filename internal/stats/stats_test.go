@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %f, want 5", a.Mean())
+	}
+	// Population σ of this classic data set is 2; sample σ = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(a.StdDev()-want) > 1e-12 {
+		t.Errorf("StdDev = %f, want %f", a.StdDev(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %f/%f", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.StdDev() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Error("empty accumulator must read zero")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(42)
+	if a.Mean() != 42 || a.StdDev() != 0 || a.Min() != 42 || a.Max() != 42 {
+		t.Error("single-sample statistics wrong")
+	}
+}
+
+// TestWelfordMatchesNaive: the streaming computation agrees with the
+// two-pass formula.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%50 + 2
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			a.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		variance := varSum / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(3)
+	s := a.Summarize()
+	if s.N != 2 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {200, 5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("P%.0f = %f, want %f", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrNoSamples) {
+		t.Error("empty percentile must fail")
+	}
+	if got, _ := Percentile([]float64{7}, 50); got != 7 {
+		t.Error("single-sample percentile")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	if _, err := Percentile(in, 50); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[4] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("degenerate range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, whole Accumulator
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 40; i++ {
+		x := rng.NormFloat64() * 10
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	m := Merge(a, b)
+	if m.N() != whole.N() {
+		t.Fatalf("N = %d", m.N())
+	}
+	if math.Abs(m.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("mean %f vs %f", m.Mean(), whole.Mean())
+	}
+	if math.Abs(m.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("variance %f vs %f", m.Variance(), whole.Variance())
+	}
+	if m.Min() != whole.Min() || m.Max() != whole.Max() {
+		t.Errorf("min/max %f/%f vs %f/%f", m.Min(), m.Max(), whole.Min(), whole.Max())
+	}
+	// Identity with the empty accumulator.
+	var empty Accumulator
+	if got := Merge(empty, a); got.N() != a.N() || got.Mean() != a.Mean() {
+		t.Error("merge with empty left operand")
+	}
+	if got := Merge(a, empty); got.N() != a.N() || got.Mean() != a.Mean() {
+		t.Error("merge with empty right operand")
+	}
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"michican/internal/can"
+)
+
+// FormatBits renders a recorded level sequence as '0'/'1' characters (0 =
+// dominant), wrapped at the given width (0 = single line). This is the
+// interchange format between michican-sim and candump.
+func FormatBits(bits []can.Level, width int) string {
+	var b strings.Builder
+	for i, l := range bits {
+		if width > 0 && i > 0 && i%width == 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('0' + byte(l))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ParseBits parses a '0'/'1' dump back into levels. Whitespace is ignored;
+// any other character is an error.
+func ParseBits(s string) ([]can.Level, error) {
+	out := make([]can.Level, 0, len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+			out = append(out, can.Dominant)
+		case '1':
+			out = append(out, can.Recessive)
+		case ' ', '\t', '\n', '\r':
+		default:
+			return nil, fmt.Errorf("trace: invalid character %q at offset %d", r, i)
+		}
+	}
+	return out, nil
+}

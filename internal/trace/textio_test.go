@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"michican/internal/can"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		bits := make([]can.Level, len(raw))
+		for i, b := range raw {
+			if b {
+				bits[i] = can.Recessive
+			}
+		}
+		out, err := ParseBits(FormatBits(bits, 40))
+		if err != nil || len(out) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if out[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatBitsWrapping(t *testing.T) {
+	bits := make([]can.Level, 10)
+	s := FormatBits(bits, 4)
+	if s != "0000\n0000\n00\n" {
+		t.Errorf("wrapped output = %q", s)
+	}
+	if FormatBits(bits, 0) != "0000000000\n" {
+		t.Error("unwrapped output wrong")
+	}
+}
+
+func TestParseBitsIgnoresWhitespace(t *testing.T) {
+	got, err := ParseBits(" 0 1\n0\t1\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []can.Level{can.Dominant, can.Recessive, can.Dominant, can.Recessive}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bit %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestParseBitsRejectsGarbage(t *testing.T) {
+	if _, err := ParseBits("0102"); err == nil {
+		t.Error("invalid character accepted")
+	}
+}

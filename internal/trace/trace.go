@@ -1,0 +1,253 @@
+// Package trace is the simulation's logic analyzer (Sec. V-A): a passive bus
+// tap that records every resolved bit, plus decoders that reconstruct
+// frames, destroyed transmission attempts, and error episodes from the raw
+// bit stream. The evaluation harness uses it to measure bus-off times
+// (Table II), the Experiment-5 interleaving pattern (Fig. 6), and bus load
+// (Sec. V-E).
+package trace
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+// Recorder is a bus.Tap that stores the resolved level of every bit.
+type Recorder struct {
+	start bus.BitTime
+	bits  []can.Level
+	began bool
+}
+
+var _ bus.Tap = (*Recorder)(nil)
+
+// NewRecorder creates an empty recorder; attach it with Bus.AttachTap.
+func NewRecorder() *Recorder {
+	return &Recorder{bits: make([]can.Level, 0, 1<<16)}
+}
+
+// Bit implements bus.Tap.
+func (r *Recorder) Bit(t bus.BitTime, level can.Level) {
+	if !r.began {
+		r.start = t
+		r.began = true
+	}
+	r.bits = append(r.bits, level)
+}
+
+// Start returns the bit time of the first recorded bit.
+func (r *Recorder) Start() bus.BitTime { return r.start }
+
+// Len returns the number of recorded bits.
+func (r *Recorder) Len() int { return len(r.bits) }
+
+// Bits returns the recorded levels (shared storage; treat as read-only).
+func (r *Recorder) Bits() []can.Level { return r.bits }
+
+// EventKind distinguishes decoded bus episodes.
+type EventKind uint8
+
+const (
+	// FrameEvent is a complete, well-formed frame.
+	FrameEvent EventKind = iota + 1
+	// ErrorEvent is a transmission attempt destroyed by an error frame (the
+	// signature of a MichiCAN counterattack or any other bus error).
+	ErrorEvent
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case FrameEvent:
+		return "frame"
+	case ErrorEvent:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one decoded episode on the bus.
+type Event struct {
+	// Kind classifies the episode.
+	Kind EventKind
+	// Start is the bit time of the episode's SOF.
+	Start bus.BitTime
+	// End is the bit time of the episode's last busy bit (last EOF bit for
+	// frames; the last dominant bit of the error signalling for errors).
+	End bus.BitTime
+	// Frame is the decoded frame for FrameEvent.
+	Frame can.Frame
+	// ID is the identifier recovered from the arbitration field; valid for
+	// FrameEvent always and for ErrorEvent when IDComplete is true (the
+	// attempt survived past the ID field — true for MichiCAN counterattacks,
+	// which by design strike only after arbitration).
+	ID can.ID
+	// IDComplete reports whether all 11 ID bits were recovered.
+	IDComplete bool
+}
+
+// Bits returns the episode length in bits.
+func (e Event) Bits() int64 { return int64(e.End-e.Start) + 1 }
+
+// Decode reconstructs the episode sequence from a recorded bit stream that
+// begins at bit time start. The stream is assumed idle before its first bit
+// (true for recordings started before traffic, as in the experiments).
+func Decode(bits []can.Level, start bus.BitTime) []Event {
+	var events []Event
+	idle := can.IdleForSOF
+	i := 0
+	for i < len(bits) {
+		if bits[i] == can.Recessive {
+			idle++
+			i++
+			continue
+		}
+		if idle < can.IdleForSOF {
+			// Dominant without a preceding idle window: stray bits from a
+			// partially captured episode; skip.
+			idle = 0
+			i++
+			continue
+		}
+		idle = 0
+		ev, consumed := decodeEpisode(bits[i:], start+bus.BitTime(i))
+		events = append(events, ev)
+		i += consumed
+		if ev.Kind == FrameEvent {
+			// The consumed frame already ends with the recessive ACK
+			// delimiter plus 7 EOF bits; with the 3-bit intermission that
+			// satisfies the 11-recessive SOF rule, so back-to-back frames
+			// (3-bit gaps) decode correctly.
+			idle = 1 + can.EOFBits
+		}
+	}
+	return events
+}
+
+// decodeEpisode parses one episode starting at a SOF bit.
+func decodeEpisode(bits []can.Level, start bus.BitTime) (Event, int) {
+	if f, n, err := can.DecodeWire(bits); err == nil {
+		return Event{
+			Kind:       FrameEvent,
+			Start:      start,
+			End:        start + bus.BitTime(n) - 1,
+			Frame:      f,
+			ID:         f.ID,
+			IDComplete: true,
+		}, n
+	}
+	// Destroyed attempt: recover what we can of the ID, then consume
+	// through the error signalling until the bus has been recessive for a
+	// full inter-attempt gap (11 bits).
+	ev := Event{Kind: ErrorEvent, Start: start}
+	ev.ID, ev.IDComplete = partialID(bits)
+	lastBusy := 0
+	run := 0
+	n := 0
+	for n < len(bits) {
+		if bits[n] == can.Dominant {
+			lastBusy = n
+			run = 0
+		} else {
+			run++
+			if run >= can.IdleForSOF {
+				break
+			}
+		}
+		n++
+	}
+	ev.End = start + bus.BitTime(lastBusy)
+	consumed := lastBusy + 1
+	if consumed < 1 {
+		consumed = 1
+	}
+	return ev, consumed
+}
+
+// partialID destuffs the opening of an attempt and recovers the 11 ID bits
+// if they were all transmitted before the episode collapsed.
+func partialID(bits []can.Level) (can.ID, bool) {
+	var d can.Destuffer
+	d.Reset()
+	var id can.ID
+	got := 0
+	for i := 0; i < len(bits) && got < 1+can.IDBits; i++ {
+		payload, err := d.Next(bits[i])
+		if err != nil {
+			return 0, false
+		}
+		if !payload {
+			continue
+		}
+		if got > 0 { // skip SOF
+			id = id<<1 | can.ID(bits[i]&1)
+		}
+		got++
+	}
+	return id, got == 1+can.IDBits
+}
+
+// BusyBits returns the total number of bits covered by episodes.
+func BusyBits(events []Event) int64 {
+	var sum int64
+	for _, e := range events {
+		sum += e.Bits()
+	}
+	return sum
+}
+
+// Load returns the overall bus load of a recording: episode bits divided by
+// total recorded bits.
+func Load(events []Event, totalBits int64) float64 {
+	if totalBits == 0 {
+		return 0
+	}
+	return float64(BusyBits(events)) / float64(totalBits)
+}
+
+// WindowedLoad computes the bus load over consecutive windows of the given
+// width (in bits), for spike analysis (Sec. V-E: the counterattack causes a
+// short load spike around the bus-off episode).
+func WindowedLoad(bits []can.Level, events []Event, start bus.BitTime, window int) []float64 {
+	if window <= 0 || len(bits) == 0 {
+		return nil
+	}
+	busy := make([]bool, len(bits))
+	for _, e := range events {
+		for t := e.Start; t <= e.End; t++ {
+			i := int(t - start)
+			if i >= 0 && i < len(busy) {
+				busy[i] = true
+			}
+		}
+	}
+	n := (len(bits) + window - 1) / window
+	loads := make([]float64, n)
+	for w := 0; w < n; w++ {
+		lo := w * window
+		hi := lo + window
+		if hi > len(bits) {
+			hi = len(bits)
+		}
+		count := 0
+		for i := lo; i < hi; i++ {
+			if busy[i] {
+				count++
+			}
+		}
+		loads[w] = float64(count) / float64(hi-lo)
+	}
+	return loads
+}
+
+// AttemptsOf filters the error episodes whose recovered ID matches id — the
+// destroyed retransmissions of one attacker.
+func AttemptsOf(events []Event, id can.ID) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == ErrorEvent && e.IDComplete && e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+// Package vehicle models the on-vehicle test platform of Sec. V-F: a 2017
+// Chrysler Pacifica Hybrid whose ParkSense park-assist feature depends on a
+// set of CAN messages, a dashboard that declares the feature unavailable
+// when those messages stop arriving, and an OBD-II port through which both
+// the attack hardware and the MichiCAN dongle are connected.
+package vehicle
+
+import (
+	"time"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+	"michican/internal/restbus"
+)
+
+// ParkSense CAN geometry from the paper: the lowest CAN ID relevant to the
+// park-assist feature is 0x260, and the attack injects 0x25F — one below —
+// as a targeted DoS.
+const (
+	// ParkSenseLowestID is the highest-priority ParkSense message.
+	ParkSenseLowestID can.ID = 0x260
+	// AttackID is the ID the paper injects from the OBD-II port.
+	AttackID can.ID = 0x25F
+)
+
+// parkSenseIDs are the feature's messages (0x260 plus telemetry partners).
+var parkSenseIDs = []can.ID{0x260, 0x264, 0x26A}
+
+// Matrix returns the Pacifica's CAN communication matrix: general body/
+// powertrain traffic plus the ParkSense message set. Deterministic.
+func Matrix() *restbus.Matrix {
+	m := &restbus.Matrix{Vehicle: "2017 Chrysler Pacifica Hybrid", Bus: "body"}
+	// ParkSense messages: short periods, safety-relevant (automatic braking
+	// depends on them per the owner's manual quote in Sec. V-F).
+	for i, id := range parkSenseIDs {
+		m.Messages = append(m.Messages, restbus.Message{
+			ID:          id,
+			Transmitter: "PAM", // park-assist module
+			DLC:         8,
+			Period:      time.Duration(20*(i+1)) * time.Millisecond,
+		})
+	}
+	// Surrounding benign traffic above and below the ParkSense range.
+	other := []struct {
+		id     can.ID
+		period time.Duration
+		dlc    int
+	}{
+		{0x0F1, 10 * time.Millisecond, 8},
+		{0x140, 20 * time.Millisecond, 8},
+		{0x1A6, 50 * time.Millisecond, 6},
+		{0x2FA, 100 * time.Millisecond, 8},
+		{0x31C, 100 * time.Millisecond, 4},
+		{0x4E0, 200 * time.Millisecond, 8},
+		{0x5D2, 500 * time.Millisecond, 3},
+	}
+	for i, o := range other {
+		m.Messages = append(m.Messages, restbus.Message{
+			ID:          o.id,
+			Transmitter: "ECU-" + string(rune('A'+i)),
+			DLC:         o.dlc,
+			Period:      o.period,
+		})
+	}
+	// Keep ascending ID order.
+	for i := 1; i < len(m.Messages); i++ {
+		for j := i; j > 0 && m.Messages[j-1].ID > m.Messages[j].ID; j-- {
+			m.Messages[j-1], m.Messages[j] = m.Messages[j], m.Messages[j-1]
+		}
+	}
+	return m
+}
+
+// Status is the dashboard's view of the park-assist feature.
+type Status uint8
+
+const (
+	// Available means ParkSense telemetry is arriving on time.
+	Available Status = iota + 1
+	// Unavailable corresponds to the paper's observed cluster message
+	// "PARKSENSE UNAVAILABLE SERVICE REQUIRED".
+	Unavailable
+)
+
+// String renders the dashboard text.
+func (s Status) String() string {
+	if s == Unavailable {
+		return "PARKSENSE UNAVAILABLE SERVICE REQUIRED"
+	}
+	return "ParkSense available"
+}
+
+// Transition is one dashboard status change.
+type Transition struct {
+	At     bus.BitTime
+	Status Status
+}
+
+// Dashboard is the instrument cluster: a receiver that watches the primary
+// ParkSense message and declares the feature unavailable when it stops
+// arriving (the failure mode the paper triggers). It implements bus.Node.
+type Dashboard struct {
+	ctl         *controller.Controller
+	rate        bus.Rate
+	timeoutBits int64
+	lastSeen    bus.BitTime
+	status      Status
+	transitions []Transition
+	okRun       int
+}
+
+var _ bus.Node = (*Dashboard)(nil)
+
+// NewDashboard creates the cluster node. The feature times out after missing
+// roughly three periods of the primary ParkSense message.
+func NewDashboard(rate bus.Rate) *Dashboard {
+	d := &Dashboard{
+		rate:        rate,
+		timeoutBits: rate.Bits(3 * 20 * time.Millisecond),
+		status:      Available,
+	}
+	d.ctl = controller.New(controller.Config{
+		Name:        "cluster",
+		AutoRecover: true,
+		OnReceive: func(t bus.BitTime, f can.Frame) {
+			if f.ID == ParkSenseLowestID {
+				d.lastSeen = t
+				if d.status == Unavailable {
+					d.okRun++
+					if d.okRun >= 3 {
+						d.setStatus(t, Available)
+					}
+				}
+			}
+		},
+	})
+	return d
+}
+
+// Status returns the current dashboard status.
+func (d *Dashboard) Status() Status { return d.status }
+
+// Transitions returns the status history.
+func (d *Dashboard) Transitions() []Transition {
+	out := make([]Transition, len(d.transitions))
+	copy(out, d.transitions)
+	return out
+}
+
+func (d *Dashboard) setStatus(t bus.BitTime, s Status) {
+	if d.status == s {
+		return
+	}
+	d.status = s
+	d.okRun = 0
+	d.transitions = append(d.transitions, Transition{At: t, Status: s})
+}
+
+// Drive implements bus.Node.
+func (d *Dashboard) Drive(t bus.BitTime) can.Level { return d.ctl.Drive(t) }
+
+// Observe implements bus.Node: receive traffic and run the timeout watchdog.
+func (d *Dashboard) Observe(t bus.BitTime, level can.Level) {
+	d.ctl.Observe(t, level)
+	if d.status == Available && int64(t-d.lastSeen) > d.timeoutBits {
+		d.setStatus(t, Unavailable)
+	}
+}

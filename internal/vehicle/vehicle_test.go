@@ -1,0 +1,97 @@
+package vehicle
+
+import (
+	"testing"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/restbus"
+)
+
+func TestMatrixWellFormed(t *testing.T) {
+	m := Matrix()
+	if len(m.Messages) < 8 {
+		t.Fatalf("matrix too small: %d messages", len(m.Messages))
+	}
+	seen := map[can.ID]bool{}
+	last := can.ID(0)
+	for i, msg := range m.Messages {
+		if seen[msg.ID] {
+			t.Errorf("duplicate ID %v", msg.ID)
+		}
+		seen[msg.ID] = true
+		if i > 0 && msg.ID < last {
+			t.Error("matrix not sorted by ID")
+		}
+		last = msg.ID
+	}
+	for _, id := range []can.ID{0x260, 0x264, 0x26A} {
+		if !seen[id] {
+			t.Errorf("ParkSense ID %v missing", id)
+		}
+	}
+	if seen[AttackID] {
+		t.Error("the attack ID 0x25F must not be a legitimate message")
+	}
+}
+
+func TestAttackGeometry(t *testing.T) {
+	if AttackID != ParkSenseLowestID-1 {
+		t.Errorf("attack ID %v should sit one below the lowest ParkSense ID %v",
+			AttackID, ParkSenseLowestID)
+	}
+}
+
+func TestDashboardHealthy(t *testing.T) {
+	b := bus.New(bus.Rate50k)
+	b.Attach(restbus.NewReplayer("pacifica", Matrix(), bus.Rate50k, nil))
+	dash := NewDashboard(bus.Rate50k)
+	b.Attach(dash)
+	b.RunFor(500 * time.Millisecond)
+	if dash.Status() != Available {
+		t.Errorf("healthy vehicle dashboard = %v", dash.Status())
+	}
+	if len(dash.Transitions()) != 0 {
+		t.Errorf("unexpected transitions: %v", dash.Transitions())
+	}
+}
+
+func TestDashboardDegradesUnderDoS(t *testing.T) {
+	b := bus.New(bus.Rate50k)
+	b.Attach(restbus.NewReplayer("pacifica", Matrix(), bus.Rate50k, nil))
+	dash := NewDashboard(bus.Rate50k)
+	b.Attach(dash)
+	b.RunFor(200 * time.Millisecond)
+	b.Attach(attack.NewTargetedDoS("obd", AttackID))
+	b.RunFor(300 * time.Millisecond)
+	if dash.Status() != Unavailable {
+		t.Fatalf("dashboard = %v under DoS, want unavailable", dash.Status())
+	}
+	if got := dash.Status().String(); got != "PARKSENSE UNAVAILABLE SERVICE REQUIRED" {
+		t.Errorf("dashboard text = %q", got)
+	}
+}
+
+func TestDashboardRecovers(t *testing.T) {
+	b := bus.New(bus.Rate50k)
+	b.Attach(restbus.NewReplayer("pacifica", Matrix(), bus.Rate50k, nil))
+	dash := NewDashboard(bus.Rate50k)
+	b.Attach(dash)
+	att := attack.NewTargetedDoS("obd", AttackID)
+	b.RunFor(100 * time.Millisecond)
+	b.Attach(att)
+	b.RunFor(300 * time.Millisecond)
+	if dash.Status() != Unavailable {
+		t.Fatal("attack should degrade the dashboard first")
+	}
+	b.Detach(att)
+	b.RunFor(300 * time.Millisecond)
+	if dash.Status() != Available {
+		t.Error("dashboard should recover once the attack stops")
+	}
+	if len(dash.Transitions()) != 2 {
+		t.Errorf("transitions = %v, want unavailable→available", dash.Transitions())
+	}
+}
