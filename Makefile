@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench repro examples cover clean
+.PHONY: all build test vet bench bench-short race repro examples cover clean
 
 all: build vet test
 
@@ -18,6 +18,14 @@ test:
 # One testing.B per paper table/figure plus ablations and micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick smoke pass over every benchmark: one iteration each.
+bench-short:
+	$(GO) test -run '^$$' -bench=. -benchtime 1x ./...
+
+# Race-detector pass — exercises the parallel trial runner under -race.
+race:
+	$(GO) test -race ./...
 
 # Regenerate the paper's entire evaluation (Tables I-III, Fig. 6, all
 # studies) in one run.

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"michican/internal/bus"
@@ -24,26 +26,70 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate table 1, 2 or 3")
-		fig      = flag.Int("fig", 0, "regenerate figure 6")
-		exp      = flag.String("exp", "", "study: detection|sweep|multiattacker|cpu|busload|parksense|sched|split")
-		all      = flag.Bool("all", false, "regenerate everything")
-		duration = flag.Duration("duration", 2*time.Second, "recording length per run")
-		rate     = flag.Int("rate", 50_000, "bus speed in bit/s")
-		seed     = flag.Int64("seed", 1, "deterministic seed")
-		fsms     = flag.Int("fsms", 160_000, "random FSMs for the detection study")
+		table      = flag.Int("table", 0, "regenerate table 1, 2 or 3")
+		fig        = flag.Int("fig", 0, "regenerate figure 6")
+		exp        = flag.String("exp", "", "study: detection|sweep|multiattacker|cpu|busload|parksense|sched|split")
+		all        = flag.Bool("all", false, "regenerate everything")
+		duration   = flag.Duration("duration", 2*time.Second, "recording length per run")
+		rate       = flag.Int("rate", 50_000, "bus speed in bit/s")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		fsms       = flag.Int("fsms", 160_000, "random FSMs for the detection study")
+		workers    = flag.Int("workers", 0, "trial-runner pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
+		exact      = flag.Bool("exact", false, "force exact per-bit stepping (disable idle fast-forward)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
 	cfg := experiment.Config{
-		Rate:     bus.Rate(*rate),
-		Duration: *duration,
-		Seed:     *seed,
+		Rate:          bus.Rate(*rate),
+		Duration:      *duration,
+		Seed:          *seed,
+		Workers:       *workers,
+		ExactStepping: *exact,
 	}
-	if err := run(cfg, *table, *fig, *exp, *all, *fsms); err != nil {
+	if err := profiledRun(cfg, *table, *fig, *exp, *all, *fsms, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "michican-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// profiledRun wraps run with the pprof plumbing and the throughput summary,
+// so main can os.Exit without losing deferred profile writes.
+func profiledRun(cfg experiment.Config, table, fig int, exp string, all bool, fsms int, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	startBits := bus.SimulatedBits()
+	startWall := time.Now()
+	err := run(cfg, table, fig, exp, all, fsms)
+	wall := time.Since(startWall)
+	if simBits := bus.SimulatedBits() - startBits; simBits > 0 && wall > 0 {
+		fmt.Printf("\nsimulated %d bus bits in %v (%.1f Mbit/s of bus time per wall-clock second)\n",
+			simBits, wall.Round(time.Millisecond), float64(simBits)/wall.Seconds()/1e6)
+	}
+
+	if memprofile != "" {
+		f, ferr := os.Create(memprofile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		runtime.GC()
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			return ferr
+		}
+	}
+	return err
 }
 
 func run(cfg experiment.Config, table, fig int, exp string, all bool, fsms int) error {

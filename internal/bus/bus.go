@@ -94,6 +94,17 @@ type Bus struct {
 	now     BitTime
 	idleRun int
 	last    can.Level
+
+	// Idle fast-forward state (see quiesce.go). quiescent is parallel to
+	// nodes and ffTaps to taps, with nil entries for participants lacking
+	// the capability; pinned/tapPinned count those entries so the hot path
+	// can bail in O(1) without re-querying interfaces.
+	quiescent  []Quiescent
+	ffTaps     []TapFastForwarder
+	pinned     int
+	tapPinned  int
+	ffDisabled bool
+	ffSkipped  int64
 }
 
 // New creates an idle bus running at the given rate.
@@ -114,13 +125,27 @@ func (b *Bus) Elapsed() time.Duration { return b.rate.Duration(int64(b.now)) }
 // (e.g. plugging a device into the OBD-II port).
 func (b *Bus) Attach(n Node) {
 	b.nodes = append(b.nodes, n)
+	q, ok := n.(Quiescent)
+	b.quiescent = append(b.quiescent, q)
+	if !ok {
+		b.pinned++
+	}
 }
 
 // Detach removes a node from the bus. It reports whether the node was found.
 func (b *Bus) Detach(n Node) bool {
 	for i, node := range b.nodes {
 		if node == n {
-			b.nodes = append(b.nodes[:i], b.nodes[i+1:]...)
+			last := len(b.nodes) - 1
+			copy(b.nodes[i:], b.nodes[i+1:])
+			b.nodes[last] = nil // clear the stale tail so the node can be GC'd
+			b.nodes = b.nodes[:last]
+			if b.quiescent[i] == nil {
+				b.pinned--
+			}
+			copy(b.quiescent[i:], b.quiescent[i+1:])
+			b.quiescent[last] = nil
+			b.quiescent = b.quiescent[:last]
 			return true
 		}
 	}
@@ -130,6 +155,11 @@ func (b *Bus) Detach(n Node) bool {
 // AttachTap adds a passive observer.
 func (b *Bus) AttachTap(t Tap) {
 	b.taps = append(b.taps, t)
+	ft, ok := t.(TapFastForwarder)
+	b.ffTaps = append(b.ffTaps, ft)
+	if !ok {
+		b.tapPinned++
+	}
 }
 
 // Step advances the simulation by one nominal bit time and returns the
@@ -158,11 +188,19 @@ func (b *Bus) Step() can.Level {
 	return level
 }
 
-// Run advances the simulation by n bit times.
+// Run advances the simulation by n bit times, fast-forwarding through
+// stretches where every attached node and tap is quiescent (see quiesce.go).
 func (b *Bus) Run(n int64) {
-	for i := int64(0); i < n; i++ {
-		b.Step()
+	if n <= 0 {
+		return
 	}
+	end := b.now + BitTime(n)
+	for b.now < end {
+		if !b.tryFastForward(end) {
+			b.Step()
+		}
+	}
+	simulatedBits.Add(n)
 }
 
 // RunFor advances the simulation by the number of bit times equivalent to d
@@ -171,11 +209,19 @@ func (b *Bus) RunFor(d time.Duration) {
 	b.Run(b.rate.Bits(d))
 }
 
-// RunUntil steps the bus until the predicate returns true (checked after
-// each bit) or maxBits have elapsed. It reports whether the predicate fired.
+// RunUntil advances the bus until the predicate returns true or maxBits have
+// elapsed, and reports whether the predicate fired. The predicate is checked
+// after every exact step and after every quiescent jump; predicates must
+// therefore depend only on node state (which evolves identically on both
+// paths), not on the specific bit time at which they are polled.
 func (b *Bus) RunUntil(pred func() bool, maxBits int64) bool {
-	for i := int64(0); i < maxBits; i++ {
-		b.Step()
+	start := b.now
+	end := b.now + BitTime(maxBits)
+	defer func() { simulatedBits.Add(int64(b.now - start)) }()
+	for b.now < end {
+		if !b.tryFastForward(end) {
+			b.Step()
+		}
 		if pred() {
 			return true
 		}
@@ -195,13 +241,55 @@ func (b *Bus) Level() can.Level { return b.last }
 // in-vehicle network case (e.g. a 500 kbit/s powertrain bus bridged to a
 // 125 kbit/s body bus by a gateway). Buses may run at different rates; the
 // group always advances the bus whose simulated clock is furthest behind.
+//
+// The lagging bus is tracked with a binary min-heap keyed on (elapsed time,
+// attach order), so each Step costs O(log buses) instead of rescanning every
+// bus; the attach-order tie-break reproduces the first-wins selection of the
+// original linear scan exactly.
 type Group struct {
 	buses []*Bus
+	order []int // heap of indices into buses
 }
 
 // NewGroup creates a lockstep group over the given buses.
 func NewGroup(buses ...*Bus) *Group {
-	return &Group{buses: buses}
+	g := &Group{buses: buses, order: make([]int, len(buses))}
+	for i := range g.order {
+		g.order[i] = i
+	}
+	for i := len(g.order)/2 - 1; i >= 0; i-- {
+		g.siftDown(i)
+	}
+	return g
+}
+
+// lags reports whether bus index a orders strictly before bus index b:
+// less elapsed simulated time, with attach order breaking ties.
+func (g *Group) lags(a, b int) bool {
+	ea, eb := g.buses[a].Elapsed(), g.buses[b].Elapsed()
+	if ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+
+func (g *Group) siftDown(i int) {
+	n := len(g.order)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && g.lags(g.order[l], g.order[least]) {
+			least = l
+		}
+		if r < n && g.lags(g.order[r], g.order[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		g.order[i], g.order[least] = g.order[least], g.order[i]
+		i = least
+	}
 }
 
 // Step advances the bus with the smallest elapsed simulated time by one bit.
@@ -209,27 +297,22 @@ func (g *Group) Step() {
 	if len(g.buses) == 0 {
 		return
 	}
-	min := g.buses[0]
-	for _, b := range g.buses[1:] {
-		if b.Elapsed() < min.Elapsed() {
-			min = b
-		}
-	}
-	min.Step()
+	g.buses[g.order[0]].Step()
+	g.siftDown(0)
 }
 
 // RunFor advances every bus in the group to at least d of simulated time.
+// Because the heap root is always the furthest-behind bus, the group is done
+// exactly when the root has reached d — no per-bit rescan of all buses.
 func (g *Group) RunFor(d time.Duration) {
-	for {
-		done := true
-		for _, b := range g.buses {
-			if b.Elapsed() < d {
-				done = false
-			}
-		}
-		if done {
-			return
-		}
-		g.Step()
+	if len(g.buses) == 0 {
+		return
 	}
+	var stepped int64
+	for g.buses[g.order[0]].Elapsed() < d {
+		g.buses[g.order[0]].Step()
+		g.siftDown(0)
+		stepped++
+	}
+	simulatedBits.Add(stepped)
 }

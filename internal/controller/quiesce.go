@@ -1,0 +1,59 @@
+package controller
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+var _ bus.Quiescent = (*Controller)(nil)
+
+// QuiescentUntil implements bus.Quiescent. A controller is quiescent while
+// the recessive-bus assumption leaves it with nothing to do:
+//
+//   - idle with an empty transmit mailbox: forever (an Enqueue only happens
+//     at a Run-family boundary, where the bus re-queries the horizon);
+//   - bus-off without auto-recovery: forever (it ignores the wire);
+//   - bus-off with auto-recovery: up to but excluding the bit at which the
+//     128th 11-recessive-bit sequence completes, so the recovery transition
+//     (state change + callback) fires during an exact step at the correct
+//     bit time;
+//   - everything else — mid-frame, error signalling, intermission, suspend,
+//     or a pending SOF — advances per-bit state and pins exact stepping.
+func (c *Controller) QuiescentUntil(now bus.BitTime) bus.BitTime {
+	if c.driveNext == can.Dominant {
+		return now
+	}
+	switch c.phase {
+	case phaseIdle:
+		if c.queue.len() > 0 || c.pendingSOF {
+			return now
+		}
+		return bus.QuiescentForever
+	case phaseBusOff:
+		if !c.cfg.AutoRecover {
+			return bus.QuiescentForever
+		}
+		remaining := int64(RecoverySequences-c.recoverSeqs)*RecoveryIdleBits - int64(c.recoverRun)
+		if remaining <= 1 {
+			return now
+		}
+		return now + bus.BitTime(remaining-1)
+	default:
+		return now
+	}
+}
+
+// SkipIdle implements bus.Quiescent: account for to-from recessive bits in
+// one call, exactly as if Observe had seen each of them. Per-bit idle state
+// is the idle-run counter plus, during auto-recovery bus-off, the recovery
+// sequence counters; QuiescentUntil guarantees the skip never crosses the
+// recovery-completion bit, so no state transition can occur in here.
+func (c *Controller) SkipIdle(from, to bus.BitTime) {
+	n := int64(to - from)
+	c.idleRun += int(n)
+	if c.phase == phaseBusOff && c.cfg.AutoRecover {
+		total := int64(c.recoverRun) + n
+		c.recoverSeqs += int(total / RecoveryIdleBits)
+		c.recoverRun = int(total % RecoveryIdleBits)
+	}
+}

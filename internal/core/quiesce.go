@@ -1,0 +1,62 @@
+package core
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/mcu"
+)
+
+var (
+	_ bus.Quiescent = (*Defense)(nil)
+	_ bus.Quiescent = (*ECU)(nil)
+)
+
+// QuiescentUntil implements bus.Quiescent. During a recessive run the
+// defense's per-bit interrupt handler does a fixed amount of SOF-hunting
+// work whose cumulative effect (cnt_sof, meter charges) is a pure function
+// of the bit count, so an idle defense is quiescent forever; mid-frame or
+// mid-counterattack state pins exact stepping.
+func (d *Defense) QuiescentUntil(now bus.BitTime) bus.BitTime {
+	if d.mux.DriveLevel() == can.Dominant {
+		return now
+	}
+	if d.armed && d.inFrame {
+		return now
+	}
+	return bus.QuiescentForever
+}
+
+// SkipIdle implements bus.Quiescent: replay to-from recessive idle bits in
+// O(1). The CAN_RX latch ends at the recessive level it would have held, the
+// SOF counter advances by the run length, and the meter is charged for
+// exactly the idle invocations Algorithm 1 would have run — keeping the
+// Sec. V-D CPU-utilization numbers identical to exact stepping.
+func (d *Defense) SkipIdle(from, to bus.BitTime) {
+	d.mux.LatchRX(can.Recessive)
+	if !d.armed {
+		return
+	}
+	n := int64(to - from)
+	d.cntSOF += int(n)
+	d.meter.ChargeIdleInvocations(n, mcu.OpISREnterExit, mcu.OpReadRX, mcu.OpIdleTrack)
+}
+
+// QuiescentUntil implements bus.Quiescent: a defended ECU is quiescent only
+// while both its controller and its defense are.
+func (e *ECU) QuiescentUntil(now bus.BitTime) bus.BitTime {
+	h := e.Controller.QuiescentUntil(now)
+	if e.Defense != nil {
+		if hd := e.Defense.QuiescentUntil(now); hd < h {
+			h = hd
+		}
+	}
+	return h
+}
+
+// SkipIdle implements bus.Quiescent.
+func (e *ECU) SkipIdle(from, to bus.BitTime) {
+	e.Controller.SkipIdle(from, to)
+	if e.Defense != nil {
+		e.Defense.SkipIdle(from, to)
+	}
+}

@@ -3,8 +3,6 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"michican/internal/fsm"
 	"michican/internal/stats"
@@ -33,9 +31,46 @@ func (r DetectionResult) String() string {
 		r.FSMs, r.DetectionRate*100, r.MeanBits, r.StdBits, r.MaxBits, r.MeanFSMStates)
 }
 
+// detectionDraw is the outcome of evaluating one random FSM.
+type detectionDraw struct {
+	ok       bool
+	detected bool
+	meanBits float64
+	maxBits  int
+	states   float64
+}
+
+// runDetectionDraw evaluates one random FSM from its own derived seed.
+func runDetectionDraw(seed int64, maxECUs int) (detectionDraw, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nECUs := 2 + rng.Intn(maxECUs-1)
+	ivn, err := fsm.RandomIVN(rng, nECUs)
+	if err != nil {
+		return detectionDraw{}, err
+	}
+	ds, err := fsm.NewDetectionSet(ivn, rng.Intn(nECUs))
+	if err != nil {
+		return detectionDraw{}, err
+	}
+	machine := fsm.Build(ds)
+	st, err := machine.Stats(ds)
+	if err != nil {
+		// A miss would break the paper's 100% claim; count it (ok=false).
+		return detectionDraw{}, nil
+	}
+	return detectionDraw{
+		ok:       true,
+		detected: st.Detected > 0,
+		meanBits: st.MeanBits,
+		maxBits:  st.MaxBits,
+		states:   float64(machine.Size()),
+	}, nil
+}
+
 // DetectionLatency runs the Sec. V-B study over n random FSMs drawn from
-// IVNs of 2..maxECUs ECUs. It parallelizes across CPUs; results are
-// deterministic for a given seed.
+// IVNs of 2..maxECUs ECUs. The draws fan out over the trial runner with one
+// derived seed per draw and are folded in draw order, so the result is
+// identical regardless of worker count or CPU count.
 func DetectionLatency(n, maxECUs int, seed int64) (DetectionResult, error) {
 	if n <= 0 {
 		return DetectionResult{}, fmt.Errorf("experiment: need n > 0 FSMs")
@@ -43,75 +78,26 @@ func DetectionLatency(n, maxECUs int, seed int64) (DetectionResult, error) {
 	if maxECUs < 2 {
 		maxECUs = 64
 	}
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
+	draws, err := Map(n, 0, func(i int) (detectionDraw, error) {
+		return runDetectionDraw(DeriveSeed(seed, i), maxECUs)
+	})
+	if err != nil {
+		return DetectionResult{}, err
 	}
-	type partial struct {
-		acc    stats.Accumulator
-		states stats.Accumulator
-		ok     int
-		max    int
-		err    error
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := n * w / workers
-		hi := n * (w + 1) / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			p := &parts[w]
-			for i := lo; i < hi; i++ {
-				// Each FSM draw gets its own deterministic stream.
-				rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
-				nECUs := 2 + rng.Intn(maxECUs-1)
-				ivn, err := fsm.RandomIVN(rng, nECUs)
-				if err != nil {
-					p.err = err
-					return
-				}
-				idx := rng.Intn(nECUs)
-				ds, err := fsm.NewDetectionSet(ivn, idx)
-				if err != nil {
-					p.err = err
-					return
-				}
-				machine := fsm.Build(ds)
-				st, err := machine.Stats(ds)
-				if err != nil {
-					// A miss would break the paper's 100% claim; count it.
-					continue
-				}
-				p.ok++
-				if st.Detected > 0 {
-					p.acc.Add(st.MeanBits)
-					if st.MaxBits > p.max {
-						p.max = st.MaxBits
-					}
-				}
-				p.states.Add(float64(machine.Size()))
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
 	var acc, states stats.Accumulator
 	ok, max := 0, 0
-	for i := range parts {
-		if parts[i].err != nil {
-			return DetectionResult{}, parts[i].err
+	for _, d := range draws {
+		if !d.ok {
+			continue
 		}
-		ok += parts[i].ok
-		if parts[i].max > max {
-			max = parts[i].max
+		ok++
+		if d.detected {
+			acc.Add(d.meanBits)
+			if d.maxBits > max {
+				max = d.maxBits
+			}
 		}
-		// Merge by re-adding summaries is lossy for σ; instead re-accumulate
-		// from the partial means weighted by N. For σ across parts we fold
-		// the raw partial sums: Welford merge.
-		acc = mergeAccumulators(acc, parts[i].acc)
-		states = mergeAccumulators(states, parts[i].states)
+		states.Add(d.states)
 	}
 	return DetectionResult{
 		FSMs:          n,
@@ -121,10 +107,4 @@ func DetectionLatency(n, maxECUs int, seed int64) (DetectionResult, error) {
 		MaxBits:       max,
 		MeanFSMStates: states.Mean(),
 	}, nil
-}
-
-// mergeAccumulators combines two Welford accumulators (Chan et al. parallel
-// variance formula).
-func mergeAccumulators(a, b stats.Accumulator) stats.Accumulator {
-	return stats.Merge(a, b)
 }

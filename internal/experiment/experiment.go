@@ -28,6 +28,12 @@ type Config struct {
 	Duration time.Duration
 	// Seed makes the randomized pieces (restbus phases) reproducible.
 	Seed int64
+	// Workers bounds the trial-runner pool (see Map): 0 means GOMAXPROCS,
+	// 1 forces the serial reference path. Results are identical either way.
+	Workers int
+	// ExactStepping disables the bus's idle fast-forward, forcing per-bit
+	// simulation — the reference path for golden-trace differential tests.
+	ExactStepping bool
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -64,6 +70,7 @@ type testbed struct {
 // legitimate, plus 0x173 itself.
 func newTestbed(cfg Config, matrix *restbus.Matrix, exclude []can.ID) (*testbed, error) {
 	tb := &testbed{bus: bus.New(cfg.Rate)}
+	tb.bus.SetFastForward(!cfg.ExactStepping)
 	tb.recorder = trace.NewRecorder()
 	tb.bus.AttachTap(tb.recorder)
 

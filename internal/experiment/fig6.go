@@ -66,10 +66,20 @@ func (r Fig6Result) Render() string {
 // launched together against the MichiCAN defender; the defense interleaves
 // their bus-off campaigns exactly as the suspend-transmission rule dictates.
 func Fig6(cfg Config) (Fig6Result, error) {
+	res, _, err := fig6Scenario(cfg)
+	return res, err
+}
+
+// fig6Scenario runs the Fig. 6 simulation and also returns its testbed so
+// differential tests can compare raw recorder bit streams. The simulation
+// itself is one deterministic timeline (the interleaving under test *is*
+// the serialization), so only the per-ID episode decoding fans out over the
+// trial runner.
+func fig6Scenario(cfg Config) (Fig6Result, *testbed, error) {
 	cfg = cfg.Defaults()
 	tb, err := newTestbed(cfg, nil, []can.ID{0x066, 0x067})
 	if err != nil {
-		return Fig6Result{}, err
+		return Fig6Result{}, nil, err
 	}
 	a66 := attack.NewTargetedDoS("attacker-66", 0x066)
 	a67 := attack.NewTargetedDoS("attacker-67", 0x067)
@@ -82,7 +92,7 @@ func Fig6(cfg Config) (Fig6Result, error) {
 			a67.Controller().Stats().BusOffEvents >= 1
 	}
 	if !tb.bus.RunUntil(done, cfg.Rate.Bits(time.Second)) {
-		return Fig6Result{}, fmt.Errorf("fig6: attackers not both bused off within 1s")
+		return Fig6Result{}, nil, fmt.Errorf("fig6: attackers not both bused off within 1s")
 	}
 	tb.bus.Run(30) // flush the tail
 
@@ -101,16 +111,17 @@ func Fig6(cfg Config) (Fig6Result, error) {
 			ID: e.ID, Start: e.Start, End: e.End, Index: counts[e.ID],
 		})
 	}
-	for _, id := range []can.ID{0x066, 0x067} {
-		eps := episodesOf(events, id)
+	measured := []can.ID{0x066, 0x067}
+	bits, err := Map(len(measured), cfg.Workers, func(i int) (int64, error) {
+		eps := episodesOf(events, measured[i])
 		if len(eps) == 0 {
-			return res, fmt.Errorf("fig6: no episode for %s", id)
+			return 0, fmt.Errorf("fig6: no episode for %s", measured[i])
 		}
-		if id == 0x066 {
-			res.BusOffBits66 = eps[0].Bits()
-		} else {
-			res.BusOffBits67 = eps[0].Bits()
-		}
+		return eps[0].Bits(), nil
+	})
+	if err != nil {
+		return res, tb, err
 	}
-	return res, nil
+	res.BusOffBits66, res.BusOffBits67 = bits[0], bits[1]
+	return res, tb, nil
 }

@@ -31,7 +31,10 @@ func (r DetectionSweepRow) String() string {
 }
 
 // DetectionSweep evaluates per-N detection statistics over random IVNs for
-// each N in sizes, with perN FSMs per point.
+// each N in sizes, with perN FSMs per point. The draws of every point fan
+// out over the trial runner — each draw gets a seed derived from (seed, N,
+// draw index) and the fold happens in draw order, so the rows are identical
+// to a serial evaluation regardless of worker count.
 func DetectionSweep(sizes []int, perN int, seed int64) ([]DetectionSweepRow, error) {
 	if perN <= 0 {
 		perN = 1000
@@ -41,30 +44,48 @@ func DetectionSweep(sizes []int, perN int, seed int64) ([]DetectionSweepRow, err
 		if n < 1 {
 			return nil, fmt.Errorf("experiment: IVN size %d", n)
 		}
-		var acc, states stats.Accumulator
-		maxBits := 0
-		for i := 0; i < perN; i++ {
-			rng := rand.New(rand.NewSource(seed + int64(n)*1_000_003 + int64(i)))
+		type sweepDraw struct {
+			detected bool
+			meanBits float64
+			maxBits  int
+			states   float64
+		}
+		nSeed := DeriveSeed(seed, n)
+		draws, err := Map(perN, 0, func(i int) (sweepDraw, error) {
+			rng := rand.New(rand.NewSource(DeriveSeed(nSeed, i)))
 			ivn, err := fsm.RandomIVN(rng, n)
 			if err != nil {
-				return nil, err
+				return sweepDraw{}, err
 			}
 			ds, err := fsm.NewDetectionSet(ivn, rng.Intn(n))
 			if err != nil {
-				return nil, err
+				return sweepDraw{}, err
 			}
 			machine := fsm.Build(ds)
 			st, err := machine.Stats(ds)
 			if err != nil {
-				return nil, fmt.Errorf("N=%d: %w", n, err)
+				return sweepDraw{}, fmt.Errorf("N=%d: %w", n, err)
 			}
-			if st.Detected > 0 {
-				acc.Add(st.MeanBits)
-				if st.MaxBits > maxBits {
-					maxBits = st.MaxBits
+			return sweepDraw{
+				detected: st.Detected > 0,
+				meanBits: st.MeanBits,
+				maxBits:  st.MaxBits,
+				states:   float64(machine.Size()),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var acc, states stats.Accumulator
+		maxBits := 0
+		for _, d := range draws {
+			if d.detected {
+				acc.Add(d.meanBits)
+				if d.maxBits > maxBits {
+					maxBits = d.maxBits
 				}
 			}
-			states.Add(float64(machine.Size()))
+			states.Add(d.states)
 		}
 		rows = append(rows, DetectionSweepRow{
 			N:          n,

@@ -83,15 +83,25 @@ func table2Specs() []experimentSpec {
 }
 
 // Table2 reproduces Table II: it runs all six experiments at cfg.Rate for
-// cfg.Duration and reports the empirical bus-off time per attacker ID.
+// cfg.Duration and reports the empirical bus-off time per attacker ID. The
+// six scenarios are independent simulations (each owns its bus and RNG), so
+// they fan out over the trial runner; cfg.Workers=1 recovers the serial
+// path with identical rows.
 func Table2(cfg Config) ([]Table2Row, error) {
 	cfg = cfg.Defaults()
-	var rows []Table2Row
-	for _, spec := range table2Specs() {
-		specRows, err := runTable2Experiment(cfg, spec)
+	specs := table2Specs()
+	perSpec, err := Map(len(specs), cfg.Workers, func(i int) ([]Table2Row, error) {
+		specRows, err := runTable2Experiment(cfg, specs[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiment %d: %w", spec.exp, err)
+			return nil, fmt.Errorf("experiment %d: %w", specs[i].exp, err)
 		}
+		return specRows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, specRows := range perSpec {
 		rows = append(rows, specRows...)
 	}
 	return rows, nil
@@ -109,6 +119,13 @@ func RunExperiment(cfg Config, exp int) ([]Table2Row, error) {
 }
 
 func runTable2Experiment(cfg Config, spec experimentSpec) ([]Table2Row, error) {
+	rows, _, err := runTable2Scenario(cfg, spec)
+	return rows, err
+}
+
+// runTable2Scenario runs one Table-II experiment and also returns its
+// testbed so differential tests can compare raw recorder bit streams.
+func runTable2Scenario(cfg Config, spec experimentSpec) ([]Table2Row, *testbed, error) {
 	var matrix *restbus.Matrix
 	if spec.restbus {
 		matrix = restbus.Buses(restbus.VehD)[0]
@@ -117,18 +134,20 @@ func runTable2Experiment(cfg Config, spec experimentSpec) ([]Table2Row, error) {
 	copy(exclude, spec.measured)
 	tb, err := newTestbed(cfg, matrix, exclude)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, a := range spec.attackers() {
 		tb.bus.Attach(a)
 	}
 	// The defender's own periodic 0x173 traffic (Sec. V-C: the defended ECU
 	// is configured to send 0x173). In experiment 1/2 the spoofer fights
-	// over this very ID.
+	// over this very ID. The bus advances in chunks bounded by the next
+	// send instant, so each enqueue happens at exactly the bit it would in
+	// a per-bit loop while the stretches in between may fast-forward.
 	defenderPeriod := cfg.Rate.Bits(25 * time.Millisecond)
 	next := bus.BitTime(0)
-	total := cfg.Rate.Bits(cfg.Duration)
-	for i := int64(0); i < total; i++ {
+	end := tb.bus.Now() + bus.BitTime(cfg.Rate.Bits(cfg.Duration))
+	for tb.bus.Now() < end {
 		if tb.bus.Now() >= next {
 			// Best-effort periodic send; skip while a previous instance is
 			// still queued (the spoof fight can stall it).
@@ -137,7 +156,11 @@ func runTable2Experiment(cfg Config, spec experimentSpec) ([]Table2Row, error) {
 			}
 			next += bus.BitTime(defenderPeriod)
 		}
-		tb.bus.Step()
+		runTo := next
+		if runTo > end {
+			runTo = end
+		}
+		tb.bus.Run(int64(runTo - tb.bus.Now()))
 	}
 
 	events := trace.Decode(tb.recorder.Bits(), tb.recorder.Start())
@@ -145,7 +168,7 @@ func runTable2Experiment(cfg Config, spec experimentSpec) ([]Table2Row, error) {
 	for _, id := range spec.measured {
 		eps := completeEpisodes(episodesOf(events, id), tb.bus.Now())
 		if len(eps) == 0 {
-			return nil, fmt.Errorf("no complete bus-off episodes for %s", id)
+			return nil, nil, fmt.Errorf("no complete bus-off episodes for %s", id)
 		}
 		var acc stats.Accumulator
 		for _, ep := range eps {
@@ -163,5 +186,5 @@ func runTable2Experiment(cfg Config, spec experimentSpec) ([]Table2Row, error) {
 			MeanBits:   acc.Mean(),
 		})
 	}
-	return rows, nil
+	return rows, tb, nil
 }

@@ -183,6 +183,28 @@ func (m *Meter) EndInvocationAs(active bool) {
 	m.perBit = 0
 }
 
+// ChargeIdleInvocations folds n identical idle (SOF-hunting) handler
+// invocations, each consuming the listed operations, into the totals in
+// O(1). It is exactly equivalent to n rounds of Charge(ops...) followed by
+// EndInvocationAs(false) — the batch path the bus idle fast-forward uses.
+func (m *Meter) ChargeIdleInvocations(n int64, ops ...Op) {
+	if n <= 0 {
+		return
+	}
+	var per int64
+	for _, op := range ops {
+		per += m.profile.Cost(op)
+	}
+	m.cycles += n * per
+	m.invocations += n
+	m.sumPerBit += n * per
+	if per > m.maxPerBit {
+		m.maxPerBit = per
+	}
+	m.idleCycles += n * per
+	m.idleInv += n
+}
+
 // IdleLoad returns the mean CPU utilization of idle-bit invocations: cycles
 // per idle bit divided by cycles per bit time at the given bus rate.
 func (m *Meter) IdleLoad(rate int) float64 {

@@ -1,6 +1,7 @@
 package restbus
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
@@ -39,6 +40,11 @@ type Replayer struct {
 	outstanding map[can.ID]bool
 	// enqueuedAt[id] is the bit time the pending instance was queued.
 	enqueuedAt map[can.ID]bus.BitTime
+	// nextScan caches the earliest nextDue across items, so the per-bit
+	// Observe path is O(1) until a message actually comes due. Item deadlines
+	// only move inside scanDue, which recomputes the cache, so nextScan is
+	// always exact — never late.
+	nextScan bus.BitTime
 }
 
 type schedItem struct {
@@ -48,7 +54,10 @@ type schedItem struct {
 	seq        byte
 }
 
-var _ bus.Node = (*Replayer)(nil)
+var (
+	_ bus.Node      = (*Replayer)(nil)
+	_ bus.Quiescent = (*Replayer)(nil)
+)
 
 // NewReplayer creates a restbus node for the matrix at the given bus rate.
 // The rng, when non-nil, staggers the initial phase of each message (real
@@ -89,8 +98,17 @@ func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replaye
 		}
 		r.items = append(r.items, item)
 	}
+	r.nextScan = neverDue
+	for i := range r.items {
+		if r.items[i].nextDue < r.nextScan {
+			r.nextScan = r.items[i].nextDue
+		}
+	}
 	return r
 }
+
+// neverDue is the nextScan value of an empty matrix.
+const neverDue = bus.BitTime(math.MaxInt64)
 
 // Controller exposes the replayer's protocol controller.
 func (r *Replayer) Controller() *controller.Controller { return r.ctl }
@@ -102,37 +120,72 @@ func (r *Replayer) Stats() ReplayStats { return r.stats }
 func (r *Replayer) Drive(t bus.BitTime) can.Level { return r.ctl.Drive(t) }
 
 // Observe implements bus.Node: due messages are enqueued, then the
-// controller advances one bit.
+// controller advances one bit. The item scan is skipped entirely until the
+// cached earliest deadline arrives — behaviorally identical to scanning every
+// bit, because no item can come due before nextScan.
 func (r *Replayer) Observe(t bus.BitTime, level can.Level) {
-	for i := range r.items {
-		item := &r.items[i]
-		if t < item.nextDue {
-			continue
-		}
-		item.nextDue = t + bus.BitTime(item.periodBits)
-		if r.outstanding[item.msg.ID] {
-			// The previous instance never got out: deadline missed; the
-			// fresh instance replaces it logically (we keep the queued
-			// frame — its payload is stale but its slot is reused).
-			r.stats.DeadlineMisses++
-			if r.stats.MissByID == nil {
-				r.stats.MissByID = make(map[can.ID]int)
-			}
-			r.stats.MissByID[item.msg.ID]++
-			continue
-		}
-		item.seq++
-		data := make([]byte, item.msg.DLC)
-		if item.msg.DLC > 0 {
-			data[0] = item.seq
-		}
-		if err := r.ctl.Enqueue(can.Frame{ID: item.msg.ID, Data: data}); err == nil {
-			r.stats.Enqueued++
-			r.outstanding[item.msg.ID] = true
-			r.enqueuedAt[item.msg.ID] = t
-		}
+	if t >= r.nextScan {
+		r.scanDue(t)
 	}
 	r.ctl.Observe(t, level)
+}
+
+// scanDue processes every due item and recomputes the nextScan cache.
+func (r *Replayer) scanDue(t bus.BitTime) {
+	next := neverDue
+	for i := range r.items {
+		item := &r.items[i]
+		if t >= item.nextDue {
+			item.nextDue = t + bus.BitTime(item.periodBits)
+			if r.outstanding[item.msg.ID] {
+				// The previous instance never got out: deadline missed; the
+				// fresh instance replaces it logically (we keep the queued
+				// frame — its payload is stale but its slot is reused).
+				r.stats.DeadlineMisses++
+				if r.stats.MissByID == nil {
+					r.stats.MissByID = make(map[can.ID]int)
+				}
+				r.stats.MissByID[item.msg.ID]++
+			} else {
+				item.seq++
+				data := make([]byte, item.msg.DLC)
+				if item.msg.DLC > 0 {
+					data[0] = item.seq
+				}
+				if err := r.ctl.Enqueue(can.Frame{ID: item.msg.ID, Data: data}); err == nil {
+					r.stats.Enqueued++
+					r.outstanding[item.msg.ID] = true
+					r.enqueuedAt[item.msg.ID] = t
+				}
+			}
+		}
+		if item.nextDue < next {
+			next = item.nextDue
+		}
+	}
+	r.nextScan = next
+}
+
+// QuiescentUntil implements bus.Quiescent: the replayer's only
+// spontaneous activity is enqueueing the next due message, so its horizon is
+// the cached earliest nextDue, clamped by the controller's own horizon. The
+// due bit itself is exact-stepped, which is where Observe enqueues the
+// instance — exactly as in per-bit mode.
+func (r *Replayer) QuiescentUntil(now bus.BitTime) bus.BitTime {
+	h := r.ctl.QuiescentUntil(now)
+	if r.nextScan < h {
+		h = r.nextScan
+	}
+	if h <= now {
+		return now
+	}
+	return h
+}
+
+// SkipIdle implements bus.Quiescent: schedule state is absolute (nextDue bit
+// times), so only the wrapped controller has per-bit state to advance.
+func (r *Replayer) SkipIdle(from, to bus.BitTime) {
+	r.ctl.SkipIdle(from, to)
 }
 
 // MissRate returns the fraction of scheduled instances that missed their

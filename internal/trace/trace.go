@@ -18,7 +18,10 @@ type Recorder struct {
 	began bool
 }
 
-var _ bus.Tap = (*Recorder)(nil)
+var (
+	_ bus.Tap              = (*Recorder)(nil)
+	_ bus.TapFastForwarder = (*Recorder)(nil)
+)
 
 // NewRecorder creates an empty recorder; attach it with Bus.AttachTap.
 func NewRecorder() *Recorder {
@@ -32,6 +35,22 @@ func (r *Recorder) Bit(t bus.BitTime, level can.Level) {
 		r.began = true
 	}
 	r.bits = append(r.bits, level)
+}
+
+// SkipIdle implements bus.TapFastForwarder: record to-from recessive bits in
+// one call. The resulting bit stream is identical to per-bit recording, so
+// decoders (and golden-trace comparisons) cannot tell a fast-forwarded run
+// from an exact-stepped one. Note can.Recessive is non-zero — the appended
+// region must be filled explicitly.
+func (r *Recorder) SkipIdle(from, to bus.BitTime) {
+	if !r.began {
+		r.start = from
+		r.began = true
+	}
+	n := int(to - from)
+	for i := 0; i < n; i++ {
+		r.bits = append(r.bits, can.Recessive)
+	}
 }
 
 // Start returns the bit time of the first recorded bit.

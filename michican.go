@@ -376,6 +376,37 @@ func (e *ECU) Observe(t BitTime, level can.Level) {
 }
 
 var _ Node = (*ECU)(nil)
+var _ bus.Quiescent = (*ECU)(nil)
+
+// QuiescentUntil implements bus.Quiescent: the ECU wakes for its next
+// periodic send, its controller's work, or its defense's frame state —
+// whichever comes first.
+func (e *ECU) QuiescentUntil(now BitTime) BitTime {
+	h := e.ctl.QuiescentUntil(now)
+	if e.defense != nil {
+		if hd := e.defense.QuiescentUntil(now); hd < h {
+			h = hd
+		}
+	}
+	if e.periodBits > 0 {
+		if e.nextDue <= now {
+			return now
+		}
+		if e.nextDue < h {
+			h = e.nextDue
+		}
+	}
+	return h
+}
+
+// SkipIdle implements bus.Quiescent: the periodic-send schedule is absolute
+// (nextDue), so only the controller and defense carry per-bit state.
+func (e *ECU) SkipIdle(from, to BitTime) {
+	e.ctl.SkipIdle(from, to)
+	if e.defense != nil {
+		e.defense.SkipIdle(from, to)
+	}
+}
 
 // Attacker is a compromised node injected into the network.
 type Attacker = attack.Attacker
