@@ -7,7 +7,6 @@ package michican
 // doubles as a results table.
 
 import (
-	"math/rand"
 	"reflect"
 	"runtime"
 	"testing"
@@ -21,7 +20,6 @@ import (
 	"michican/internal/experiment"
 	"michican/internal/fsm"
 	"michican/internal/mcu"
-	"michican/internal/restbus"
 	"michican/internal/trace"
 )
 
@@ -542,65 +540,47 @@ func BenchmarkFDDecode(b *testing.B) {
 
 // --- Fast-forward and parallel-runner benchmarks (the tentpole's claims). ---
 
-// ffScenarioBus builds the fast-forward benchmark scenario: a Veh.-D restbus
-// replayer stretched to the target offered load at 50 kbit/s plus a MichiCAN-
-// defended ECU that ACKs the traffic. Everything outside the frames is
-// inter-frame idle the fast path can skip.
-func ffScenarioBus(b *testing.B, target float64, fastForward bool) *bus.Bus {
+// ffScenarioBus builds the fast-forward benchmark scenario via the shared
+// experiment.ThroughputScenario construction (michican-bench -json measures
+// the same bus, so the numbers stay comparable).
+func ffScenarioBus(b *testing.B, target float64, mode experiment.SteppingMode) *bus.Bus {
 	b.Helper()
-	src := restbus.Buses(restbus.VehD)[0]
-	matrix := &restbus.Matrix{Vehicle: src.Vehicle, Bus: src.Bus}
-	factor := src.Load(bus.Rate50k) / target
-	for _, msg := range src.Messages {
-		if msg.ID == experiment.DefenderID {
-			continue
-		}
-		if factor > 1 {
-			msg.Period = time.Duration(float64(msg.Period) * factor)
-		}
-		matrix.Messages = append(matrix.Messages, msg)
-	}
-
-	bb := bus.New(bus.Rate50k)
-	bb.SetFastForward(fastForward)
-	v, err := fsm.NewIVN(append(matrix.IDs(), experiment.DefenderID))
+	bb, err := experiment.ThroughputScenario(target, mode)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := fsm.NewDetectionSet(v, v.Index(experiment.DefenderID))
-	if err != nil {
-		b.Fatal(err)
-	}
-	def, err := core.New(core.Config{Name: "defender", FSM: fsm.Build(ds)})
-	if err != nil {
-		b.Fatal(err)
-	}
-	bb.Attach(core.NewECU(controller.New(controller.Config{Name: "defender", AutoRecover: true}), def))
-	bb.Attach(restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(1))))
 	return bb
 }
 
-// BenchmarkBusFastForward measures simulated-bits-per-second with exact
-// per-bit stepping versus idle fast-forward on restbus scenarios at two
-// offered loads: the 30% prototype load of the online experiments, and a 2%
-// parking/diagnostic load where the bus is almost entirely idle. The frames
-// themselves are always exact-stepped, so the 30% case is bounded by the
-// ~30% of bit times that carry traffic (Amdahl); the 2% case shows the fast
-// path's full effect. The scenario is stationary, so each iteration extends
-// the same simulation by two seconds of bus time.
+// BenchmarkBusFastForward measures simulated-bits-per-second across the
+// three stepping modes — exact per-bit, idle fast-forward only (the PR1
+// baseline), and idle plus the sole-transmitter frame fast path — on restbus
+// scenarios at three offered loads: a 2% parking/diagnostic load where the
+// bus is almost entirely idle, the 30% prototype load of the online
+// experiments, and a saturated 60% load. Under idle-FF alone every busy bit
+// is exact-stepped, so its win shrinks with load (Amdahl); the frame path
+// batches the frames themselves, leaving only SOF, ACK, frame-final, and
+// enqueue bits on the exact path. The scenario is stationary, so each
+// iteration extends the same simulation by two seconds of bus time.
 func BenchmarkBusFastForward(b *testing.B) {
 	const bitsPerIter = 100_000 // 2 s of bus time at 50 kbit/s
 	for _, load := range []struct {
 		name   string
 		target float64
-	}{{"load30", 0.30}, {"load2", 0.02}} {
+	}{{"load2", 0.02}, {"load30", 0.30}, {"load60", 0.60}} {
 		for _, mode := range []struct {
-			name string
-			ff   bool
-		}{{"exact", false}, {"fast-forward", true}} {
+			name    string
+			mode    experiment.SteppingMode
+			idleFF  bool
+			frameFF bool
+		}{
+			{"exact", experiment.ModeExact, false, false},
+			{"idle-ff", experiment.ModeIdleFF, true, false},
+			{"frame-ff", experiment.ModeFrameFF, true, true},
+		} {
 			load, mode := load, mode
 			b.Run(load.name+"/"+mode.name, func(b *testing.B) {
-				bb := ffScenarioBus(b, load.target, mode.ff)
+				bb := ffScenarioBus(b, load.target, mode.mode)
 				bb.Run(bitsPerIter) // warm-up: initial phase offsets settle
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -608,10 +588,13 @@ func BenchmarkBusFastForward(b *testing.B) {
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(bitsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "bits/s")
-				if mode.ff && bb.FastForwardedBits() == 0 {
-					b.Fatal("fast path never engaged")
+				if mode.idleFF && bb.IdleForwardedBits() == 0 {
+					b.Fatal("idle fast path never engaged")
 				}
-				if !mode.ff && bb.FastForwardedBits() != 0 {
+				if mode.frameFF && bb.FrameForwardedBits() == 0 {
+					b.Fatal("frame fast path never engaged")
+				}
+				if !mode.idleFF && bb.FastForwardedBits() != 0 {
 					b.Fatal("exact path fast-forwarded")
 				}
 			})

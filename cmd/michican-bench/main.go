@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,10 +37,20 @@ func main() {
 		fsms       = flag.Int("fsms", 160_000, "random FSMs for the detection study")
 		workers    = flag.Int("workers", 0, "trial-runner pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 		exact      = flag.Bool("exact", false, "force exact per-bit stepping (disable idle fast-forward)")
+		jsonOut    = flag.String("json", "", "measure the throughput grid (load × stepping mode) and write machine-readable results to this file")
+		gridBits   = flag.Int64("gridbits", 2_000_000, "simulated bit times per throughput-grid cell")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeThroughputJSON(*jsonOut, *gridBits); err != nil {
+			fmt.Fprintln(os.Stderr, "michican-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiment.Config{
 		Rate:          bus.Rate(*rate),
@@ -52,6 +63,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "michican-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeThroughputJSON measures the load × stepping-mode throughput grid and
+// writes it as JSON (the repo's BENCH_*.json perf trajectory), echoing each
+// row to stdout as it lands.
+func writeThroughputJSON(path string, simBits int64) error {
+	type report struct {
+		GeneratedAt string                     `json:"generated_at"`
+		GoVersion   string                     `json:"go_version"`
+		GOMAXPROCS  int                        `json:"gomaxprocs"`
+		SimBitsPer  int64                      `json:"simulated_bits_per_cell"`
+		Rows        []experiment.ThroughputRow `json:"rows"`
+	}
+	header("Throughput grid — exact vs idle-FF vs frame-FF")
+	var rows []experiment.ThroughputRow
+	for _, load := range []float64{0.02, 0.30, 0.60} {
+		for _, mode := range []experiment.SteppingMode{
+			experiment.ModeExact, experiment.ModeIdleFF, experiment.ModeFrameFF,
+		} {
+			row, err := experiment.MeasureThroughput(load, mode, simBits)
+			if err != nil {
+				return err
+			}
+			fmt.Println(row.String())
+			rows = append(rows, row)
+		}
+	}
+	out, err := json.MarshalIndent(report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		SimBitsPer:  simBits,
+		Rows:        rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
 }
 
 // profiledRun wraps run with the pprof plumbing and the throughput summary,

@@ -105,6 +105,17 @@ type Bus struct {
 	tapPinned  int
 	ffDisabled bool
 	ffSkipped  int64
+
+	// Frame fast-forward state (see framepath.go). txCap and runObs are
+	// parallel to nodes, tapRun to taps; runPinned/tapRunPinned count the
+	// participants lacking batch delivery.
+	txCap        []Transmitting
+	runObs       []RunObserver
+	runPinned    int
+	tapRun       []TapRunObserver
+	tapRunPinned int
+	frameFFOff   bool
+	ffFrameBits  int64
 }
 
 // New creates an idle bus running at the given rate.
@@ -130,6 +141,13 @@ func (b *Bus) Attach(n Node) {
 	if !ok {
 		b.pinned++
 	}
+	tc, _ := n.(Transmitting)
+	b.txCap = append(b.txCap, tc)
+	ro, ok := n.(RunObserver)
+	b.runObs = append(b.runObs, ro)
+	if !ok {
+		b.runPinned++
+	}
 }
 
 // Detach removes a node from the bus. It reports whether the node was found.
@@ -146,6 +164,15 @@ func (b *Bus) Detach(n Node) bool {
 			copy(b.quiescent[i:], b.quiescent[i+1:])
 			b.quiescent[last] = nil
 			b.quiescent = b.quiescent[:last]
+			copy(b.txCap[i:], b.txCap[i+1:])
+			b.txCap[last] = nil
+			b.txCap = b.txCap[:last]
+			if b.runObs[i] == nil {
+				b.runPinned--
+			}
+			copy(b.runObs[i:], b.runObs[i+1:])
+			b.runObs[last] = nil
+			b.runObs = b.runObs[:last]
 			return true
 		}
 	}
@@ -159,6 +186,11 @@ func (b *Bus) AttachTap(t Tap) {
 	b.ffTaps = append(b.ffTaps, ft)
 	if !ok {
 		b.tapPinned++
+	}
+	tr, ok := t.(TapRunObserver)
+	b.tapRun = append(b.tapRun, tr)
+	if !ok {
+		b.tapRunPinned++
 	}
 }
 
@@ -196,7 +228,7 @@ func (b *Bus) Run(n int64) {
 	}
 	end := b.now + BitTime(n)
 	for b.now < end {
-		if !b.tryFastForward(end) {
+		if !b.tryFastForward(end) && !b.tryFrameForward(end) {
 			b.Step()
 		}
 	}
@@ -219,7 +251,7 @@ func (b *Bus) RunUntil(pred func() bool, maxBits int64) bool {
 	end := b.now + BitTime(maxBits)
 	defer func() { simulatedBits.Add(int64(b.now - start)) }()
 	for b.now < end {
-		if !b.tryFastForward(end) {
+		if !b.tryFastForward(end) && !b.tryFrameForward(end) {
 			b.Step()
 		}
 		if pred() {
@@ -304,15 +336,72 @@ func (g *Group) Step() {
 // RunFor advances every bus in the group to at least d of simulated time.
 // Because the heap root is always the furthest-behind bus, the group is done
 // exactly when the root has reached d — no per-bit rescan of all buses.
+//
+// When every member bus is quiescent, the whole group jumps in lockstep to
+// the minimum quiescence horizon (in elapsed-time terms) instead of stepping
+// bit by bit; any pinned member forces exact stepping for the group, so the
+// result is bit-identical to per-bit lockstep.
 func (g *Group) RunFor(d time.Duration) {
 	if len(g.buses) == 0 {
 		return
 	}
 	var stepped int64
 	for g.buses[g.order[0]].Elapsed() < d {
+		if n := g.tryJump(d); n > 0 {
+			stepped += n
+			continue
+		}
 		g.buses[g.order[0]].Step()
 		g.siftDown(0)
 		stepped++
 	}
 	simulatedBits.Add(stepped)
+}
+
+// targetBits returns the bit count at which this bus's elapsed time first
+// reaches at least d — exactly where per-bit lockstep would leave it.
+func (b *Bus) targetBits(d time.Duration) BitTime {
+	n := b.rate.Bits(d)
+	if b.rate.Duration(n) < d {
+		n++
+	}
+	return BitTime(n)
+}
+
+// tryJump advances every member bus toward d through a window in which all
+// of them are quiescent, returning the total bits jumped (0 when any member
+// pins or no bus can move). Idle bits carry no cross-bus influence — every
+// node has promised passivity and count-pure state over the window — so
+// jumping all buses to a common wall-clock point T is interleaving-equivalent
+// to per-bit lockstep over the same region. Each bus lands at floor(T/bit),
+// never past its own promise horizon; the per-bit loop tops off the ragged
+// last bits exactly.
+func (g *Group) tryJump(d time.Duration) int64 {
+	T := d
+	for _, b := range g.buses {
+		target := b.targetBits(d)
+		if b.now >= target {
+			continue // already past the window; it jumps nowhere below
+		}
+		h := b.idleHorizon(target)
+		if h <= b.now {
+			return 0
+		}
+		if t := b.rate.Duration(int64(h)); t < T {
+			T = t
+		}
+	}
+	var moved int64
+	for _, b := range g.buses {
+		if to := BitTime(b.rate.Bits(T)); to > b.now {
+			moved += int64(to - b.now)
+			b.jumpIdle(to)
+		}
+	}
+	if moved > 0 {
+		for i := len(g.order)/2 - 1; i >= 0; i-- {
+			g.siftDown(i)
+		}
+	}
+	return moved
 }

@@ -1,0 +1,165 @@
+package bus
+
+import (
+	"sync/atomic"
+
+	"michican/internal/can"
+)
+
+// Transmitting is an optional capability a Node may implement to let the bus
+// fast-forward through sole-transmitter transmission windows.
+//
+// CommittedBits(now) returns the exact levels this node is committed to
+// driving for bits [now, horizon), provided every other node drives recessive
+// throughout — for a CAN controller these are the serialized wire bits of the
+// frame in flight. The commitment must be unconditional on the observed bus
+// levels over that span (which is why it must exclude the ACK slot, the
+// completion bit, and any bit whose outcome feeds back into the node's next
+// drive decision). A horizon <= now, or an empty slice, declines.
+//
+// FrameBit reports the wire index within the current frame (SOF = 0) of the
+// bit the node drives at the time CommittedBits was queried; receivers use it
+// to prove they are bit-synchronized to the committed stream.
+type Transmitting interface {
+	CommittedBits(now BitTime) ([]can.Level, BitTime)
+	FrameBit() int
+}
+
+// RunObserver is the batch-delivery capability of the frame fast path. Nodes
+// lacking it pin every transmission window to exact per-bit stepping.
+//
+// PassiveRun(now, frameBit, levels) is the span-side analogue of
+// Quiescent.QuiescentUntil: the bus proposes that bits [now, now+len(levels))
+// resolve to exactly levels (the sole transmitter's committed stream, whose
+// position within its frame is frameBit), and the node answers with the
+// longest prefix it can consume while (a) driving recessive for every one of
+// those bits and (b) deferring no externally visible event — no error flag,
+// no frame-completion callback, no counterattack pull — past the prefix. The
+// answer must be prefix-monotone: accepting k bits implies the same k bits
+// would be accepted from any longer proposal. Returning 0 pins the span.
+// PassiveRun must not mutate any state — the bus may discard the proposal.
+//
+// ObserveRun(from, levels) then delivers a (possibly clamped) span for real:
+// the node must leave itself in exactly the state len(levels) per-bit
+// Observe calls with these resolved levels would have produced.
+type RunObserver interface {
+	PassiveRun(now BitTime, frameBit int, levels []can.Level) int
+	ObserveRun(from BitTime, levels []can.Level)
+}
+
+// TapRunObserver is the tap-side analogue of RunObserver: a Tap that can
+// record a run of resolved levels in one call. Taps without it pin the frame
+// fast path (they need every Bit call).
+type TapRunObserver interface {
+	BitRun(from BitTime, levels []can.Level)
+}
+
+// minFrameRun is the shortest span worth negotiating: below this the
+// per-node scan overhead exceeds the cost of exact stepping.
+const minFrameRun = 4
+
+// Process-wide fast-path counters, split by path, for the benchmark harness's
+// hit-rate accounting (cmd/michican-bench -json).
+var (
+	idleForwardedTotal  atomic.Int64
+	frameForwardedTotal atomic.Int64
+)
+
+// IdleForwardedTotal returns the cumulative process-wide count of bits
+// advanced via the idle (quiescence) fast path.
+func IdleForwardedTotal() int64 { return idleForwardedTotal.Load() }
+
+// FrameForwardedTotal returns the cumulative process-wide count of bits
+// advanced via the sole-transmitter frame fast path.
+func FrameForwardedTotal() int64 { return frameForwardedTotal.Load() }
+
+// SetFrameFastForward enables or disables the sole-transmitter frame fast
+// path independently of the idle path (enabled by default; SetFastForward
+// false disables both). The separate knob exists so benchmarks can measure
+// exact vs idle-FF vs frame-FF.
+func (b *Bus) SetFrameFastForward(on bool) { b.frameFFOff = !on }
+
+// IdleForwardedBits returns how many bits this bus skipped via the idle
+// quiescence path.
+func (b *Bus) IdleForwardedBits() int64 { return b.ffSkipped }
+
+// FrameForwardedBits returns how many bits this bus advanced via the
+// sole-transmitter frame fast path.
+func (b *Bus) FrameForwardedBits() int64 { return b.ffFrameBits }
+
+// tryFrameForward attempts one sole-transmitter batch advance, bounded by
+// end. It returns false — having done nothing — unless exactly one node has
+// committed bits, every other node accepts the whole (clamped) span
+// passively, and every participant supports batch delivery.
+//
+// The wired-AND over the span is then trivial: the resolved levels are the
+// committed levels themselves, because every other driver is recessive.
+func (b *Bus) tryFrameForward(end BitTime) bool {
+	if b.ffDisabled || b.frameFFOff || b.runPinned > 0 || b.tapRunPinned > 0 || end <= b.now {
+		return false
+	}
+	tx := -1
+	var levels []can.Level
+	for i, tc := range b.txCap {
+		if tc == nil {
+			continue
+		}
+		bits, h := tc.CommittedBits(b.now)
+		if h <= b.now || len(bits) == 0 {
+			continue
+		}
+		if tx >= 0 {
+			return false // two mid-frame drivers: contention, exact-step it
+		}
+		if m := int64(h - b.now); m < int64(len(bits)) {
+			bits = bits[:m]
+		}
+		tx, levels = i, bits
+	}
+	if tx < 0 {
+		return false
+	}
+	if m := int64(end - b.now); m < int64(len(levels)) {
+		levels = levels[:m]
+	}
+	frameBit := b.txCap[tx].FrameBit()
+	n := len(levels)
+	for i, ro := range b.runObs {
+		if i == tx {
+			continue
+		}
+		k := ro.PassiveRun(b.now, frameBit, levels[:n])
+		if k < n {
+			n = k
+		}
+		if n < minFrameRun {
+			return false
+		}
+	}
+	levels = levels[:n]
+	for _, ro := range b.runObs {
+		ro.ObserveRun(b.now, levels)
+	}
+	for _, tr := range b.tapRun {
+		tr.BitRun(b.now, levels)
+	}
+	if k := trailingRecessive(levels); k == n {
+		b.idleRun += n
+	} else {
+		b.idleRun = k
+	}
+	b.last = levels[n-1]
+	b.now += BitTime(n)
+	b.ffFrameBits += int64(n)
+	frameForwardedTotal.Add(int64(n))
+	return true
+}
+
+// trailingRecessive returns the length of the trailing recessive run.
+func trailingRecessive(levels []can.Level) int {
+	k := 0
+	for i := len(levels) - 1; i >= 0 && levels[i] == can.Recessive; i-- {
+		k++
+	}
+	return k
+}

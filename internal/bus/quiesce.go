@@ -62,37 +62,40 @@ func AddSimulatedBits(n int64) {
 // capabilities — the reference path for golden-trace differential tests.
 func (b *Bus) SetFastForward(on bool) { b.ffDisabled = !on }
 
-// FastForwardedBits returns how many bit times this bus skipped via the
-// quiescence fast path rather than exact stepping.
-func (b *Bus) FastForwardedBits() int64 { return b.ffSkipped }
+// FastForwardedBits returns how many bit times this bus advanced via a fast
+// path — the idle quiescence jump plus the sole-transmitter frame path —
+// rather than exact stepping.
+func (b *Bus) FastForwardedBits() int64 { return b.ffSkipped + b.ffFrameBits }
 
-// tryFastForward attempts one quiescent jump, bounded by end. It returns
-// false — having done nothing — when any participant pins the bus or
-// declines, in which case the caller must take an exact Step.
-//
-// The bound matters for correctness: external code only interacts with the
-// bus (Enqueue, Attach, predicate checks) at Run-family boundaries, so a
-// jump may never overshoot the window the caller asked for.
-func (b *Bus) tryFastForward(end BitTime) bool {
+// idleHorizon computes the furthest bit time, bounded by end, through which
+// every node promises quiescence. It returns b.now when any participant pins
+// the bus or declines the promise. It performs no state changes.
+func (b *Bus) idleHorizon(end BitTime) BitTime {
 	if b.ffDisabled || b.pinned > 0 || b.tapPinned > 0 || end <= b.now {
-		return false
+		return b.now
 	}
 	if len(b.nodes) == 0 {
 		// An empty bus is trivially cheap to step exactly, and callers of
 		// RunUntil on a bare bus (tests, examples) may poll Now() in their
 		// predicates; keep their per-bit timing.
-		return false
+		return b.now
 	}
 	horizon := end
 	for _, q := range b.quiescent {
 		h := q.QuiescentUntil(b.now)
 		if h <= b.now {
-			return false
+			return b.now
 		}
 		if h < horizon {
 			horizon = h
 		}
 	}
+	return horizon
+}
+
+// jumpIdle commits a quiescent jump to the given horizon, which the caller
+// must have obtained from idleHorizon with no intervening state changes.
+func (b *Bus) jumpIdle(horizon BitTime) {
 	n := int64(horizon - b.now)
 	for _, q := range b.quiescent {
 		q.SkipIdle(b.now, horizon)
@@ -104,5 +107,22 @@ func (b *Bus) tryFastForward(end BitTime) bool {
 	b.last = can.Recessive
 	b.now = horizon
 	b.ffSkipped += n
+	idleForwardedTotal.Add(n)
+}
+
+// tryFastForward attempts one quiescent jump, bounded by end. It returns
+// false — having done nothing — when any participant pins the bus or
+// declines, in which case the caller tries the frame fast path and then an
+// exact Step.
+//
+// The bound matters for correctness: external code only interacts with the
+// bus (Enqueue, Attach, predicate checks) at Run-family boundaries, so a
+// jump may never overshoot the window the caller asked for.
+func (b *Bus) tryFastForward(end BitTime) bool {
+	horizon := b.idleHorizon(end)
+	if horizon <= b.now {
+		return false
+	}
+	b.jumpIdle(horizon)
 	return true
 }

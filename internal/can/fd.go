@@ -120,6 +120,17 @@ func (c *FDCRC) Update(bit Level) {
 	}
 }
 
+// Reset re-seeds the register for a fresh frame, preserving its width so a
+// receiver can reuse the same two registers across frames instead of
+// allocating a pair per reception.
+func (c *FDCRC) Reset() {
+	if c.bits == 17 {
+		c.reg = CRC17Init
+	} else {
+		c.reg = CRC21Init
+	}
+}
+
 // Sum returns the checksum; Bits its width.
 func (c *FDCRC) Sum() uint32 { return c.reg & c.mask }
 

@@ -201,6 +201,14 @@ type Controller struct {
 	plan         *txPlan
 	txIdx        int
 	acked        bool
+	// planCache memoizes serializations of recently transmitted frames
+	// (periodic traffic retransmits a small fixed message set); see planFor.
+	planCache map[planKey]*txPlan
+	// rxSpanCache memoizes the receive pipeline's end state per committed
+	// span (see rxRun); rxSharedBits marks that rxBits/rxFDCRCBits currently
+	// alias a cached snapshot and must be dropped, not truncated, on reset.
+	rxSpanCache  []rxSpanSlot
+	rxSharedBits bool
 
 	// Receive pipeline, active for every frame on the bus from its SOF.
 	rxDestuf      can.Destuffer
@@ -227,6 +235,11 @@ type Controller struct {
 	rxSCBits    [4]can.Level
 	rxFDCRCBits []can.Level
 	rxLastWire  can.Level
+	// rxWire counts the wire bits of the current frame this controller has
+	// consumed (SOF included, so it reads 1 after the SOF bit). A receiver is
+	// bit-synchronized to a transmitter exactly when rxWire equals the
+	// transmitter's txIdx — the proof the frame fast path relies on.
+	rxWire int
 
 	// Error-signalling counters.
 	flagCount    int

@@ -16,7 +16,7 @@ func (c *Controller) beginFrame(t bus.BitTime, level can.Level, contender bool) 
 	c.plan = nil
 	if contender {
 		if f, ok := c.queue.head(); ok {
-			c.plan = newTxPlan(f)
+			c.plan = c.planFor(f)
 			c.txIdx = 0
 			c.acked = false
 			c.transmitting = true
@@ -30,6 +30,13 @@ func (c *Controller) beginFrame(t bus.BitTime, level can.Level, contender bool) 
 // resetRx clears the receive pipeline for a new frame.
 func (c *Controller) resetRx() {
 	c.rxDestuf.Reset()
+	if c.rxSharedBits {
+		// The working slices alias a cached rxSnapshot; truncating and
+		// appending would scribble on it.
+		c.rxBits = nil
+		c.rxFDCRCBits = nil
+		c.rxSharedBits = false
+	}
 	c.rxBits = c.rxBits[:0]
 	c.rxCRC.Reset()
 	c.rxDLC = -1
@@ -42,13 +49,19 @@ func (c *Controller) resetRx() {
 	c.rxAwaitStuff = false
 	c.rxFD = false
 	c.rxFDKnown = false
-	c.rxFDCRC17 = can.NewFDCRC(0)
-	c.rxFDCRC21 = can.NewFDCRC(64)
+	if c.rxFDCRC17 == nil {
+		c.rxFDCRC17 = can.NewFDCRC(0)
+		c.rxFDCRC21 = can.NewFDCRC(64)
+	} else {
+		c.rxFDCRC17.Reset()
+		c.rxFDCRC21.Reset()
+	}
 	c.rxDynStuff = 0
 	c.rxFSIdx = -1
 	c.rxFSBNext = false
 	c.rxFDCRCBits = c.rxFDCRCBits[:0]
 	c.rxLastWire = can.Recessive
+	c.rxWire = 0
 }
 
 // observeFrame advances the frame state machine by one observed bit. The
@@ -78,8 +91,10 @@ func (c *Controller) monitorTxBit(t bus.BitTime, level can.Level) bool {
 			c.txError(t, StuffError)
 			return true
 		}
-		// Lost arbitration to a lower ID: hand over to the receive pipeline.
+		// Lost arbitration to a lower ID: hand over to the receive pipeline,
+		// catching it up on the bits deferred while we were the transmitter.
 		c.transmitting = false
+		c.flushDeferredRx(t)
 		c.stats.ArbitrationLosses++
 		return false
 	case c.txIdx == c.plan.ackIdx:
@@ -122,7 +137,20 @@ func (c *Controller) txSuccess(t bus.BitTime) {
 }
 
 // rxProcess advances the receive pipeline by one observed bit.
+//
+// A transmitter defers its receive pipeline entirely (rxWire stays behind
+// txIdx): the pipeline is externally inert while transmitting — the ACK
+// decision, the CRC-error check, and rxComplete are all receiver-only, and
+// any observed/expected mismatch raises a tx error in monitorTxBit before
+// this function runs — so the work is dropped unperformed at frame end. The
+// one path back to live reception, arbitration loss, replays the deferred
+// bits from the plan (flushDeferredRx), which equals the resolved wire
+// stream bit-for-bit over that prefix.
 func (c *Controller) rxProcess(t bus.BitTime, level can.Level) {
+	if c.transmitting && c.rxWire < c.txIdx {
+		return
+	}
+	c.rxWire++
 	if c.rxTrailer == 0 {
 		c.rxStuffedBit(t, level)
 		return
@@ -169,10 +197,13 @@ func (c *Controller) rxStuffedBit(t bus.BitTime, level can.Level) {
 		return
 	}
 	// FD CRCs run over every wire bit of the dynamic region (FD covers
-	// stuff bits); harmless for classical frames, which use CRC-15.
-	c.rxFDCRC17.Update(level)
-	c.rxFDCRC21.Update(level)
-	defer func() { c.rxLastWire = level }()
+	// stuff bits); skipped once the FDF bit has revealed a classical frame,
+	// which is protected by CRC-15 only.
+	if !c.rxFDKnown || c.rxFD {
+		c.rxFDCRC17.Update(level)
+		c.rxFDCRC21.Update(level)
+	}
+	c.rxLastWire = level
 	if c.rxAwaitStuff {
 		// The stuffed region can end with a pending stuff bit (after the
 		// final CRC bit for classical frames, after the final data bit for
@@ -265,6 +296,19 @@ func (c *Controller) rxStuffedBit(t bus.BitTime, level can.Level) {
 		} else {
 			c.rxTrailer = 1
 		}
+	}
+}
+
+// flushDeferredRx catches the receive pipeline up on the wire bits deferred
+// while this controller was the transmitter. Deferred bits are replayed from
+// the plan: over the deferred prefix every resolved level matched the
+// transmitted bit (any mismatch would have ended the attempt before the
+// deferral grew), so the replay is exact. Call with transmitting already
+// false — rxProcess skips deferred transmitters.
+func (c *Controller) flushDeferredRx(t bus.BitTime) {
+	n := c.txIdx
+	for c.rxWire < n && c.phase == phaseFrame {
+		c.rxProcess(t, c.plan.bits[c.rxWire])
 	}
 }
 
@@ -364,13 +408,14 @@ func (c *Controller) rxFDDynamicBit(t bus.BitTime, level can.Level, n int) {
 // stuff-count field and the CRC-17/21 sequence, each 4-bit group preceded by
 // a fixed stuff bit that must invert its predecessor.
 func (c *Controller) rxFDFixedStuffBit(t bus.BitTime, level can.Level) {
-	defer func() { c.rxLastWire = level }()
+	prev := c.rxLastWire
+	c.rxLastWire = level
 	crcBits := 17
 	if c.rxDataLen > 16 {
 		crcBits = 21
 	}
 	if c.rxFSBNext {
-		if level == c.rxLastWire {
+		if level == prev {
 			c.frameError(t, StuffError)
 			return
 		}

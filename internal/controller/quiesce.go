@@ -17,14 +17,18 @@ var _ bus.Quiescent = (*Controller)(nil)
 //     128th 11-recessive-bit sequence completes, so the recovery transition
 //     (state change + callback) fires during an exact step at the correct
 //     bit time;
-//   - everything else — mid-frame, error signalling, intermission, suspend,
-//     or a pending SOF — advances per-bit state and pins exact stepping.
+//   - intermission or suspend with an empty transmit mailbox: forever — the
+//     interCount → suspend → idle transition chain under recessive bits is a
+//     pure function of the bit count (SkipIdle replays it) and produces no
+//     external event when there is nothing to send;
+//   - everything else — mid-frame, error signalling, or a pending SOF —
+//     advances per-bit state and pins exact stepping.
 func (c *Controller) QuiescentUntil(now bus.BitTime) bus.BitTime {
 	if c.driveNext == can.Dominant {
 		return now
 	}
 	switch c.phase {
-	case phaseIdle:
+	case phaseIdle, phaseIntermission, phaseSuspend:
 		if c.queue.len() > 0 || c.pendingSOF {
 			return now
 		}
@@ -45,15 +49,48 @@ func (c *Controller) QuiescentUntil(now bus.BitTime) bus.BitTime {
 
 // SkipIdle implements bus.Quiescent: account for to-from recessive bits in
 // one call, exactly as if Observe had seen each of them. Per-bit idle state
-// is the idle-run counter plus, during auto-recovery bus-off, the recovery
-// sequence counters; QuiescentUntil guarantees the skip never crosses the
-// recovery-completion bit, so no state transition can occur in here.
+// is the idle-run counter; during auto-recovery bus-off, the recovery
+// sequence counters (QuiescentUntil guarantees the skip never crosses the
+// recovery-completion bit); during intermission/suspend, the transition
+// chain back to idle, which with an empty mailbox changes phase counters
+// only and never a drive decision.
 func (c *Controller) SkipIdle(from, to bus.BitTime) {
 	n := int64(to - from)
 	c.idleRun += int(n)
-	if c.phase == phaseBusOff && c.cfg.AutoRecover {
-		total := int64(c.recoverRun) + n
-		c.recoverSeqs += int(total / RecoveryIdleBits)
-		c.recoverRun = int(total % RecoveryIdleBits)
+	switch c.phase {
+	case phaseBusOff:
+		if c.cfg.AutoRecover {
+			total := int64(c.recoverRun) + n
+			c.recoverSeqs += int(total / RecoveryIdleBits)
+			c.recoverRun = int(total % RecoveryIdleBits)
+		}
+	case phaseIntermission:
+		need := int64(IntermissionBits - c.interCount)
+		if n < need {
+			c.interCount += int(n)
+			return
+		}
+		c.interCount = IntermissionBits
+		n -= need
+		if c.state == ErrorPassive && c.framesSinceTx < 2 {
+			c.phase = phaseSuspend
+			c.suspendCount = 0
+			c.skipSuspend(n)
+			return
+		}
+		c.phase = phaseIdle
+	case phaseSuspend:
+		c.skipSuspend(n)
 	}
+}
+
+// skipSuspend replays n recessive bits of the suspend-transmission window.
+func (c *Controller) skipSuspend(n int64) {
+	need := int64(SuspendBits - c.suspendCount)
+	if n < need {
+		c.suspendCount += int(n)
+		return
+	}
+	c.suspendCount = SuspendBits
+	c.phase = phaseIdle
 }

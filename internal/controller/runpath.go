@@ -1,0 +1,389 @@
+package controller
+
+import (
+	"unsafe"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+var (
+	_ bus.Transmitting = (*Controller)(nil)
+	_ bus.RunObserver  = (*Controller)(nil)
+)
+
+// CommittedBits implements bus.Transmitting. A transmitter mid-frame has its
+// entire wire stream serialized up front (txPlan), so as long as every other
+// node stays recessive, the bits it will drive are known in advance. Two
+// spans of the plan qualify:
+//
+//   - arbitration through the CRC delimiter (txIdx in [1, ackIdx)): under the
+//     sole-transmitter premise no competing dominant bit can appear, so
+//     arbitration is uncontested by construction — any contender either
+//     commits bits itself (two committers, bus declines) or reports a
+//     dominant driveNext (pins the span);
+//   - ACK delimiter through the second-to-last EOF bit (txIdx in
+//     (ackIdx, len-1)).
+//
+// The SOF (txIdx 0 never occurs between bits — beginFrame consumes it), the
+// ACK slot (its observed level feeds back into acked), and the final EOF bit
+// (txSuccess fires callbacks and pops the mailbox) stay on the exact path.
+func (c *Controller) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	if c.phase != phaseFrame || !c.transmitting || c.plan == nil {
+		return nil, now
+	}
+	switch {
+	case c.txIdx >= 1 && c.txIdx < c.plan.ackIdx:
+		run := c.plan.bits[c.txIdx:c.plan.ackIdx]
+		return run, now + bus.BitTime(len(run))
+	case c.txIdx > c.plan.ackIdx && c.txIdx < len(c.plan.bits)-1:
+		run := c.plan.bits[c.txIdx : len(c.plan.bits)-1]
+		return run, now + bus.BitTime(len(run))
+	}
+	return nil, now
+}
+
+// FrameBit implements bus.Transmitting: the wire index (SOF = 0) of the next
+// bit this transmitter drives.
+func (c *Controller) FrameBit() int { return c.txIdx }
+
+// PassiveRun implements bus.RunObserver. The controller promises passivity
+// over the proposed span when:
+//
+//   - it is a receiver in the same frame, bit-synchronized to the
+//     transmitter (rxWire == frameBit). Committed streams only ever come
+//     from a txPlan — a stuff-compliant serialization of a validated frame
+//     with a correct CRC — so a synchronized receiver consuming that stream
+//     can raise no stuff/form/CRC/bit error and reaches no completion
+//     callback before the final EOF bit, which the transmitter never
+//     commits. The whole span is accepted in O(1); the possible dominant ACK
+//     decision lands on driveNext at span end, after the span's last bit,
+//     which keeps the promise.
+//   - it is out of the frame (idle, intermission, suspend) with nothing to
+//     send: it accepts the leading recessive prefix — a dominant bit would
+//     be a join-as-SOF event, left to the exact path;
+//   - it is bus-off: always passive; with auto-recovery the span is clamped
+//     below the recovery-completion bit so the rejoin transition fires on an
+//     exact step.
+//
+// Everything else — a pending dominant drive, error signalling, a desynced
+// receiver — pins the span.
+func (c *Controller) PassiveRun(now bus.BitTime, frameBit int, levels []can.Level) int {
+	if c.driveNext == can.Dominant {
+		return 0
+	}
+	switch c.phase {
+	case phaseFrame:
+		if !c.transmitting && c.rxWire == frameBit {
+			return len(levels)
+		}
+		return 0
+	case phaseIdle, phaseIntermission, phaseSuspend:
+		if c.queue.len() > 0 || c.pendingSOF {
+			return 0
+		}
+		return leadingRecessive(levels)
+	case phaseBusOff:
+		if !c.cfg.AutoRecover {
+			return len(levels)
+		}
+		remaining := int64(RecoverySequences-c.recoverSeqs)*RecoveryIdleBits - int64(c.recoverRun)
+		if remaining <= 1 {
+			return 0
+		}
+		if int64(len(levels)) < remaining {
+			return len(levels)
+		}
+		return int(remaining - 1)
+	}
+	return 0
+}
+
+// ObserveRun implements bus.RunObserver: consume a span of resolved levels,
+// leaving the controller in exactly the state len(levels) per-bit Observe
+// calls would have produced.
+func (c *Controller) ObserveRun(from bus.BitTime, levels []can.Level) {
+	switch c.phase {
+	case phaseFrame:
+		c.frameRun(from, levels)
+	case phaseBusOff:
+		c.trackIdleRun(levels)
+		c.driveNext = can.Recessive
+		if c.cfg.AutoRecover {
+			// PassiveRun clamped the span below recovery completion, so the
+			// counters can only accumulate here — no transition check.
+			for _, level := range levels {
+				if level == can.Recessive {
+					c.recoverRun++
+					if c.recoverRun >= RecoveryIdleBits {
+						c.recoverSeqs++
+						c.recoverRun = 0
+					}
+				} else {
+					c.recoverRun = 0
+				}
+			}
+		}
+	default:
+		// Idle/intermission/suspend spans are all-recessive by this
+		// controller's own PassiveRun answer (the bus clamps to it), which is
+		// exactly the SkipIdle contract.
+		c.SkipIdle(from, from+bus.BitTime(len(levels)))
+	}
+}
+
+// frameRun advances a mid-frame controller over a span of resolved levels.
+// For the sole transmitter the levels are its own committed bits, so bit
+// monitoring reduces to advancing txIdx, and the receive pipeline stays
+// deferred (see rxProcess) — the whole span is O(1). A receiver runs the
+// full pipeline, as in per-bit observeFrame.
+func (c *Controller) frameRun(from bus.BitTime, levels []can.Level) {
+	c.trackIdleRun(levels)
+	if c.transmitting {
+		c.txIdx += len(levels)
+		c.driveNext = c.plan.bits[c.txIdx]
+		return
+	}
+	c.rxRun(from, levels)
+}
+
+// trackIdleRun replays Observe's per-bit idle-run accounting for a span.
+func (c *Controller) trackIdleRun(levels []can.Level) {
+	k := 0
+	for i := len(levels) - 1; i >= 0 && levels[i] == can.Recessive; i-- {
+		k++
+	}
+	if k == len(levels) {
+		c.idleRun += k
+	} else {
+		c.idleRun = k
+	}
+}
+
+// leadingRecessive returns the length of the leading recessive prefix.
+func leadingRecessive(levels []can.Level) int {
+	for i, level := range levels {
+		if level != can.Recessive {
+			return i
+		}
+	}
+	return len(levels)
+}
+
+// rxSpanSlot is one direct-mapped entry of the span cache. The span is
+// identified by the identity of its bits: plans are immutable once built and
+// memoized (planFor), so a span's backing array pointer plus its length pins
+// the exact level sequence — the stored strong pointer keeps the array
+// alive, so the address cannot be reused for different bits. A collision
+// simply evicts the previous entry.
+type rxSpanSlot struct {
+	ptr  *can.Level
+	snap *rxSnapshot
+	n    int32
+}
+
+// rxSpanSlotBits sizes the direct-mapped span cache (message set ×
+// rolling-counter rotation × the few clamped lengths each span recurs at).
+const rxSpanSlotBits = 14
+
+// rxSpanIdx hashes a span identity into the cache.
+func rxSpanIdx(p *can.Level, n int) uint {
+	h := uintptr(unsafe.Pointer(p)) >> 3
+	h ^= h >> rxSpanSlotBits
+	return uint(h^uintptr(n)<<5) & (1<<rxSpanSlotBits - 1)
+}
+
+// rxSnapshot is the receive pipeline's complete state after consuming a
+// span from the post-SOF baseline. Both slices are stored with cap == len,
+// so a later append (a follow-up bit after a clamped span) reallocates and
+// leaves the cached arrays untouched.
+type rxSnapshot struct {
+	destuf      can.Destuffer
+	bits        []can.Level
+	crc         can.CRC15
+	dlc         int
+	crcOK       bool
+	trailer     int
+	layout      can.Layout
+	layoutKnown bool
+	remote      bool
+	dataLen     int
+	awaitStuff  bool
+	fd, fdKnown bool
+	fdcrc17     can.FDCRC
+	fdcrc21     can.FDCRC
+	dynStuff    int
+	fsIdx       int
+	fsbNext     bool
+	fdCRCBits   []can.Level
+	lastWire    can.Level
+	wire        int
+	driveNext   can.Level
+}
+
+// rxRun feeds a span of resolved levels through the receive pipeline.
+//
+// A receiver consuming a committed span from the post-SOF baseline (rxWire
+// == 1, the state resetRx plus the SOF bit always produces) ends in a state
+// that is a pure function of the span's levels — the pipeline reads nothing
+// else, the bit time only feeds error paths a compliant stream cannot reach,
+// and no receiver-visible callback fires before the final EOF bit, which is
+// never committed. Periodic traffic replays the same spans over and over, so
+// that end state is memoized per span identity and a hit replaces the whole
+// decode with a state copy.
+func (c *Controller) rxRun(from bus.BitTime, levels []can.Level) {
+	if c.phase != phaseFrame || c.rxWire != 1 {
+		c.rxRunSteps(from, levels)
+		return
+	}
+	if c.rxSpanCache == nil {
+		c.rxSpanCache = make([]rxSpanSlot, 1<<rxSpanSlotBits)
+	}
+	// Two-way set-associative probe (see rxSpanSlot): a sticky collision
+	// pair in a direct-mapped table would redecode the span every time.
+	idx := rxSpanIdx(&levels[0], len(levels)) &^ 1
+	slot := &c.rxSpanCache[idx]
+	if slot.ptr != &levels[0] || int(slot.n) != len(levels) {
+		alt := &c.rxSpanCache[idx|1]
+		if alt.ptr == &levels[0] && int(alt.n) == len(levels) {
+			*slot, *alt = *alt, *slot // promote the hit to the first way
+		} else {
+			slot = nil
+		}
+	}
+	if slot != nil {
+		s := slot.snap
+		c.rxDestuf = s.destuf
+		c.rxBits = s.bits
+		c.rxSharedBits = true
+		c.rxCRC = s.crc
+		c.rxDLC = s.dlc
+		c.rxCRCOK = s.crcOK
+		c.rxTrailer = s.trailer
+		c.rxLayout = s.layout
+		c.rxLayoutKnown = s.layoutKnown
+		c.rxRemote = s.remote
+		c.rxDataLen = s.dataLen
+		c.rxAwaitStuff = s.awaitStuff
+		c.rxFD = s.fd
+		c.rxFDKnown = s.fdKnown
+		*c.rxFDCRC17 = s.fdcrc17
+		*c.rxFDCRC21 = s.fdcrc21
+		c.rxDynStuff = s.dynStuff
+		c.rxFSIdx = s.fsIdx
+		c.rxFSBNext = s.fsbNext
+		c.rxFDCRCBits = s.fdCRCBits
+		c.rxLastWire = s.lastWire
+		c.rxWire = s.wire
+		c.driveNext = s.driveNext
+		return
+	}
+	c.rxRunSteps(from, levels)
+	if c.phase != phaseFrame || c.rxWire != 1+len(levels) {
+		return // left the frame or split the span: state not span-pure
+	}
+	s := &rxSnapshot{
+		destuf:      c.rxDestuf,
+		bits:        cloneExact(c.rxBits),
+		crc:         c.rxCRC,
+		dlc:         c.rxDLC,
+		crcOK:       c.rxCRCOK,
+		trailer:     c.rxTrailer,
+		layout:      c.rxLayout,
+		layoutKnown: c.rxLayoutKnown,
+		remote:      c.rxRemote,
+		dataLen:     c.rxDataLen,
+		awaitStuff:  c.rxAwaitStuff,
+		fd:          c.rxFD,
+		fdKnown:     c.rxFDKnown,
+		fdcrc17:     *c.rxFDCRC17,
+		fdcrc21:     *c.rxFDCRC21,
+		dynStuff:    c.rxDynStuff,
+		fsIdx:       c.rxFSIdx,
+		fsbNext:     c.rxFSBNext,
+		fdCRCBits:   cloneExact(c.rxFDCRCBits),
+		lastWire:    c.rxLastWire,
+		wire:        c.rxWire,
+		driveNext:   c.driveNext,
+	}
+	c.rxSpanCache[idx|1] = c.rxSpanCache[idx] // demote the incumbent
+	c.rxSpanCache[idx] = rxSpanSlot{ptr: &levels[0], snap: s, n: int32(len(levels))}
+}
+
+// cloneExact copies a slice with cap == len, so appends by the adopter
+// reallocate instead of scribbling on the original.
+func cloneExact(s []can.Level) []can.Level {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]can.Level, len(s))
+	copy(out, s)
+	return out
+}
+
+// rxRunSteps is the stepping decode behind rxRun. The stuffed region of a
+// classical frame after the DLC is known — the bulk of every span — runs
+// through a tight inline loop; everything else falls back to the per-bit
+// functions. Should an error path ever leave the frame phase mid-span
+// (impossible for a compliant committed stream, but cheap to guard), the
+// remainder replays through exact per-bit Observe.
+func (c *Controller) rxRunSteps(from bus.BitTime, levels []can.Level) {
+	for i := 0; i < len(levels); {
+		if c.phase != phaseFrame {
+			for ; i < len(levels); i++ {
+				c.Observe(from+bus.BitTime(i), levels[i])
+			}
+			return
+		}
+		c.driveNext = can.Recessive
+		if c.rxTrailer == 0 && c.rxFDKnown && !c.rxFD && c.rxDLC >= 0 && !c.rxAwaitStuff && c.rxFSIdx < 0 {
+			i += c.rxBulkClassical(from+bus.BitTime(i), levels[i:])
+			continue
+		}
+		c.rxProcess(from+bus.BitTime(i), levels[i])
+		i++
+	}
+}
+
+// rxBulkClassical consumes wire bits of a classical frame's stuffed region
+// once the DLC is known: destuff, CRC-15, and bit collection in one loop,
+// with no per-bit dispatch. It returns the number of wire bits consumed,
+// stopping at the end of the stuffed region or of the span, or at a stuff
+// error (which cannot occur for a committed stream but keeps the routine a
+// faithful drop-in for rxStuffedBit).
+func (c *Controller) rxBulkClassical(from bus.BitTime, levels []can.Level) int {
+	unstuffedLen := c.rxLayout.UnstuffedLen(c.rxDataLen)
+	dataEnd := unstuffedLen - can.CRCBits
+	consumed := 0
+	for consumed < len(levels) {
+		level := levels[consumed]
+		consumed++
+		c.rxWire++
+		c.rxLastWire = level
+		payload, err := c.rxDestuf.Next(level)
+		if err != nil {
+			c.frameError(from+bus.BitTime(consumed-1), StuffError)
+			return consumed
+		}
+		if !payload {
+			c.rxDynStuff++
+			continue
+		}
+		c.rxBits = append(c.rxBits, level)
+		n := len(c.rxBits)
+		if n <= dataEnd {
+			c.rxCRC.Update(level)
+		}
+		if n == unstuffedLen {
+			got := uint16(can.DecodeField(c.rxBits, dataEnd, can.CRCBits))
+			c.rxCRCOK = got == c.rxCRC.Sum()
+			if c.rxDestuf.Expecting() {
+				c.rxAwaitStuff = true
+			} else {
+				c.rxTrailer = 1
+			}
+			return consumed
+		}
+	}
+	return consumed
+}

@@ -27,11 +27,62 @@ type txPlan struct {
 	ackIdx int
 }
 
+// planKey is the value identity of a classical frame, used to memoize
+// serializations: a txPlan is immutable once built and depends only on the
+// frame's encoded fields, so equal frames share one plan.
+type planKey struct {
+	id      can.ID
+	flags   uint8
+	reqLen  int8
+	dataLen int8
+	data    [can.MaxDataLen]byte
+}
+
+// planCacheMax bounds the per-controller plan cache. Periodic traffic cycles
+// a small message set, but payloads commonly carry an 8-bit rolling counter,
+// multiplying the distinct-frame population by up to 256 per ID; the cap is
+// sized to hold a realistic matrix's full rotation (tens of IDs × 256) and
+// only guards truly adversarial workloads, where it resets the cache.
+const planCacheMax = 16384
+
+// planFor returns the serialized plan for f, reusing a cached serialization
+// when this controller has transmitted an equal frame before. Mirrors a real
+// controller's mailbox, which keeps the frame serialized between the
+// retransmissions and periodic re-sends that dominate bus traffic. The
+// cached plan's frame field is refreshed to the current head so completion
+// callbacks observe exactly the enqueued value, as on the uncached path.
+func (c *Controller) planFor(f can.Frame) *txPlan {
+	if f.FD || len(f.Data) > can.MaxDataLen {
+		return newTxPlan(f)
+	}
+	key := planKey{id: f.ID, reqLen: int8(f.RequestLen), dataLen: int8(len(f.Data))}
+	if f.Extended {
+		key.flags |= 1
+	}
+	if f.Remote {
+		key.flags |= 2
+	}
+	copy(key.data[:], f.Data)
+	if p, ok := c.planCache[key]; ok {
+		p.frame = f
+		return p
+	}
+	p := newTxPlan(f)
+	if c.planCache == nil || len(c.planCache) >= planCacheMax {
+		c.planCache = make(map[planKey]*txPlan)
+	}
+	c.planCache[key] = p
+	return p
+}
+
 // newTxPlan serializes a frame for transmission.
 func newTxPlan(f can.Frame) *txPlan {
 	if f.FD {
 		wire, isStuff, arbEnd, ackIdx := can.FDWirePlan(&f)
 		return &txPlan{frame: f, bits: wire, arbEnd: arbEnd, isStuff: isStuff, ackIdx: ackIdx}
+	}
+	if !f.Extended {
+		return newTxPlanBase(f)
 	}
 	body := can.UnstuffedBody(&f)
 	arbEndPos := can.Layout{Extended: f.Extended}.ArbEndPos()
@@ -65,6 +116,98 @@ func newTxPlan(f can.Frame) *txPlan {
 		isStuff = append(isStuff, false)
 	}
 	return &txPlan{frame: f, bits: wire, arbEnd: arbEnd, isStuff: isStuff, ackIdx: ackIdx}
+}
+
+// newTxPlanBase serializes a classical base-format frame with field
+// generation, CRC-15, and bit stuffing fused into a single pass (two
+// allocations total). The output — bits, isStuff, arbEnd, ackIdx — is
+// bit-identical to the general three-pass path in newTxPlan, which remains
+// the reference for extended frames (a differential test pins the
+// equivalence). Serialization runs on every frame start, so this is the
+// hottest single routine under load.
+func newTxPlanBase(f can.Frame) *txPlan {
+	unstuffed := can.UnstuffedLen(len(f.Data))
+	dataEnd := unstuffed - can.CRCBits
+	maxWire := unstuffed + unstuffed/4 + 3 + can.EOFBits
+	bits := make([]can.Level, 0, maxWire)
+	isStuff := make([]bool, 0, maxWire)
+
+	rtr := can.Dominant
+	dlc := uint(len(f.Data))
+	if f.Remote {
+		rtr = can.Recessive
+		dlc = uint(f.RequestLen)
+	}
+
+	var (
+		reg    uint16 // CRC-15 register
+		sum    uint16 // snapshot of the register after the last data bit
+		last   can.Level
+		run    int
+		arbEnd int
+	)
+	for pos := 0; pos < unstuffed; pos++ {
+		var b can.Level
+		switch {
+		case pos == can.PosSOF:
+			b = can.Dominant
+		case pos < can.PosRTR:
+			b = f.ID.Bit(pos - can.PosIDStart)
+		case pos == can.PosRTR:
+			b = rtr
+		case pos < can.PosDLCStart:
+			b = can.Dominant // IDE, r0
+		case pos < can.PosDataStart:
+			b = levelOf(dlc, can.PosDataStart-1-pos)
+		case pos < dataEnd:
+			off := pos - can.PosDataStart
+			b = levelOf(uint(f.Data[off>>3]), 7-off&7)
+		default:
+			if pos == dataEnd {
+				sum = reg
+			}
+			b = levelOf(uint(sum), unstuffed-1-pos)
+		}
+		if pos < dataEnd {
+			// CRC_NXT = NXTBIT xor CRC_RG(14); shift; conditional xor 0x4599.
+			nxt := uint16(b) ^ (reg >> (can.CRCBits - 1) & 1)
+			reg = reg << 1 & (1<<can.CRCBits - 1)
+			if nxt != 0 {
+				reg ^= can.CRCPoly
+			}
+		}
+		if pos > 0 && b == last {
+			run++
+		} else {
+			last, run = b, 1
+		}
+		bits = append(bits, b)
+		isStuff = append(isStuff, false)
+		if run == can.StuffLimit {
+			st := b ^ 1
+			last, run = st, 1
+			bits = append(bits, st)
+			isStuff = append(isStuff, true)
+		}
+		if pos <= can.PosRTR {
+			arbEnd = len(bits)
+		}
+	}
+	bits = append(bits, can.Recessive) // CRC delimiter
+	ackIdx := len(bits)
+	bits = append(bits, can.Recessive, can.Recessive) // ACK slot, ACK delimiter
+	for i := 0; i < can.EOFBits; i++ {
+		bits = append(bits, can.Recessive)
+	}
+	for len(isStuff) < len(bits) {
+		isStuff = append(isStuff, false)
+	}
+	return &txPlan{frame: f, bits: bits, arbEnd: arbEnd, isStuff: isStuff, ackIdx: ackIdx}
+}
+
+// levelOf returns bit i of v as a wire level (set = recessive).
+func levelOf(v uint, i int) can.Level {
+	return can.Level(v >> uint(i) & 1)
 }
 
 // txQueue is the controller's transmit mailbox. The head of the queue is the

@@ -148,6 +148,10 @@ type Defense struct {
 	detectedAt       int  // FSM decision position within the ID (1-11)
 	counterattacking bool
 	pullRemaining    int
+
+	// scanCache memoizes pure PassiveRun scans per committed-span identity
+	// (direct-mapped; see the fast-path PassiveRun in runpath.go).
+	scanCache []scanSlot
 }
 
 var _ bus.Node = (*Defense)(nil)

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"unsafe"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/fsm"
+	"michican/internal/mcu"
+)
+
+var (
+	_ bus.RunObserver  = (*Defense)(nil)
+	_ bus.RunObserver  = (*ECU)(nil)
+	_ bus.Transmitting = (*ECU)(nil)
+)
+
+// PassiveRun implements bus.RunObserver: a pure scan of the proposed span
+// through Algorithm 1's per-bit logic, answering the longest prefix over
+// which the defense keeps its TX pin released. A counterattack launch at span
+// bit i still accepts i+1 bits — the pull only reaches the wire on the bit
+// after the strike decision — and the next negotiation then sees the mux
+// driving dominant and pins. The scan walks value copies (Destuffer,
+// fsm.Cursor) so the real state is untouched if the bus discards the span.
+func (d *Defense) PassiveRun(_ bus.BitTime, _ int, levels []can.Level) int {
+	if d.mux.DriveLevel() == can.Dominant {
+		return 0
+	}
+	if !d.armed {
+		return len(levels)
+	}
+	// The scan is a pure function of the span's levels and a tiny entry
+	// state, and committed spans have stable identities (immutable memoized
+	// plans), so the two recurring cases are memoized per span: the SOF
+	// baseline (cnt == 1 — frame counter at SOF, stuff tracker seeded, FSM
+	// at the root; parameterized by the SelfTransmitting answer, which is
+	// span-invariant) and the idle hunt (parameterized by cnt_sof saturated
+	// at the SOF threshold — beyond it the exact count cannot change where
+	// the scan stops).
+	var mode uint8
+	switch {
+	case d.inFrame && d.cnt == 1:
+		mode = scanModeSOF
+		if d.cfg.SelfTransmitting != nil && d.cfg.SelfTransmitting() {
+			mode = scanModeSOFSelf
+		}
+	case d.inFrame:
+		return d.frameScan(levels)
+	default:
+		run := d.cntSOF
+		if run > can.IdleForSOF {
+			run = can.IdleForSOF
+		}
+		mode = uint8(run)
+	}
+	key := &levels[0]
+	if d.scanCache == nil {
+		d.scanCache = make([]scanSlot, 1<<scanSlotBits)
+	}
+	// Two-way set-associative probe: a sticky collision pair in a
+	// direct-mapped table would rescan the full span on every probe.
+	idx := scanIdx(key, mode) &^ 1
+	s := &d.scanCache[idx]
+	if s.ptr != key || s.mode != mode {
+		alt := &d.scanCache[idx|1]
+		if alt.ptr == key && alt.mode == mode {
+			*s, *alt = *alt, *s // promote the hit to the first way
+		} else {
+			s = nil
+		}
+	}
+	// The scan is causal: whether bit j is accepted depends only on bits
+	// 0..j. A recorded stop short of the scanned length therefore holds
+	// for every span length; only "accepted everything" needs a rescan
+	// when a longer span over the same bits shows up.
+	if s != nil && (s.stop < s.scanned || len(levels) <= int(s.scanned)) {
+		if n := int(s.stop); n < len(levels) {
+			return n
+		}
+		return len(levels)
+	}
+	var n int
+	if d.inFrame {
+		n = d.frameScan(levels)
+	} else {
+		n = idleScanLevels(levels, d.cntSOF)
+	}
+	if s == nil {
+		d.scanCache[idx|1] = d.scanCache[idx] // demote the incumbent
+		s = &d.scanCache[idx]
+	}
+	*s = scanSlot{ptr: key, mode: mode, scanned: int32(len(levels)), stop: int32(n)}
+	return n
+}
+
+// scanSlot is one direct-mapped scan memo entry: span identity (the strong
+// pointer keeps the plan's backing array alive, so the address pins the
+// bits), the entry mode, the longest prefix scanned, and where the scan
+// stopped within it (== scanned when every bit stayed passive).
+type scanSlot struct {
+	ptr     *can.Level
+	scanned int32
+	stop    int32
+	mode    uint8
+}
+
+// scanSlotBits sizes the memo: 2^scanSlotBits entries organised as two-way
+// sets (message set × rolling-counter rotation × a handful of entry modes;
+// collisions merely rescan).
+const scanSlotBits = 14
+
+// scanIdx hashes a span identity and entry mode into the memo.
+func scanIdx(p *can.Level, mode uint8) uint {
+	h := uintptr(unsafe.Pointer(p)) >> 3
+	h ^= h >> scanSlotBits
+	return uint(h^uintptr(mode)<<7) & (1<<scanSlotBits - 1)
+}
+
+const (
+	// Modes 0..can.IdleForSOF are idle scans keyed by the saturated
+	// recessive run; the two SOF-baseline modes follow.
+	scanModeSOF     = can.IdleForSOF + 1
+	scanModeSOFSelf = can.IdleForSOF + 2
+)
+
+// frameScan replays onFrameBit over the span without mutating the defense.
+func (d *Defense) frameScan(levels []can.Level) int {
+	destuf := d.destuf
+	cur := d.cfg.FSM.Cursor()
+	idBits, postID, extFlag := d.idBits, d.postID, d.extFlag
+	attackFlag := d.attackFlag
+	for i, level := range levels {
+		payload, err := destuf.Next(level)
+		if err != nil {
+			// Six equal levels: the frame is abandoned and SOF hunting
+			// resumes with a zeroed counter.
+			return i + 1 + idleScanLevels(levels[i+1:], 0)
+		}
+		if !payload {
+			continue
+		}
+		if idBits < can.IDBits {
+			idBits++
+			if !attackFlag && cur.Decided() == fsm.Undecided {
+				if cur.Step(level) == fsm.Malicious {
+					attackFlag = true
+				}
+			}
+			continue
+		}
+		postID++
+		if !d.cfg.ExtendedAware {
+			return i + 1 + d.scanStrike(attackFlag, levels[i+1:])
+		}
+		switch {
+		case postID == 1:
+			// RTR/SRR: waiting for the IDE bit.
+		case postID == 2:
+			if level == can.Dominant {
+				return i + 1 + d.scanStrike(attackFlag, levels[i+1:])
+			}
+			extFlag = true
+			if !attackFlag {
+				// Benign extended frame: endFrame, back to SOF hunting.
+				return i + 1 + idleScanLevels(levels[i+1:], 0)
+			}
+		case extFlag && postID == 2+can.ExtLowBits+1:
+			return i + 1 + d.scanStrike(attackFlag, levels[i+1:])
+		}
+	}
+	return len(levels)
+}
+
+// scanStrike resolves the strike point in a pure scan: rest holds the span
+// bits after the strike bit; the return value is how many of them stay
+// passive.
+func (d *Defense) scanStrike(attackFlag bool, rest []can.Level) int {
+	if attackFlag && d.cfg.PreventionEnabled &&
+		!(d.cfg.SelfTransmitting != nil && d.cfg.SelfTransmitting()) {
+		return 0 // the pull reaches the wire on the next bit
+	}
+	// Benign, detection-only, or own transmission: endFrame, SOF hunting.
+	return idleScanLevels(rest, 0)
+}
+
+// idleScanLevels counts the prefix an SOF-hunting defense consumes without
+// synchronizing to a frame: it stops at a dominant bit preceded by >= 11
+// recessives (a true SOF — left to the exact path, or to a fresh span
+// negotiated after it). Committed frame spans contain no such bit, so this
+// normally accepts everything.
+func idleScanLevels(levels []can.Level, run int) int {
+	for i, level := range levels {
+		if level == can.Dominant {
+			if run >= can.IdleForSOF {
+				return i
+			}
+			run = 0
+		} else {
+			run++
+		}
+	}
+	return len(levels)
+}
+
+// ObserveRun implements bus.RunObserver. In-frame bits advance through a
+// batched walk with per-class meter folding — the defense leaves the frame
+// within ~20 bits of SOF (strike point or benign verdict), so this stays a
+// short prefix — and the out-of-frame remainder is accounted in O(1) per
+// segment, with the meter charged for exactly the idle invocations
+// Algorithm 1 would have run.
+func (d *Defense) ObserveRun(from bus.BitTime, levels []can.Level) {
+	if !d.armed {
+		d.mux.LatchRX(levels[len(levels)-1])
+		return
+	}
+	// Every delivered span is clamped to this defense's own PassiveRun answer
+	// (via the bus negotiation, or via CommittedBits on the committing ECU),
+	// so it contains no bit that would synchronize as SOF: the in-frame
+	// prefix advances through the batched walk, and once the defense leaves
+	// the frame the whole remainder is one SOF-free idle batch.
+	i := 0
+	for i < len(levels) && d.inFrame {
+		i += d.frameRunBatch(from+bus.BitTime(i), levels[i:])
+	}
+	if i < len(levels) {
+		d.idleBatch(levels[i:])
+	}
+}
+
+// frameRunBatch consumes a span prefix while in-frame, mutating state
+// exactly as per-bit Observe would. Bits with uniform handler cost (stuff
+// tracking, ID stepping, post-ID waits, counterattack ticks) fold their
+// meter charges per class via ChargeInvocationsAs; the rare decision bit —
+// where decideAtStrikePoint runs and may charge mid-invocation — closes its
+// invocation individually, reproducing the per-bit accounting bit for bit.
+// Returns the number of bits consumed (all of levels, or through the bit on
+// which the defense left the frame).
+func (d *Defense) frameRunBatch(from bus.BitTime, levels []can.Level) int {
+	var trackN, idStepN, idStoreN, caN int64
+	i := 0
+	for i < len(levels) && d.inFrame {
+		level := levels[i]
+		i++
+		d.cnt++
+		if d.counterattacking {
+			caN++
+			d.pullRemaining--
+			if d.pullRemaining <= 0 {
+				d.mux.DisableTX()
+				d.endFrame()
+				break
+			}
+			d.mux.PullLow()
+			continue
+		}
+		payload, err := d.destuf.Next(level)
+		if err != nil {
+			trackN++
+			d.stats.AbortedFrames++
+			d.endFrame()
+			break
+		}
+		if !payload {
+			trackN++
+			continue
+		}
+		if d.idBits < can.IDBits {
+			d.idBits++
+			if !d.attackFlag && d.cfg.FSM.Decided() == fsm.Undecided {
+				idStepN++
+				if d.cfg.FSM.Step(level) == fsm.Malicious {
+					d.attackFlag = true
+					d.detectedAt = d.idBits
+				}
+			} else {
+				idStoreN++
+			}
+			continue
+		}
+		d.postID++
+		if !d.cfg.ExtendedAware {
+			d.strikeBit(from + bus.BitTime(i-1))
+			continue
+		}
+		switch {
+		case d.postID == 1:
+			trackN++
+		case d.postID == 2:
+			if level == can.Dominant {
+				d.strikeBit(from + bus.BitTime(i-1))
+				continue
+			}
+			trackN++
+			d.extFlag = true
+			if !d.attackFlag {
+				d.endFrame()
+			}
+		case d.extFlag && d.postID == 2+can.ExtLowBits+1:
+			d.strikeBit(from + bus.BitTime(i-1))
+		default:
+			trackN++
+		}
+	}
+	base := d.meter.OpCost(mcu.OpISREnterExit) + d.meter.OpCost(mcu.OpReadRX)
+	track := base + d.meter.OpCost(mcu.OpStuffTrack)
+	d.meter.ChargeInvocationsAs(trackN, track, true)
+	store := track + d.meter.OpCost(mcu.OpFrameStore)
+	d.meter.ChargeInvocationsAs(idStoreN, store, true)
+	d.meter.ChargeInvocationsAs(idStepN, store+d.meter.FSMStepCostOf(d.cfg.FSM.Size()), true)
+	d.meter.ChargeInvocationsAs(caN, base+d.meter.OpCost(mcu.OpCounterattack), true)
+	if i > 0 {
+		d.mux.LatchRX(levels[i-1])
+	}
+	return i
+}
+
+// strikeBit runs the strike-point decision for one bit with exact per-bit
+// meter accounting (the decision may charge extra operations into the same
+// handler invocation).
+func (d *Defense) strikeBit(t bus.BitTime) {
+	d.meter.Charge(mcu.OpISREnterExit)
+	d.meter.Charge(mcu.OpReadRX)
+	d.meter.Charge(mcu.OpStuffTrack)
+	d.decideAtStrikePoint(t)
+	d.meter.EndInvocationAs(true)
+}
+
+// idleBatch accounts a run of out-of-frame bits containing no SOF: the RX
+// latch ends at the last level, cnt_sof becomes the trailing recessive run
+// (accumulating if the whole segment is recessive), and the meter is charged
+// for n idle invocations.
+func (d *Defense) idleBatch(seg []can.Level) {
+	k := 0
+	for i := len(seg) - 1; i >= 0 && seg[i] == can.Recessive; i-- {
+		k++
+	}
+	if k == len(seg) {
+		d.cntSOF += k
+	} else {
+		d.cntSOF = k
+	}
+	d.mux.LatchRX(seg[len(seg)-1])
+	d.meter.ChargeIdleInvocations(int64(len(seg)), mcu.OpISREnterExit, mcu.OpReadRX, mcu.OpIdleTrack)
+}
+
+// CommittedBits implements bus.Transmitting for a defended ECU: the
+// controller's commitment, clamped by the defense's own passivity over that
+// stream. The bus never queries PassiveRun on the committing node, so the
+// defense sharing this attachment point must bound the span here — it could
+// otherwise decide to pull CAN_TX low mid-span (it never does for the host's
+// own legitimate frames, which SelfTransmitting suppresses, but the clamp
+// keeps that reasoning local).
+func (e *ECU) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	bits, h := e.Controller.CommittedBits(now)
+	if h <= now || len(bits) == 0 || e.Defense == nil {
+		return bits, h
+	}
+	k := e.Defense.PassiveRun(now, e.Controller.FrameBit(), bits)
+	if k <= 0 {
+		return nil, now
+	}
+	if k < len(bits) {
+		bits = bits[:k]
+		h = now + bus.BitTime(k)
+	}
+	return bits, h
+}
+
+// FrameBit implements bus.Transmitting.
+func (e *ECU) FrameBit() int { return e.Controller.FrameBit() }
+
+// PassiveRun implements bus.RunObserver: both halves of the ECU must stay
+// passive.
+func (e *ECU) PassiveRun(now bus.BitTime, frameBit int, levels []can.Level) int {
+	n := e.Controller.PassiveRun(now, frameBit, levels)
+	if n == 0 || e.Defense == nil {
+		return n
+	}
+	if k := e.Defense.PassiveRun(now, frameBit, levels); k < n {
+		n = k
+	}
+	return n
+}
+
+// ObserveRun implements bus.RunObserver, preserving per-bit delivery order
+// across the halves: the two only interact through the wire and the
+// SelfTransmitting callback, and the controller's transmitting flag is
+// span-invariant, so controller-then-defense batching matches interleaving.
+func (e *ECU) ObserveRun(from bus.BitTime, levels []can.Level) {
+	e.Controller.ObserveRun(from, levels)
+	if e.Defense != nil {
+		e.Defense.ObserveRun(from, levels)
+	}
+}

@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+	"michican/internal/core"
+	"michican/internal/fsm"
+	"michican/internal/restbus"
+	"michican/internal/trace"
+)
+
+// idleOnlyObserver is a deliberately half-capable participant: it promises
+// idle quiescence (so inter-frame jumps still happen) but implements no
+// RunObserver, which pins every sole-transmitter frame span back to exact
+// per-bit stepping. Fuzz mixes include it to exercise the pinning path.
+type idleOnlyObserver struct {
+	bits int64
+}
+
+func (o *idleOnlyObserver) Drive(bus.BitTime) can.Level { return can.Recessive }
+
+func (o *idleOnlyObserver) Observe(bus.BitTime, can.Level) { o.bits++ }
+
+func (o *idleOnlyObserver) QuiescentUntil(now bus.BitTime) bus.BitTime {
+	return now + bus.BitTime(1<<30)
+}
+
+func (o *idleOnlyObserver) SkipIdle(from, to bus.BitTime) { o.bits += int64(to - from) }
+
+// diffOutcome captures everything the differential compares: the full
+// resolved wire trace plus every node's protocol counters.
+type diffOutcome struct {
+	Bits           []can.Level
+	TEC, REC       []int
+	BusOffEvents   []int
+	TxSuccess      []int
+	RxFrames       []int
+	Detections     int
+	Counterattacks int
+}
+
+// randomScenario derives a network from the seed: a handful of periodic
+// messages with random IDs/DLCs/periods behind one replayer, a
+// MichiCAN-defended ECU, optionally a fabrication attacker that starts at a
+// random bit, and optionally the half-capable pinning observer.
+func runRandomScenario(seed int64, exact bool) (diffOutcome, int64, int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var out diffOutcome
+
+	// Random schedule: 2-6 messages, distinct random IDs, random DLC/period.
+	nMsgs := 2 + rng.Intn(5)
+	used := map[can.ID]bool{DefenderID: true}
+	matrix := &restbus.Matrix{Vehicle: "fuzz", Bus: "fuzz"}
+	ids := []can.ID{DefenderID}
+	for len(matrix.Messages) < nMsgs {
+		id := can.ID(rng.Intn(0x7F0))
+		if used[id] {
+			continue
+		}
+		used[id] = true
+		ids = append(ids, id)
+		matrix.Messages = append(matrix.Messages, restbus.Message{
+			ID:          id,
+			Transmitter: fmt.Sprintf("ecu-%03X", uint16(id)),
+			DLC:         rng.Intn(9),
+			Period:      time.Duration(2+rng.Intn(28)) * time.Millisecond,
+		})
+	}
+
+	v, err := fsm.NewIVN(ids)
+	if err != nil {
+		return out, 0, 0, err
+	}
+	ds, err := fsm.NewDetectionSet(v, v.Index(DefenderID))
+	if err != nil {
+		return out, 0, 0, err
+	}
+	def, err := core.New(core.Config{Name: "defender", FSM: fsm.Build(ds)})
+	if err != nil {
+		return out, 0, 0, err
+	}
+
+	bb := bus.New(bus.Rate50k)
+	bb.SetFastForward(!exact)
+	bb.SetFrameFastForward(!exact)
+
+	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
+	bb.Attach(core.NewECU(defCtl, def))
+	rep := restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(seed+1)))
+	bb.Attach(rep)
+
+	ctls := []*controller.Controller{defCtl, rep.Controller()}
+
+	// Pinned-node mix: with probability ~1/3 a half-capable observer joins,
+	// pinning every frame span to exact stepping in both runs.
+	pinned := rng.Intn(3) == 0
+	if pinned {
+		bb.Attach(&idleOnlyObserver{})
+	}
+
+	// Attack mix: with probability ~2/3 a fabrication attacker spoofs either
+	// the defender's ID (provoking detection + counterattack + bus-off) or a
+	// random victim, starting at a random bit.
+	var attacker *attack.Attacker
+	attackStart := int64(0)
+	if rng.Intn(3) != 0 {
+		victim := DefenderID
+		if rng.Intn(3) == 0 {
+			victim = ids[1+rng.Intn(len(ids)-1)]
+		}
+		payload := make([]byte, rng.Intn(9))
+		rng.Read(payload)
+		attacker = attack.NewFabrication("attacker", victim, payload, int64(300+rng.Intn(2000)))
+		attackStart = int64(rng.Intn(3000))
+	}
+
+	rec := trace.NewRecorder()
+	bb.AttachTap(rec)
+
+	// Attach-time randomization happens at a Run boundary, which is the only
+	// point external mutation is allowed on either path.
+	total := int64(20_000) // 400 ms of bus time at 50 kbit/s
+	if attacker != nil {
+		bb.Run(attackStart)
+		bb.Attach(attacker)
+		ctls = append(ctls, attacker.Controller())
+		bb.Run(total - attackStart)
+	} else {
+		bb.Run(total)
+	}
+
+	out.Bits = rec.Bits()
+	for _, c := range ctls {
+		st := c.Stats()
+		out.TEC = append(out.TEC, c.TEC())
+		out.REC = append(out.REC, c.REC())
+		out.BusOffEvents = append(out.BusOffEvents, st.BusOffEvents)
+		out.TxSuccess = append(out.TxSuccess, st.TxSuccess)
+		out.RxFrames = append(out.RxFrames, st.RxSuccess)
+	}
+	ds2 := def.Stats()
+	out.Detections = ds2.Detections
+	out.Counterattacks = ds2.Counterattacks
+	idleFF, frameFF := bb.IdleForwardedBits(), bb.FrameForwardedBits()
+	if pinned {
+		// Report the pin through the frame counter so the caller can assert
+		// engagement expectations; idle jumps must still have happened.
+		frameFF = -1
+	}
+	return out, idleFF, frameFF, nil
+}
+
+// diffSeed runs one seed both ways and fails on any divergence.
+func diffSeed(t *testing.T, seed int64) {
+	t.Helper()
+	exact, exIdle, _, err := runRandomScenario(seed, true)
+	if err != nil {
+		t.Fatalf("seed %d exact: %v", seed, err)
+	}
+	if exIdle != 0 {
+		t.Fatalf("seed %d: exact run fast-forwarded", seed)
+	}
+	fast, ffIdle, ffFrame, err := runRandomScenario(seed, false)
+	if err != nil {
+		t.Fatalf("seed %d fast: %v", seed, err)
+	}
+	if ffIdle == 0 {
+		t.Errorf("seed %d: idle fast path never engaged", seed)
+	}
+	if ffFrame == 0 {
+		t.Errorf("seed %d: frame fast path never engaged with no pinning node", seed)
+	}
+	if !reflect.DeepEqual(exact.Bits, fast.Bits) {
+		i := 0
+		for i < len(exact.Bits) && i < len(fast.Bits) && exact.Bits[i] == fast.Bits[i] {
+			i++
+		}
+		t.Fatalf("seed %d: wire traces diverge at bit %d (exact %d bits, fast %d bits)",
+			seed, i, len(exact.Bits), len(fast.Bits))
+	}
+	exact.Bits, fast.Bits = nil, nil
+	if !reflect.DeepEqual(exact, fast) {
+		t.Fatalf("seed %d: counters diverge:\nexact: %+v\nfast:  %+v", seed, exact, fast)
+	}
+}
+
+// TestFastForwardDifferentialRandom sweeps a fixed seed range through the
+// differential: random schedules, attack start bits, and pinned-node mixes
+// must produce bit-identical traces and identical TEC/REC/bus-off counters
+// with the fast paths on and off.
+func TestFastForwardDifferentialRandom(t *testing.T) {
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		diffSeed(t, seed)
+	}
+}
+
+// FuzzFastForwardDifferential lets the fuzzer explore seeds beyond the fixed
+// sweep: any seed for which the fast path diverges from exact stepping is a
+// crasher.
+func FuzzFastForwardDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 2, 7, 42, 1<<40 + 3} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		diffSeed(t, seed)
+	})
+}

@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"michican/internal/bus"
+	"michican/internal/controller"
+	"michican/internal/core"
+	"michican/internal/fsm"
+	"michican/internal/restbus"
+)
+
+// SteppingMode selects how the bus core advances time in a throughput
+// measurement.
+type SteppingMode string
+
+// The three stepping modes of the fast-forward evaluation grid.
+const (
+	// ModeExact steps every bit through the full 2N+T interface calls.
+	ModeExact SteppingMode = "exact"
+	// ModeIdleFF adds the PR1 idle fast-forward: inter-frame recessive
+	// windows jump in one shot, frames stay exact.
+	ModeIdleFF SteppingMode = "idle-ff"
+	// ModeFrameFF adds the sole-transmitter frame fast path on top: an
+	// uncontended frame's committed span is resolved and delivered in bulk.
+	ModeFrameFF SteppingMode = "frame-ff"
+)
+
+// ThroughputRow is one measured cell of the load × stepping-mode grid.
+type ThroughputRow struct {
+	// Load is the offered restbus load the scenario was stretched to.
+	Load float64 `json:"load"`
+	// Mode is the stepping mode measured.
+	Mode SteppingMode `json:"mode"`
+	// SimulatedBits is the amount of bus time simulated, in bit times.
+	SimulatedBits int64 `json:"simulated_bits"`
+	// WallSeconds is the wall-clock cost of simulating them.
+	WallSeconds float64 `json:"wall_seconds"`
+	// BitsPerSecond is SimulatedBits / WallSeconds.
+	BitsPerSecond float64 `json:"bits_per_second"`
+	// NsPerBit is the inverse view: wall nanoseconds per simulated bit.
+	NsPerBit float64 `json:"ns_per_bit"`
+	// AllocsPerMBit is heap allocations per million simulated bits.
+	AllocsPerMBit float64 `json:"allocs_per_mbit"`
+	// IdleHitRate is the fraction of simulated bits covered by the idle
+	// fast path.
+	IdleHitRate float64 `json:"idle_hit_rate"`
+	// FrameHitRate is the fraction of simulated bits covered by the
+	// sole-transmitter frame fast path.
+	FrameHitRate float64 `json:"frame_hit_rate"`
+}
+
+// String renders the row for terminal output.
+func (r ThroughputRow) String() string {
+	return fmt.Sprintf("load=%2.0f%%  %-8s  %7.2f Mbit/s  %7.1f ns/bit  idle-hit=%4.1f%%  frame-hit=%4.1f%%  allocs/Mbit=%.0f",
+		r.Load*100, r.Mode, r.BitsPerSecond/1e6, r.NsPerBit,
+		r.IdleHitRate*100, r.FrameHitRate*100, r.AllocsPerMBit)
+}
+
+// ThroughputScenario builds the fast-forward evaluation scenario: a Veh.-D
+// restbus replayer stretched to the target offered load at 50 kbit/s plus a
+// MichiCAN-defended ECU that ACKs the traffic. The same construction backs
+// BenchmarkBusFastForward and michican-bench -json, so the numbers are
+// comparable.
+func ThroughputScenario(target float64, mode SteppingMode) (*bus.Bus, error) {
+	src := restbus.Buses(restbus.VehD)[0]
+	matrix := &restbus.Matrix{Vehicle: src.Vehicle, Bus: src.Bus}
+	factor := src.Load(bus.Rate50k) / target
+	for _, msg := range src.Messages {
+		if msg.ID == DefenderID {
+			continue
+		}
+		if factor > 1 {
+			msg.Period = time.Duration(float64(msg.Period) * factor)
+		}
+		matrix.Messages = append(matrix.Messages, msg)
+	}
+
+	bb := bus.New(bus.Rate50k)
+	bb.SetFastForward(mode != ModeExact)
+	bb.SetFrameFastForward(mode == ModeFrameFF)
+	v, err := fsm.NewIVN(append(matrix.IDs(), DefenderID))
+	if err != nil {
+		return nil, err
+	}
+	ds, err := fsm.NewDetectionSet(v, v.Index(DefenderID))
+	if err != nil {
+		return nil, err
+	}
+	def, err := core.New(core.Config{Name: "defender", FSM: fsm.Build(ds)})
+	if err != nil {
+		return nil, err
+	}
+	bb.Attach(core.NewECU(controller.New(controller.Config{Name: "defender", AutoRecover: true}), def))
+	bb.Attach(restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(1))))
+	return bb, nil
+}
+
+// MeasureThroughput simulates simBits bit times of the scenario at the given
+// load and stepping mode and reports wall-clock throughput, allocation rate,
+// and fast-path hit rates. A warm-up run lets the initial phase offsets
+// settle before timing starts.
+func MeasureThroughput(target float64, mode SteppingMode, simBits int64) (ThroughputRow, error) {
+	bb, err := ThroughputScenario(target, mode)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	bb.Run(100_000) // warm-up: phase offsets settle, caches populate
+	idle0, frame0 := bb.IdleForwardedBits(), bb.FrameForwardedBits()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	bb.Run(simBits)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return ThroughputRow{
+		Load:          target,
+		Mode:          mode,
+		SimulatedBits: simBits,
+		WallSeconds:   wall,
+		BitsPerSecond: float64(simBits) / wall,
+		NsPerBit:      wall * 1e9 / float64(simBits),
+		AllocsPerMBit: float64(ms1.Mallocs-ms0.Mallocs) / (float64(simBits) / 1e6),
+		IdleHitRate:   float64(bb.IdleForwardedBits()-idle0) / float64(simBits),
+		FrameHitRate:  float64(bb.FrameForwardedBits()-frame0) / float64(simBits),
+	}, nil
+}
+
+// ThroughputGrid measures the full load × mode grid (EXPERIMENTS.md's
+// throughput table and michican-bench -json).
+func ThroughputGrid(loads []float64, simBits int64) ([]ThroughputRow, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.02, 0.30, 0.60}
+	}
+	var rows []ThroughputRow
+	for _, load := range loads {
+		for _, mode := range []SteppingMode{ModeExact, ModeIdleFF, ModeFrameFF} {
+			row, err := MeasureThroughput(load, mode, simBits)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,33 @@
+package fsm
+
+import "michican/internal/can"
+
+// Cursor is a non-mutating streaming walker over an FSM. The defense core
+// uses it to pre-scan a proposed run of bits (the bus frame fast path's
+// PassiveRun query) without disturbing the FSM's own streaming state: the
+// proposal may be discarded, and only a later ObserveRun commits it.
+type Cursor struct {
+	f    *FSM
+	eval int32
+	done Decision
+}
+
+// Cursor returns a walker positioned at the FSM's current streaming state.
+func (f *FSM) Cursor() Cursor {
+	return Cursor{f: f, eval: f.eval, done: f.done}
+}
+
+// Step consumes the next ID bit exactly as FSM.Step would, but only the
+// cursor moves.
+func (cu *Cursor) Step(bit can.Level) Decision {
+	if cu.done != Undecided {
+		return cu.done
+	}
+	next := cu.f.nodes[cu.eval].child[bit&1]
+	cu.eval = next
+	cu.done = cu.f.nodes[next].decision
+	return cu.done
+}
+
+// Decided returns the cursor's decision so far.
+func (cu *Cursor) Decided() Decision { return cu.done }

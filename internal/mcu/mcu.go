@@ -205,6 +205,37 @@ func (m *Meter) ChargeIdleInvocations(n int64, ops ...Op) {
 	m.idleInv += n
 }
 
+// ChargeInvocationsAs folds n handler invocations of per cycles each into
+// the totals, classified active or idle. It is exactly equivalent to n
+// rounds of charges totalling per cycles, each closed by
+// EndInvocationAs(active) — the batch path for uniform-cost bit runs.
+func (m *Meter) ChargeInvocationsAs(n, per int64, active bool) {
+	if n <= 0 {
+		return
+	}
+	m.cycles += n * per
+	m.invocations += n
+	m.sumPerBit += n * per
+	if per > m.maxPerBit {
+		m.maxPerBit = per
+	}
+	if active {
+		m.activeCycles += n * per
+		m.activeInv += n
+	} else {
+		m.idleCycles += n * per
+		m.idleInv += n
+	}
+}
+
+// OpCost returns the cycle cost of one operation under this meter's profile,
+// for callers precomputing batched invocation costs.
+func (m *Meter) OpCost(op Op) int64 { return m.profile.Cost(op) }
+
+// FSMStepCostOf returns the cycle cost of one FSM transition for a machine
+// of the given state count under this meter's profile.
+func (m *Meter) FSMStepCostOf(fsmStates int) int64 { return m.profile.FSMStepCost(fsmStates) }
+
 // IdleLoad returns the mean CPU utilization of idle-bit invocations: cycles
 // per idle bit divided by cycles per bit time at the given bus rate.
 func (m *Meter) IdleLoad(rate int) float64 {

@@ -1,0 +1,57 @@
+package restbus
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+var (
+	_ bus.Transmitting = (*Replayer)(nil)
+	_ bus.RunObserver  = (*Replayer)(nil)
+)
+
+// CommittedBits implements bus.Transmitting: the controller's commitment,
+// clamped below the earliest scheduled deadline. An enqueue never alters the
+// in-flight plan's bits, but the due item must be queued (and any deadline
+// miss recorded) at its exact bit, so that bit is left to exact stepping.
+func (r *Replayer) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	bits, h := r.ctl.CommittedBits(now)
+	if h <= now || len(bits) == 0 {
+		return nil, now
+	}
+	if r.nextScan < h {
+		if r.nextScan <= now {
+			return nil, now
+		}
+		h = r.nextScan
+		bits = bits[:int64(h-now)]
+	}
+	return bits, h
+}
+
+// FrameBit implements bus.Transmitting.
+func (r *Replayer) FrameBit() int { return r.ctl.FrameBit() }
+
+// PassiveRun implements bus.RunObserver: the controller's answer, clamped
+// below the earliest deadline — the enqueue there changes the controller's
+// mailbox and hence its drive decisions, so that bit must be exact-stepped.
+func (r *Replayer) PassiveRun(now bus.BitTime, frameBit int, levels []can.Level) int {
+	n := len(levels)
+	if m := int64(r.nextScan - now); m < int64(n) {
+		if m <= 0 {
+			return 0
+		}
+		n = int(m)
+	}
+	if k := r.ctl.PassiveRun(now, frameBit, levels[:n]); k < n {
+		n = k
+	}
+	return n
+}
+
+// ObserveRun implements bus.RunObserver. Both PassiveRun and CommittedBits
+// clamp every span inside [now, nextScan), so no item can come due in here
+// and only the controller advances.
+func (r *Replayer) ObserveRun(from bus.BitTime, levels []can.Level) {
+	r.ctl.ObserveRun(from, levels)
+}

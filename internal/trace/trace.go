@@ -11,21 +11,29 @@ import (
 	"michican/internal/can"
 )
 
-// Recorder is a bus.Tap that stores the resolved level of every bit.
+// Recorder is a bus.Tap that stores the resolved level of every bit. Storage
+// is bit-packed — one uint64 word per 64 bits, a set bit meaning recessive —
+// an 8× memory cut over level-per-byte on long captures; Bits() materializes
+// (and caches) the conventional []can.Level view for the decoders.
 type Recorder struct {
 	start bus.BitTime
-	bits  []can.Level
+	words []uint64
+	n     int
 	began bool
+	// view is the lazily materialized prefix of the stream. The stream is
+	// append-only, so the prefix never goes stale — Bits() only extends it.
+	view []can.Level
 }
 
 var (
 	_ bus.Tap              = (*Recorder)(nil)
 	_ bus.TapFastForwarder = (*Recorder)(nil)
+	_ bus.TapRunObserver   = (*Recorder)(nil)
 )
 
 // NewRecorder creates an empty recorder; attach it with Bus.AttachTap.
 func NewRecorder() *Recorder {
-	return &Recorder{bits: make([]can.Level, 0, 1<<16)}
+	return &Recorder{words: make([]uint64, 0, 1<<10)}
 }
 
 // Bit implements bus.Tap.
@@ -34,22 +42,50 @@ func (r *Recorder) Bit(t bus.BitTime, level can.Level) {
 		r.start = t
 		r.began = true
 	}
-	r.bits = append(r.bits, level)
+	if r.n&63 == 0 {
+		r.words = append(r.words, 0)
+	}
+	r.words[len(r.words)-1] |= uint64(level&1) << (r.n & 63)
+	r.n++
 }
 
-// SkipIdle implements bus.TapFastForwarder: record to-from recessive bits in
-// one call. The resulting bit stream is identical to per-bit recording, so
+// BitRun implements bus.TapRunObserver: record a resolved span in one call.
+func (r *Recorder) BitRun(from bus.BitTime, levels []can.Level) {
+	if !r.began {
+		r.start = from
+		r.began = true
+	}
+	for _, level := range levels {
+		if r.n&63 == 0 {
+			r.words = append(r.words, 0)
+		}
+		r.words[len(r.words)-1] |= uint64(level&1) << (r.n & 63)
+		r.n++
+	}
+}
+
+// SkipIdle implements bus.TapFastForwarder: record to-from recessive bits as
+// word fills. The resulting bit stream is identical to per-bit recording, so
 // decoders (and golden-trace comparisons) cannot tell a fast-forwarded run
-// from an exact-stepped one. Note can.Recessive is non-zero — the appended
-// region must be filled explicitly.
+// from an exact-stepped one.
 func (r *Recorder) SkipIdle(from, to bus.BitTime) {
 	if !r.began {
 		r.start = from
 		r.began = true
 	}
 	n := int(to - from)
-	for i := 0; i < n; i++ {
-		r.bits = append(r.bits, can.Recessive)
+	for n > 0 {
+		off := r.n & 63
+		if off == 0 {
+			r.words = append(r.words, 0)
+		}
+		take := 64 - off
+		if take > n {
+			take = n
+		}
+		r.words[len(r.words)-1] |= (^uint64(0) >> (64 - take)) << off
+		r.n += take
+		n -= take
 	}
 }
 
@@ -57,10 +93,15 @@ func (r *Recorder) SkipIdle(from, to bus.BitTime) {
 func (r *Recorder) Start() bus.BitTime { return r.start }
 
 // Len returns the number of recorded bits.
-func (r *Recorder) Len() int { return len(r.bits) }
+func (r *Recorder) Len() int { return r.n }
 
 // Bits returns the recorded levels (shared storage; treat as read-only).
-func (r *Recorder) Bits() []can.Level { return r.bits }
+func (r *Recorder) Bits() []can.Level {
+	for i := len(r.view); i < r.n; i++ {
+		r.view = append(r.view, can.Level(r.words[i>>6]>>(i&63)&1))
+	}
+	return r.view
+}
 
 // EventKind distinguishes decoded bus episodes.
 type EventKind uint8
