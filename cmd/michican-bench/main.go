@@ -23,6 +23,7 @@ import (
 	"michican/internal/bus"
 	"michican/internal/experiment"
 	"michican/internal/mcu"
+	"michican/internal/telemetry"
 )
 
 func main() {
@@ -39,13 +40,23 @@ func main() {
 		exact      = flag.Bool("exact", false, "force exact per-bit stepping (disable idle fast-forward)")
 		jsonOut    = flag.String("json", "", "measure the throughput grid (load × stepping mode) and write machine-readable results to this file")
 		gridBits   = flag.Int64("gridbits", 2_000_000, "simulated bit times per throughput-grid cell")
+		metrics    = flag.Bool("metrics", false, "collect telemetry metrics during the run and print a Prometheus-style snapshot")
+		overhead   = flag.Bool("telemetry-overhead", false, "measure disabled-vs-enabled telemetry throughput on the frame fast path and exit nonzero over -overhead-threshold")
+		overheadTh = flag.Float64("overhead-threshold", 2.0, "max tolerated telemetry overhead in percent for -telemetry-overhead")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
+	if *overhead {
+		if err := runOverheadGuard(*gridBits, *overheadTh); err != nil {
+			fmt.Fprintln(os.Stderr, "michican-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
-		if err := writeThroughputJSON(*jsonOut, *gridBits); err != nil {
+		if err := writeThroughputJSON(*jsonOut, *gridBits, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "michican-bench:", err)
 			os.Exit(1)
 		}
@@ -59,29 +70,63 @@ func main() {
 		Workers:       *workers,
 		ExactStepping: *exact,
 	}
-	if err := profiledRun(cfg, *table, *fig, *exp, *all, *fsms, *cpuprofile, *memprofile); err != nil {
+	var hub *telemetry.Hub
+	if *metrics {
+		// Metrics-only collection: counters and histograms fold on emit,
+		// the raw event log is dropped, so long -all runs stay bounded.
+		hub = telemetry.NewHub()
+		hub.RetainEvents(false)
+		cfg.Hub = hub
+	}
+	if err := profiledRun(cfg, *table, *fig, *exp, *all, *fsms, *cpuprofile, *memprofile, hub); err != nil {
 		fmt.Fprintln(os.Stderr, "michican-bench:", err)
 		os.Exit(1)
 	}
 }
 
+// runOverheadGuard backs the CI telemetry-overhead step: it measures the
+// frame-fast-path throughput with telemetry disabled and with a metrics-only
+// hub wired in, prints both, and fails when the relative cost exceeds the
+// threshold.
+func runOverheadGuard(simBits int64, thresholdPct float64) error {
+	header("Telemetry overhead guard — frame fast path")
+	row, err := experiment.MeasureTelemetryOverhead(experiment.ModeFrameFF, simBits)
+	if err != nil {
+		return err
+	}
+	fmt.Println(row.String())
+	if row.OverheadPct > thresholdPct {
+		return fmt.Errorf("telemetry overhead %.2f%% exceeds threshold %.2f%%",
+			row.OverheadPct, thresholdPct)
+	}
+	fmt.Printf("ok: overhead %.2f%% within threshold %.2f%%\n", row.OverheadPct, thresholdPct)
+	return nil
+}
+
 // writeThroughputJSON measures the load × stepping-mode throughput grid and
 // writes it as JSON (the repo's BENCH_*.json perf trajectory), echoing each
 // row to stdout as it lands.
-func writeThroughputJSON(path string, simBits int64) error {
+func writeThroughputJSON(path string, simBits int64, workers int) error {
 	type report struct {
 		GeneratedAt string                     `json:"generated_at"`
 		GoVersion   string                     `json:"go_version"`
 		GOMAXPROCS  int                        `json:"gomaxprocs"`
+		Workers     int                        `json:"workers"`
+		Modes       []experiment.SteppingMode  `json:"fast_path_modes"`
 		SimBitsPer  int64                      `json:"simulated_bits_per_cell"`
 		Rows        []experiment.ThroughputRow `json:"rows"`
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	modes := []experiment.SteppingMode{
+		experiment.ModeExact, experiment.ModeIdleFF, experiment.ModeFrameFF,
+	}
 	header("Throughput grid — exact vs idle-FF vs frame-FF")
+	fmt.Printf("fast-path modes: %v, workers=%d\n", modes, workers)
 	var rows []experiment.ThroughputRow
 	for _, load := range []float64{0.02, 0.30, 0.60} {
-		for _, mode := range []experiment.SteppingMode{
-			experiment.ModeExact, experiment.ModeIdleFF, experiment.ModeFrameFF,
-		} {
+		for _, mode := range modes {
 			row, err := experiment.MeasureThroughput(load, mode, simBits)
 			if err != nil {
 				return err
@@ -94,6 +139,8 @@ func writeThroughputJSON(path string, simBits int64) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Modes:       modes,
 		SimBitsPer:  simBits,
 		Rows:        rows,
 	}, "", "  ")
@@ -110,7 +157,7 @@ func writeThroughputJSON(path string, simBits int64) error {
 
 // profiledRun wraps run with the pprof plumbing and the throughput summary,
 // so main can os.Exit without losing deferred profile writes.
-func profiledRun(cfg experiment.Config, table, fig int, exp string, all bool, fsms int, cpuprofile, memprofile string) error {
+func profiledRun(cfg experiment.Config, table, fig int, exp string, all bool, fsms int, cpuprofile, memprofile string, hub *telemetry.Hub) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -130,6 +177,15 @@ func profiledRun(cfg experiment.Config, table, fig int, exp string, all bool, fs
 	if simBits := bus.SimulatedBits() - startBits; simBits > 0 && wall > 0 {
 		fmt.Printf("\nsimulated %d bus bits in %v (%.1f Mbit/s of bus time per wall-clock second)\n",
 			simBits, wall.Round(time.Millisecond), float64(simBits)/wall.Seconds()/1e6)
+		if hub != nil {
+			hub.Registry().Gauge("michican_sim_bits_per_second").Set(float64(simBits) / wall.Seconds())
+		}
+	}
+	if hub != nil {
+		header("Telemetry metrics snapshot")
+		if werr := hub.Registry().WriteText(os.Stdout); werr != nil && err == nil {
+			err = werr
+		}
 	}
 
 	if memprofile != "" {

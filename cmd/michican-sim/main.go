@@ -5,9 +5,12 @@
 //	michican-sim -defender 0x173 -attack dos -attack-id 0x064 -restbus
 //	michican-sim -attack dos -attack-id 0x000 -no-defense  # watch it starve
 //	michican-sim -attack spoof -trace trace.txt            # dump bits for candump
+//	michican-sim -attack spoof -events e.jsonl -chrome-trace t.json
+//	michican-sim -attack spoof -json                       # machine-readable outcome
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +24,7 @@ import (
 	"michican/internal/core"
 	"michican/internal/fsm"
 	"michican/internal/restbus"
+	"michican/internal/telemetry"
 	"michican/internal/trace"
 )
 
@@ -42,6 +46,9 @@ func run() error {
 		matrixFile = flag.String("matrix", "", "replay benign traffic from a communication-matrix file")
 		duration   = flag.Duration("duration", 200*time.Millisecond, "simulation length")
 		traceOut   = flag.String("trace", "", "write the raw bit trace to this file")
+		eventsOut  = flag.String("events", "", "write the telemetry event stream (JSONL) to this file")
+		chromeOut  = flag.String("chrome-trace", "", "write a Chrome trace_event JSON (Perfetto-viewable) to this file")
+		jsonOut    = flag.Bool("json", false, "emit the outcome as one JSON object instead of text")
 		verbose    = flag.Bool("v", false, "print every decoded bus event")
 	)
 	flag.Parse()
@@ -63,6 +70,15 @@ func run() error {
 	b := bus.New(rate)
 	rec := trace.NewRecorder()
 	b.AttachTap(rec)
+
+	// The telemetry hub collects typed events from every participant; it is
+	// only created when an exporter asked for it, so the default run pays
+	// nothing beyond the disabled-probe nil checks.
+	var hub *telemetry.Hub
+	if *eventsOut != "" || *chromeOut != "" {
+		hub = telemetry.NewHub()
+		b.SetTelemetry(hub, "bus")
+	}
 
 	// Legitimate IDs: the defender plus optional restbus.
 	ids := []can.ID{defID}
@@ -89,7 +105,9 @@ func run() error {
 			}
 		}
 		ids = append(ids, filtered.IDs()...)
-		b.Attach(restbus.NewReplayer("restbus", filtered, rate, nil))
+		rep := restbus.NewReplayer("restbus", filtered, rate, nil)
+		rep.SetTelemetry(hub)
+		b.Attach(rep)
 	}
 
 	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
@@ -120,8 +138,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		b.Attach(core.NewECU(defCtl, defense))
+		ecu := core.NewECU(defCtl, defense)
+		ecu.SetTelemetry(hub)
+		b.Attach(ecu)
 	} else {
+		defCtl.SetTelemetry(hub)
 		b.Attach(defCtl)
 	}
 
@@ -140,9 +161,12 @@ func run() error {
 		return fmt.Errorf("unknown attack %q", *attackKind)
 	}
 	if att != nil {
+		att.SetTelemetry(hub)
 		b.Attach(att)
-		fmt.Printf("attack: %s with ID %s against defender %s on a %v bus (defense: %v)\n",
-			*attackKind, attID, defID, rate, !*noDefense)
+		if !*jsonOut {
+			fmt.Printf("attack: %s with ID %s against defender %s on a %v bus (defense: %v)\n",
+				*attackKind, attID, defID, rate, !*noDefense)
+		}
 	}
 
 	b.RunFor(*duration)
@@ -155,27 +179,161 @@ func run() error {
 		} else {
 			errors++
 		}
-		if *verbose {
+		if *verbose && !*jsonOut {
 			fmt.Printf("t=%-8d %-5s %s (%d bits)\n", e.Start, e.Kind, e.ID, e.Bits())
 		}
 	}
-	fmt.Printf("\nsimulated %v (%d bits): %d complete frames, %d destroyed attempts, bus load %.1f%%\n",
-		*duration, rec.Len(), frames, errors, trace.Load(events, int64(rec.Len()))*100)
-	if att != nil {
-		st := att.Controller().Stats()
-		fmt.Printf("attacker: %d attempts, %d successes, %d bus-off events, state %v\n",
-			st.TxAttempts, st.TxSuccess, st.BusOffEvents, att.Controller().State())
-	}
-	if defense != nil {
-		ds := defense.Stats()
-		fmt.Printf("defense: %d detections (mean position %.1f bits), %d counterattacks\n",
-			ds.Detections, ds.MeanDetectionBits(), ds.Counterattacks)
+	if *jsonOut {
+		if err := writeJSONReport(os.Stdout, *attackKind, attID, defID, rate, *duration,
+			rec.Len(), frames, errors, trace.Load(events, int64(rec.Len())), att, defCtl, defense); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("\nsimulated %v (%d bits): %d complete frames, %d destroyed attempts, bus load %.1f%%\n",
+			*duration, rec.Len(), frames, errors, trace.Load(events, int64(rec.Len()))*100)
+		if att != nil {
+			st := att.Controller().Stats()
+			fmt.Printf("attacker: %d attempts, %d successes, %d bus-off events, state %v\n",
+				st.TxAttempts, st.TxSuccess, st.BusOffEvents, att.Controller().State())
+		}
+		if defense != nil {
+			ds := defense.Stats()
+			fmt.Printf("defense: %d detections (mean position %.1f bits), %d counterattacks\n",
+				ds.Detections, ds.MeanDetectionBits(), ds.Counterattacks)
+		}
 	}
 	if *traceOut != "" {
 		if err := os.WriteFile(*traceOut, []byte(trace.FormatBits(rec.Bits(), 120)), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("raw bit trace written to %s (decode with candump)\n", *traceOut)
+		if !*jsonOut {
+			fmt.Printf("raw bit trace written to %s (decode with candump)\n", *traceOut)
+		}
+	}
+	if hub != nil {
+		if err := writeExporters(hub, rate, *eventsOut, *chromeOut, !*jsonOut); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Println("\ntelemetry metrics:")
+			if err := hub.Registry().WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// writeExporters dumps the captured event log in the requested formats.
+func writeExporters(hub *telemetry.Hub, rate bus.Rate, eventsOut, chromeOut string, chatty bool) error {
+	if eventsOut != "" {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			return err
+		}
+		if err := hub.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if chatty {
+			fmt.Printf("telemetry event stream (%d events) written to %s\n", hub.Len(), eventsOut)
+		}
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := hub.WriteChromeTrace(f, int64(rate)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if chatty {
+			fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", chromeOut)
+		}
+	}
+	return nil
+}
+
+// writeJSONReport emits the scenario outcome as one JSON object: trace-level
+// aggregates, the attacker's controller state (TEC/REC/bus-off), the
+// defender's controller state, and the defense's core.Stats.
+func writeJSONReport(w *os.File, attackKind string, attID, defID can.ID, rate bus.Rate,
+	duration time.Duration, bits int, frames, destroyed int, load float64,
+	att *attack.Attacker, defCtl *controller.Controller, defense *core.Defense) error {
+	type ctlReport struct {
+		Name       string `json:"name"`
+		State      string `json:"state"`
+		TEC        int    `json:"tec"`
+		REC        int    `json:"rec"`
+		TxAttempts int    `json:"tx_attempts"`
+		TxSuccess  int    `json:"tx_success"`
+		RxSuccess  int    `json:"rx_success"`
+		ArbLosses  int    `json:"arbitration_losses"`
+		BusOff     int    `json:"busoff_events"`
+		Recoveries int    `json:"recoveries"`
+	}
+	ctl := func(c *controller.Controller) ctlReport {
+		st := c.Stats()
+		return ctlReport{
+			Name:       c.Name(),
+			State:      c.State().String(),
+			TEC:        c.TEC(),
+			REC:        c.REC(),
+			TxAttempts: st.TxAttempts,
+			TxSuccess:  st.TxSuccess,
+			RxSuccess:  st.RxSuccess,
+			ArbLosses:  st.ArbitrationLosses,
+			BusOff:     st.BusOffEvents,
+			Recoveries: st.Recoveries,
+		}
+	}
+	report := struct {
+		Attack     string      `json:"attack"`
+		AttackID   string      `json:"attack_id,omitempty"`
+		DefenderID string      `json:"defender_id"`
+		Rate       int         `json:"rate_bits_per_second"`
+		DurationMS float64     `json:"duration_ms"`
+		Bits       int         `json:"bits"`
+		Frames     int         `json:"frames"`
+		Destroyed  int         `json:"destroyed_attempts"`
+		BusLoad    float64     `json:"bus_load"`
+		Outcome    string      `json:"outcome"`
+		Attacker   *ctlReport  `json:"attacker,omitempty"`
+		Defender   ctlReport   `json:"defender"`
+		Defense    *core.Stats `json:"defense,omitempty"`
+	}{
+		Attack:     attackKind,
+		DefenderID: defID.String(),
+		Rate:       int(rate),
+		DurationMS: float64(duration) / float64(time.Millisecond),
+		Bits:       bits,
+		Frames:     frames,
+		Destroyed:  destroyed,
+		BusLoad:    load,
+		Outcome:    "no-attack",
+		Defender:   ctl(defCtl),
+	}
+	if att != nil {
+		report.AttackID = attID.String()
+		a := ctl(att.Controller())
+		report.Attacker = &a
+		report.Outcome = "attacker " + a.State
+		if a.BusOff > 0 {
+			report.Outcome = fmt.Sprintf("attacker bus-off x%d, now %s", a.BusOff, a.State)
+		}
+	}
+	if defense != nil {
+		ds := defense.Stats()
+		report.Defense = &ds
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

@@ -15,6 +15,7 @@ import (
 	"michican/internal/bus"
 	"michican/internal/can"
 	"michican/internal/controller"
+	"michican/internal/telemetry"
 )
 
 // Policy decides which frames the compromised application injects at a given
@@ -48,6 +49,10 @@ func New(name string, policy Policy) *Attacker {
 // Controller exposes the attacker's protocol controller (for state and
 // statistics inspection).
 func (a *Attacker) Controller() *controller.Controller { return a.ctl }
+
+// SetTelemetry wires the attacker's controller to a telemetry hub, so the
+// induced error episodes, TEC march, and bus-off entries are captured.
+func (a *Attacker) SetTelemetry(hub *telemetry.Hub) { a.ctl.SetTelemetry(hub) }
 
 // Drive implements bus.Node.
 func (a *Attacker) Drive(t bus.BitTime) can.Level { return a.ctl.Drive(t) }

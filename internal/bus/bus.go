@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"michican/internal/can"
+	"michican/internal/telemetry"
 )
 
 // BitTime is the index of a nominal bit time since the start of simulation.
@@ -116,6 +117,11 @@ type Bus struct {
 	tapRunPinned int
 	frameFFOff   bool
 	ffFrameBits  int64
+
+	// tel receives fast-path span events (EvFFSpan). The zero Probe is a
+	// no-op, so unwired buses pay one nil check per committed span — never
+	// per bit.
+	tel telemetry.Probe
 }
 
 // New creates an idle bus running at the given rate.
@@ -125,6 +131,13 @@ func New(rate Rate) *Bus {
 
 // Rate returns the configured bus speed.
 func (b *Bus) Rate() Rate { return b.rate }
+
+// SetTelemetry wires the bus to a telemetry hub under the given node name.
+// The bus emits one EvFFSpan per committed fast-path span (idle jump or
+// sole-transmitter frame batch); a nil hub disables emission.
+func (b *Bus) SetTelemetry(hub *telemetry.Hub, name string) {
+	b.tel = hub.Probe(name)
+}
 
 // Now returns the index of the next bit to be simulated.
 func (b *Bus) Now() BitTime { return b.now }

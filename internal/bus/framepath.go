@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"michican/internal/can"
+	"michican/internal/telemetry"
 )
 
 // Transmitting is an optional capability a Node may implement to let the bus
@@ -148,6 +149,7 @@ func (b *Bus) tryFrameForward(end BitTime) bool {
 	} else {
 		b.idleRun = k
 	}
+	b.tel.Emit(int64(b.now), telemetry.EvFFSpan, int64(n), 1)
 	b.last = levels[n-1]
 	b.now += BitTime(n)
 	b.ffFrameBits += int64(n)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"michican/internal/can"
+	"michican/internal/telemetry"
 )
 
 // QuiescentForever is the horizon a node returns from QuiescentUntil when it
@@ -103,6 +104,7 @@ func (b *Bus) jumpIdle(horizon BitTime) {
 	for _, ft := range b.ffTaps {
 		ft.SkipIdle(b.now, horizon)
 	}
+	b.tel.Emit(int64(b.now), telemetry.EvFFSpan, n, 0)
 	b.idleRun += int(n)
 	b.last = can.Recessive
 	b.now = horizon

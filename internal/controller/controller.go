@@ -23,6 +23,7 @@ import (
 
 	"michican/internal/bus"
 	"michican/internal/can"
+	"michican/internal/telemetry"
 )
 
 // State is the fault-confinement state of a CAN node (Fig. 1b of the paper).
@@ -265,6 +266,13 @@ type Controller struct {
 	// Bus-off recovery progress.
 	recoverSeqs int
 	recoverRun  int
+
+	// Telemetry. tel's zero value is a no-op probe; lastTEC/lastREC track
+	// the last emitted counter values so EvTEC/EvREC events carry the
+	// previous value and fire only on change.
+	tel     telemetry.Probe
+	lastTEC int
+	lastREC int
 }
 
 var _ bus.Node = (*Controller)(nil)
@@ -286,6 +294,31 @@ func New(cfg Config) *Controller {
 
 // Name returns the configured controller name.
 func (c *Controller) Name() string { return c.cfg.Name }
+
+// SetTelemetry wires the controller to a telemetry hub, registering it under
+// its configured name. The controller emits arbitration outcomes, error
+// episodes, TEC/REC transitions, bus-off entry, and recovery. A nil hub
+// disables emission (the default).
+func (c *Controller) SetTelemetry(hub *telemetry.Hub) {
+	c.tel = hub.Probe(c.cfg.Name)
+	c.lastTEC, c.lastREC = c.tec, c.rec
+}
+
+// emitCounters emits EvTEC/EvREC for any counter change since the last
+// emission. Call after every mutation of tec or rec; no-op when unwired.
+func (c *Controller) emitCounters(t bus.BitTime) {
+	if !c.tel.Enabled() {
+		return
+	}
+	if c.tec != c.lastTEC {
+		c.tel.Emit(int64(t), telemetry.EvTEC, int64(c.tec), int64(c.lastTEC))
+		c.lastTEC = c.tec
+	}
+	if c.rec != c.lastREC {
+		c.tel.Emit(int64(t), telemetry.EvREC, int64(c.rec), int64(c.lastREC))
+		c.lastREC = c.rec
+	}
+}
 
 // State returns the current fault-confinement state.
 func (c *Controller) State() State { return c.state }
@@ -392,6 +425,8 @@ func (c *Controller) observeBusOff(t bus.BitTime, level can.Level) {
 		c.recoverSeqs, c.recoverRun = 0, 0
 		c.phase = phaseIdle
 		c.stats.Recoveries++
+		c.tel.Emit(int64(t), telemetry.EvRecover, 0, 0)
+		c.emitCounters(t)
 		c.notifyState(t, old, c.state)
 	}
 }

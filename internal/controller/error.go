@@ -3,6 +3,7 @@ package controller
 import (
 	"michican/internal/bus"
 	"michican/internal/can"
+	"michican/internal/telemetry"
 )
 
 // frameError dispatches a detected error to the transmitter or receiver
@@ -23,12 +24,14 @@ func (c *Controller) txError(t bus.BitTime, kind ErrorKind) {
 	if c.cfg.OnError != nil {
 		c.cfg.OnError(t, kind, true)
 	}
+	c.tel.Emit(int64(t), telemetry.EvError, int64(kind), 1)
 	// ISO 11898-1 exception: an error-passive transmitter detecting an ACK
 	// error does not increment its TEC. This is what lets the sole live node
 	// on a degraded bus keep retransmitting without reaching bus-off.
 	if !(kind == AckError && c.state == ErrorPassive) {
 		c.tec += TxErrorPenalty
 	}
+	c.emitCounters(t)
 	c.framesSinceTx = 0 // this frame attempt was ours
 	c.beginErrorSignal(t)
 }
@@ -39,7 +42,9 @@ func (c *Controller) rxError(t bus.BitTime, kind ErrorKind) {
 	if c.cfg.OnError != nil {
 		c.cfg.OnError(t, kind, false)
 	}
+	c.tel.Emit(int64(t), telemetry.EvError, int64(kind), 0)
 	c.rec++
+	c.emitCounters(t)
 	if c.framesSinceTx < 1<<30 {
 		c.framesSinceTx++ // the destroyed frame attempt was someone else's
 	}
@@ -107,6 +112,7 @@ func (c *Controller) observeErrorDelim(t bus.BitTime, level can.Level) {
 	if c.delimCount >= ErrorDelimiterBits {
 		c.phase = phaseIntermission
 		c.interCount = 0
+		c.tel.Emit(int64(t), telemetry.EvErrorEnd, 0, 0)
 	}
 }
 
@@ -136,6 +142,7 @@ func (c *Controller) enterBusOff(t bus.BitTime, old State) {
 	c.state = BusOff
 	c.phase = phaseBusOff
 	c.stats.BusOffEvents++
+	c.tel.Emit(int64(t), telemetry.EvBusOff, 0, 0)
 	c.transmitting = false
 	c.plan = nil
 	// Entering bus-off aborts all pending transmission requests, as real

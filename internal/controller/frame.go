@@ -3,6 +3,7 @@ package controller
 import (
 	"michican/internal/bus"
 	"michican/internal/can"
+	"michican/internal/telemetry"
 )
 
 // beginFrame enters the on-frame phase at the SOF bit. contender reports
@@ -94,6 +95,7 @@ func (c *Controller) monitorTxBit(t bus.BitTime, level can.Level) bool {
 		// Lost arbitration to a lower ID: hand over to the receive pipeline,
 		// catching it up on the bits deferred while we were the transmitter.
 		c.transmitting = false
+		c.tel.Emit(int64(t), telemetry.EvArbLost, int64(c.txIdx), 0)
 		c.flushDeferredRx(t)
 		c.stats.ArbitrationLosses++
 		return false
@@ -113,6 +115,9 @@ func (c *Controller) monitorTxBit(t bus.BitTime, level can.Level) bool {
 		return true
 	}
 	c.txIdx++
+	if c.txIdx == c.plan.arbEnd {
+		c.tel.Emit(int64(t), telemetry.EvArbWon, int64(c.plan.frame.ID), 0)
+	}
 	if c.txIdx >= len(c.plan.bits) {
 		c.txSuccess(t)
 		return true
@@ -129,6 +134,7 @@ func (c *Controller) txSuccess(t bus.BitTime) {
 	if c.tec > 0 {
 		c.tec--
 	}
+	c.emitCounters(t)
 	c.updateState(t)
 	if c.cfg.OnTransmit != nil {
 		c.cfg.OnTransmit(t, f)
@@ -321,6 +327,7 @@ func (c *Controller) rxComplete(t bus.BitTime) {
 		} else if c.rec > 0 {
 			c.rec--
 		}
+		c.emitCounters(t)
 		c.updateState(t)
 		if c.cfg.OnReceive != nil {
 			c.cfg.OnReceive(t, c.decodeRx())

@@ -5,6 +5,7 @@ import (
 
 	"michican/internal/bus"
 	"michican/internal/can"
+	"michican/internal/telemetry"
 )
 
 var (
@@ -140,7 +141,15 @@ func (c *Controller) ObserveRun(from bus.BitTime, levels []can.Level) {
 func (c *Controller) frameRun(from bus.BitTime, levels []can.Level) {
 	c.trackIdleRun(levels)
 	if c.transmitting {
+		before := c.txIdx
 		c.txIdx += len(levels)
+		if before < c.plan.arbEnd && c.txIdx >= c.plan.arbEnd {
+			// The span crossed the end of arbitration: the win landed at the
+			// bit where txIdx first reached arbEnd, the same instant the
+			// exact path emits at.
+			c.tel.Emit(int64(from)+int64(c.plan.arbEnd-1-before),
+				telemetry.EvArbWon, int64(c.plan.frame.ID), 0)
+		}
 		c.driveNext = c.plan.bits[c.txIdx]
 		return
 	}

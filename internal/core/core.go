@@ -32,6 +32,7 @@ import (
 	"michican/internal/can"
 	"michican/internal/fsm"
 	"michican/internal/mcu"
+	"michican/internal/telemetry"
 )
 
 // Counterattack geometry (Sec. IV-E / Algorithm 1 lines 16-23): the pull
@@ -148,6 +149,11 @@ type Defense struct {
 	detectedAt       int  // FSM decision position within the ID (1-11)
 	counterattacking bool
 	pullRemaining    int
+	pullWidth        int // the width the current pull started with
+
+	// tel receives detection verdicts and counterattack pull spans; the zero
+	// Probe is a no-op.
+	tel telemetry.Probe
 
 	// scanCache memoizes pure PassiveRun scans per committed-span identity
 	// (direct-mapped; see the fast-path PassiveRun in runpath.go).
@@ -190,6 +196,13 @@ func NewDetectionOnly(cfg Config) (*Defense, error) {
 
 // Name returns the configured instance name.
 func (d *Defense) Name() string { return d.cfg.Name }
+
+// SetTelemetry wires the defense to a telemetry hub under its configured
+// name. The defense emits EvDetect (with the FSM decision bit), EvPullStart,
+// and EvPullEnd. A nil hub disables emission.
+func (d *Defense) SetTelemetry(hub *telemetry.Hub) {
+	d.tel = hub.Probe(d.cfg.Name)
+}
 
 // Stats returns a copy of the accumulated statistics.
 func (d *Defense) Stats() Stats { return d.stats }
@@ -282,6 +295,7 @@ func (d *Defense) onFrameBit(t bus.BitTime, level can.Level) {
 		d.meter.Charge(mcu.OpCounterattack)
 		d.pullRemaining--
 		if d.pullRemaining <= 0 {
+			d.tel.Emit(int64(t), telemetry.EvPullEnd, int64(d.pullWidth), 0)
 			d.mux.DisableTX()
 			d.endFrame()
 			return
@@ -371,6 +385,7 @@ func (d *Defense) decideAtStrikePoint(t bus.BitTime) {
 		if d.detectedAt > d.stats.DetectionBitsMax {
 			d.stats.DetectionBitsMax = d.detectedAt
 		}
+		d.tel.Emit(int64(t), telemetry.EvDetect, int64(d.detectedAt), 0)
 		if d.cfg.OnDetect != nil {
 			d.cfg.OnDetect(t, d.detectedAt)
 		}
@@ -385,7 +400,9 @@ func (d *Defense) decideAtStrikePoint(t bus.BitTime) {
 		if d.pullRemaining <= 0 {
 			d.pullRemaining = CounterattackEndPos - CounterattackStartPos // 7 bits
 		}
+		d.pullWidth = d.pullRemaining
 		d.stats.Counterattacks++
+		d.tel.Emit(int64(t), telemetry.EvPullStart, int64(d.pullWidth), 0)
 		if d.cfg.OnCounterattack != nil {
 			d.cfg.OnCounterattack(t)
 		}

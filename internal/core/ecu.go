@@ -4,6 +4,7 @@ import (
 	"michican/internal/bus"
 	"michican/internal/can"
 	"michican/internal/controller"
+	"michican/internal/telemetry"
 )
 
 // ECU bundles an ordinary application CAN controller with the MichiCAN
@@ -29,6 +30,15 @@ func NewECU(c *controller.Controller, d *Defense) *ECU {
 		d.cfg.SelfTransmitting = c.Transmitting
 	}
 	return &ECU{Controller: c, Defense: d}
+}
+
+// SetTelemetry wires both halves of the ECU to a telemetry hub: the
+// controller under its configured name, the defense under its own.
+func (e *ECU) SetTelemetry(hub *telemetry.Hub) {
+	e.Controller.SetTelemetry(hub)
+	if e.Defense != nil {
+		e.Defense.SetTelemetry(hub)
+	}
 }
 
 // Drive implements bus.Node: the wire sees the wired-AND of the controller's

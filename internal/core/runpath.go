@@ -7,6 +7,7 @@ import (
 	"michican/internal/can"
 	"michican/internal/fsm"
 	"michican/internal/mcu"
+	"michican/internal/telemetry"
 )
 
 var (
@@ -246,6 +247,7 @@ func (d *Defense) frameRunBatch(from bus.BitTime, levels []can.Level) int {
 			caN++
 			d.pullRemaining--
 			if d.pullRemaining <= 0 {
+				d.tel.Emit(int64(from)+int64(i-1), telemetry.EvPullEnd, int64(d.pullWidth), 0)
 				d.mux.DisableTX()
 				d.endFrame()
 				break

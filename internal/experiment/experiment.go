@@ -17,6 +17,7 @@ import (
 	"michican/internal/core"
 	"michican/internal/fsm"
 	"michican/internal/restbus"
+	"michican/internal/telemetry"
 	"michican/internal/trace"
 )
 
@@ -34,6 +35,11 @@ type Config struct {
 	// ExactStepping disables the bus's idle fast-forward, forcing per-bit
 	// simulation — the reference path for golden-trace differential tests.
 	ExactStepping bool
+	// Hub, when set, wires every testbed participant (bus, defender
+	// controller, defense, restbus, attackers) into the telemetry collector.
+	// The parallel trial runner may share one hub across trials: node names
+	// dedupe and the per-node metric instruments aggregate through atomics.
+	Hub *telemetry.Hub
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -98,6 +104,14 @@ func newTestbed(cfg Config, matrix *restbus.Matrix, exclude []can.ID) (*testbed,
 	if matrix != nil {
 		tb.restbus = restbus.NewReplayer("restbus", matrix, cfg.Rate, newRand(cfg.Seed))
 		tb.bus.Attach(tb.restbus)
+	}
+	if cfg.Hub != nil {
+		tb.bus.SetTelemetry(cfg.Hub, "bus")
+		tb.defender.SetTelemetry(cfg.Hub)
+		tb.defense.SetTelemetry(cfg.Hub)
+		if tb.restbus != nil {
+			tb.restbus.SetTelemetry(cfg.Hub)
+		}
 	}
 	return tb, nil
 }

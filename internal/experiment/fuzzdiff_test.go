@@ -14,6 +14,7 @@ import (
 	"michican/internal/core"
 	"michican/internal/fsm"
 	"michican/internal/restbus"
+	"michican/internal/telemetry"
 	"michican/internal/trace"
 )
 
@@ -51,7 +52,7 @@ type diffOutcome struct {
 // messages with random IDs/DLCs/periods behind one replayer, a
 // MichiCAN-defended ECU, optionally a fabrication attacker that starts at a
 // random bit, and optionally the half-capable pinning observer.
-func runRandomScenario(seed int64, exact bool) (diffOutcome, int64, int64, error) {
+func runRandomScenario(seed int64, exact bool, hub *telemetry.Hub) (diffOutcome, int64, int64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var out diffOutcome
 
@@ -93,9 +94,15 @@ func runRandomScenario(seed int64, exact bool) (diffOutcome, int64, int64, error
 	bb.SetFrameFastForward(!exact)
 
 	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
-	bb.Attach(core.NewECU(defCtl, def))
+	ecu := core.NewECU(defCtl, def)
+	bb.Attach(ecu)
 	rep := restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(seed+1)))
 	bb.Attach(rep)
+	if hub != nil {
+		bb.SetTelemetry(hub, "bus")
+		ecu.SetTelemetry(hub)
+		rep.SetTelemetry(hub)
+	}
 
 	ctls := []*controller.Controller{defCtl, rep.Controller()}
 
@@ -120,6 +127,9 @@ func runRandomScenario(seed int64, exact bool) (diffOutcome, int64, int64, error
 		rng.Read(payload)
 		attacker = attack.NewFabrication("attacker", victim, payload, int64(300+rng.Intn(2000)))
 		attackStart = int64(rng.Intn(3000))
+		if hub != nil {
+			attacker.SetTelemetry(hub)
+		}
 	}
 
 	rec := trace.NewRecorder()
@@ -158,17 +168,19 @@ func runRandomScenario(seed int64, exact bool) (diffOutcome, int64, int64, error
 	return out, idleFF, frameFF, nil
 }
 
-// diffSeed runs one seed both ways and fails on any divergence.
+// diffSeed runs one seed three ways — exact, fast-forward, and fast-forward
+// with a fully wired, event-retaining telemetry hub — and fails on any
+// divergence: telemetry must be a pure observer on every path.
 func diffSeed(t *testing.T, seed int64) {
 	t.Helper()
-	exact, exIdle, _, err := runRandomScenario(seed, true)
+	exact, exIdle, _, err := runRandomScenario(seed, true, nil)
 	if err != nil {
 		t.Fatalf("seed %d exact: %v", seed, err)
 	}
 	if exIdle != 0 {
 		t.Fatalf("seed %d: exact run fast-forwarded", seed)
 	}
-	fast, ffIdle, ffFrame, err := runRandomScenario(seed, false)
+	fast, ffIdle, ffFrame, err := runRandomScenario(seed, false, nil)
 	if err != nil {
 		t.Fatalf("seed %d fast: %v", seed, err)
 	}
@@ -178,17 +190,30 @@ func diffSeed(t *testing.T, seed int64) {
 	if ffFrame == 0 {
 		t.Errorf("seed %d: frame fast path never engaged with no pinning node", seed)
 	}
-	if !reflect.DeepEqual(exact.Bits, fast.Bits) {
-		i := 0
-		for i < len(exact.Bits) && i < len(fast.Bits) && exact.Bits[i] == fast.Bits[i] {
-			i++
-		}
-		t.Fatalf("seed %d: wire traces diverge at bit %d (exact %d bits, fast %d bits)",
-			seed, i, len(exact.Bits), len(fast.Bits))
+	hub := telemetry.NewHub()
+	wired, _, _, err := runRandomScenario(seed, false, hub)
+	if err != nil {
+		t.Fatalf("seed %d wired: %v", seed, err)
 	}
-	exact.Bits, fast.Bits = nil, nil
-	if !reflect.DeepEqual(exact, fast) {
-		t.Fatalf("seed %d: counters diverge:\nexact: %+v\nfast:  %+v", seed, exact, fast)
+	compare := func(label string, a, b diffOutcome) {
+		t.Helper()
+		if !reflect.DeepEqual(a.Bits, b.Bits) {
+			i := 0
+			for i < len(a.Bits) && i < len(b.Bits) && a.Bits[i] == b.Bits[i] {
+				i++
+			}
+			t.Fatalf("seed %d: %s wire traces diverge at bit %d (%d bits vs %d bits)",
+				seed, label, i, len(a.Bits), len(b.Bits))
+		}
+		a.Bits, b.Bits = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: %s counters diverge:\n%+v\nvs\n%+v", seed, label, a, b)
+		}
+	}
+	compare("exact vs fast", exact, fast)
+	compare("fast vs telemetry-wired", fast, wired)
+	if hub.Len() == 0 {
+		t.Errorf("seed %d: wired run captured no telemetry events", seed)
 	}
 }
 

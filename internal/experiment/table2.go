@@ -10,6 +10,7 @@ import (
 	"michican/internal/can"
 	"michican/internal/restbus"
 	"michican/internal/stats"
+	"michican/internal/telemetry"
 	"michican/internal/trace"
 )
 
@@ -137,6 +138,11 @@ func runTable2Scenario(cfg Config, spec experimentSpec) ([]Table2Row, *testbed, 
 		return nil, nil, err
 	}
 	for _, a := range spec.attackers() {
+		if cfg.Hub != nil {
+			if ta, ok := a.(interface{ SetTelemetry(*telemetry.Hub) }); ok {
+				ta.SetTelemetry(cfg.Hub)
+			}
+		}
 		tb.bus.Attach(a)
 	}
 	// The defender's own periodic 0x173 traffic (Sec. V-C: the defended ECU

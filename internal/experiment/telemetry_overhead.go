@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"michican/internal/telemetry"
+)
+
+// TelemetryOverheadRow compares the throughput of one stepping mode with
+// telemetry disabled (no hub wired — every probe is the zero value, one nil
+// check per emit site) against the same scenario with a metrics-only hub
+// wired into every participant. The disabled path is the guard the CI
+// workflow enforces: instrumenting the datapath must not slow down runs that
+// never ask for telemetry.
+type TelemetryOverheadRow struct {
+	Mode          SteppingMode `json:"mode"`
+	SimulatedBits int64        `json:"simulated_bits"`
+	// DisabledBitsPerSecond is the throughput with no hub wired.
+	DisabledBitsPerSecond float64 `json:"disabled_bits_per_second"`
+	// EnabledBitsPerSecond is the throughput with a metrics-only hub
+	// (event retention off) wired into the bus, ECU, and restbus.
+	EnabledBitsPerSecond float64 `json:"enabled_bits_per_second"`
+	// OverheadPct is (disabled - enabled) / disabled × 100; negative values
+	// (enabled measured faster, i.e. noise) are reported as measured.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// String renders the row for terminal output.
+func (r TelemetryOverheadRow) String() string {
+	return fmt.Sprintf("%-8s  disabled=%7.2f Mbit/s  enabled=%7.2f Mbit/s  overhead=%+.2f%%",
+		r.Mode, r.DisabledBitsPerSecond/1e6, r.EnabledBitsPerSecond/1e6, r.OverheadPct)
+}
+
+// telemetryWirer is what a throughput-scenario participant must expose to be
+// wired into a hub after construction.
+type telemetryWirer interface{ SetTelemetry(*telemetry.Hub) }
+
+// measureScenarioThroughput times simBits of a fresh throughput scenario at
+// the given load/mode, optionally wiring every participant into hub first,
+// and returns the best (highest) bits-per-second over reps runs — the
+// standard way to measure a throughput floor under scheduler noise.
+func measureScenarioThroughput(target float64, mode SteppingMode, simBits int64, reps int, hub *telemetry.Hub) (float64, error) {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		bb, nodes, err := throughputScenario(target, mode)
+		if err != nil {
+			return 0, err
+		}
+		if hub != nil {
+			bb.SetTelemetry(hub, "bus")
+			for _, n := range nodes {
+				if w, ok := n.(telemetryWirer); ok {
+					w.SetTelemetry(hub)
+				}
+			}
+		}
+		bb.Run(100_000) // warm-up
+		start := time.Now()
+		bb.Run(simBits)
+		wall := time.Since(start).Seconds()
+		if wall <= 0 {
+			wall = 1e-9
+		}
+		if bps := float64(simBits) / wall; bps > best {
+			best = bps
+		}
+	}
+	return best, nil
+}
+
+// MeasureTelemetryOverhead measures the disabled-telemetry cost of one
+// stepping mode at 30% offered load: the scenario is run with no hub and
+// with a metrics-only hub, three repetitions each, best run kept.
+func MeasureTelemetryOverhead(mode SteppingMode, simBits int64) (TelemetryOverheadRow, error) {
+	const reps = 3
+	disabled, err := measureScenarioThroughput(0.30, mode, simBits, reps, nil)
+	if err != nil {
+		return TelemetryOverheadRow{}, err
+	}
+	hub := telemetry.NewHub()
+	hub.RetainEvents(false)
+	enabled, err := measureScenarioThroughput(0.30, mode, simBits, reps, hub)
+	if err != nil {
+		return TelemetryOverheadRow{}, err
+	}
+	return TelemetryOverheadRow{
+		Mode:                  mode,
+		SimulatedBits:         simBits,
+		DisabledBitsPerSecond: disabled,
+		EnabledBitsPerSecond:  enabled,
+		OverheadPct:           (disabled - enabled) / disabled * 100,
+	}, nil
+}

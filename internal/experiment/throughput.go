@@ -66,6 +66,14 @@ func (r ThroughputRow) String() string {
 // BenchmarkBusFastForward and michican-bench -json, so the numbers are
 // comparable.
 func ThroughputScenario(target float64, mode SteppingMode) (*bus.Bus, error) {
+	bb, _, err := throughputScenario(target, mode)
+	return bb, err
+}
+
+// throughputScenario is the full-fidelity constructor: it also returns the
+// attached nodes so callers (the telemetry-overhead guard) can wire them into
+// a hub after construction.
+func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node, error) {
 	src := restbus.Buses(restbus.VehD)[0]
 	matrix := &restbus.Matrix{Vehicle: src.Vehicle, Bus: src.Bus}
 	factor := src.Load(bus.Rate50k) / target
@@ -84,19 +92,24 @@ func ThroughputScenario(target float64, mode SteppingMode) (*bus.Bus, error) {
 	bb.SetFrameFastForward(mode == ModeFrameFF)
 	v, err := fsm.NewIVN(append(matrix.IDs(), DefenderID))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ds, err := fsm.NewDetectionSet(v, v.Index(DefenderID))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	def, err := core.New(core.Config{Name: "defender", FSM: fsm.Build(ds)})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	bb.Attach(core.NewECU(controller.New(controller.Config{Name: "defender", AutoRecover: true}), def))
-	bb.Attach(restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(1))))
-	return bb, nil
+	nodes := []bus.Node{
+		core.NewECU(controller.New(controller.Config{Name: "defender", AutoRecover: true}), def),
+		restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(1))),
+	}
+	for _, n := range nodes {
+		bb.Attach(n)
+	}
+	return bb, nodes, nil
 }
 
 // MeasureThroughput simulates simBits bit times of the scenario at the given

@@ -8,6 +8,7 @@ import (
 	"michican/internal/bus"
 	"michican/internal/can"
 	"michican/internal/controller"
+	"michican/internal/telemetry"
 )
 
 // ReplayStats summarizes a replayer's delivery performance.
@@ -112,6 +113,9 @@ const neverDue = bus.BitTime(math.MaxInt64)
 
 // Controller exposes the replayer's protocol controller.
 func (r *Replayer) Controller() *controller.Controller { return r.ctl }
+
+// SetTelemetry wires the replayer's controller to a telemetry hub.
+func (r *Replayer) SetTelemetry(hub *telemetry.Hub) { r.ctl.SetTelemetry(hub) }
 
 // Stats returns a copy of the delivery statistics.
 func (r *Replayer) Stats() ReplayStats { return r.stats }

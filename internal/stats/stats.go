@@ -5,6 +5,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -74,6 +75,13 @@ type Summary struct {
 	N            int
 	Mean, StdDev float64
 	Min, Max     float64
+}
+
+// String renders the summary in the compact n/μ/σ/min/max form used by the
+// experiment tables and the telemetry text exporter.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d μ=%.4g σ=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Max)
 }
 
 // Summarize snapshots the accumulator.

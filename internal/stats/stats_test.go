@@ -83,6 +83,52 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummaryString(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	got := a.Summarize().String()
+	want := "n=8 μ=5 σ=2.138 min=2 max=9"
+	if got != want {
+		t.Errorf("Summary.String() = %q, want %q", got, want)
+	}
+	var empty Accumulator
+	if got := empty.Summarize().String(); got != "n=0 μ=0 σ=0 min=0 max=0" {
+		t.Errorf("empty Summary.String() = %q", got)
+	}
+}
+
+// TestPercentileDistribution checks the interpolated percentiles against the
+// exact quantile function of a known distribution: for uniform samples
+// 0..n-1, Pp must equal p/100·(n-1) exactly (every rank is populated).
+func TestPercentileDistribution(t *testing.T) {
+	const n = 101
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	rng.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 95, 99, 100} {
+		got, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p / 100 * (n - 1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("P%g = %f, want %f", p, got, want)
+		}
+	}
+	// Interpolation between ranks: median of {1,2,3,4} is 2.5.
+	if got, _ := Percentile([]float64{4, 1, 3, 2}, 50); got != 2.5 {
+		t.Errorf("interpolated median = %f, want 2.5", got)
+	}
+	if got, _ := Percentile([]float64{4, 1, 3, 2}, 90); math.Abs(got-3.7) > 1e-9 {
+		t.Errorf("P90 of {1..4} = %f, want 3.7", got)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	tests := []struct {

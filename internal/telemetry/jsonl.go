@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// sortedEvents snapshots the event log in global bit-time order. Each node's
+// own emissions are monotone in time, but batch (fast-path) delivery appends
+// whole per-node spans one node at a time, so the raw log can interleave
+// across nodes; a stable sort restores global order while preserving every
+// node's begin/end pairing order.
+func (h *Hub) sortedEvents() []Event {
+	events := h.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events
+}
+
+// WriteJSONL streams the retained event log as one JSON object per line, in
+// bit-time order. Kind-specific arguments are decoded into named fields so
+// the stream is self-describing:
+//
+//	{"t":1042,"node":"michican","event":"detect","bit":5}
+//	{"t":1056,"node":"michican","event":"pull_start","bits":7}
+//	{"t":1063,"node":"attacker","event":"error","kind":"bit","role":"tx"}
+//	{"t":1079,"node":"attacker","event":"tec","value":8,"prev":0}
+func (h *Hub) WriteJSONL(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, ev := range h.sortedEvents() {
+		if err := writeEventJSON(bw, h.NodeName(ev.Node), ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeEventJSON renders one event. Hand-rolled rather than encoding/json:
+// the field set depends on the kind, and the stable field order keeps the
+// stream diffable across runs.
+func writeEventJSON(w *bufio.Writer, node string, ev Event) error {
+	if _, err := fmt.Fprintf(w, `{"t":%d,"node":%s,"event":%q`,
+		ev.Time, strconv.Quote(node), ev.Kind.String()); err != nil {
+		return err
+	}
+	var err error
+	switch ev.Kind {
+	case EvArbWon:
+		_, err = fmt.Fprintf(w, `,"id":"0x%03X"`, ev.A)
+	case EvArbLost:
+		_, err = fmt.Fprintf(w, `,"at_wire_bit":%d`, ev.A)
+	case EvDetect:
+		_, err = fmt.Fprintf(w, `,"bit":%d`, ev.A)
+	case EvPullStart, EvPullEnd:
+		_, err = fmt.Fprintf(w, `,"bits":%d`, ev.A)
+	case EvError:
+		role := "rx"
+		if ev.B != 0 {
+			role = "tx"
+		}
+		_, err = fmt.Fprintf(w, `,"kind":%q,"role":%q`, ErrorKindName(ev.A), role)
+	case EvTEC, EvREC:
+		_, err = fmt.Fprintf(w, `,"value":%d,"prev":%d`, ev.A, ev.B)
+	case EvFFSpan:
+		path := "idle"
+		if ev.B != 0 {
+			path = "frame"
+		}
+		_, err = fmt.Fprintf(w, `,"bits":%d,"path":%q`, ev.A, path)
+	case EvErrorEnd, EvBusOff, EvRecover:
+		// No arguments.
+	}
+	if err != nil {
+		return err
+	}
+	_, err = w.WriteString("}\n")
+	return err
+}
