@@ -38,6 +38,7 @@ func main() {
 		fsms       = flag.Int("fsms", 160_000, "random FSMs for the detection study")
 		workers    = flag.Int("workers", 0, "trial-runner pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 		exact      = flag.Bool("exact", false, "force exact per-bit stepping (disable idle fast-forward)")
+		contendFF  = flag.Bool("contend-ff", true, "enable the contested-window fast path (set -contend-ff=false to ablate it; idle and frame paths stay on)")
 		jsonOut    = flag.String("json", "", "measure the throughput grid (load × stepping mode) and write machine-readable results to this file")
 		gridBits   = flag.Int64("gridbits", 2_000_000, "simulated bit times per throughput-grid cell")
 		metrics    = flag.Bool("metrics", false, "collect telemetry metrics during the run and print a Prometheus-style snapshot")
@@ -69,6 +70,7 @@ func main() {
 		Seed:          *seed,
 		Workers:       *workers,
 		ExactStepping: *exact,
+		NoContendFF:   !*contendFF,
 	}
 	var hub *telemetry.Hub
 	if *metrics {
@@ -89,8 +91,8 @@ func main() {
 // hub wired in, prints both, and fails when the relative cost exceeds the
 // threshold.
 func runOverheadGuard(simBits int64, thresholdPct float64) error {
-	header("Telemetry overhead guard — frame fast path")
-	row, err := experiment.MeasureTelemetryOverhead(experiment.ModeFrameFF, simBits)
+	header("Telemetry overhead guard — batch fast paths")
+	row, err := experiment.MeasureTelemetryOverhead(experiment.ModeContendFF, simBits)
 	if err != nil {
 		return err
 	}
@@ -121,8 +123,9 @@ func writeThroughputJSON(path string, simBits int64, workers int) error {
 	}
 	modes := []experiment.SteppingMode{
 		experiment.ModeExact, experiment.ModeIdleFF, experiment.ModeFrameFF,
+		experiment.ModeContendFF,
 	}
-	header("Throughput grid — exact vs idle-FF vs frame-FF")
+	header("Throughput grid — exact vs idle-FF vs frame-FF vs contend-FF")
 	fmt.Printf("fast-path modes: %v, workers=%d\n", modes, workers)
 	var rows []experiment.ThroughputRow
 	for _, load := range []float64{0.02, 0.30, 0.60} {
@@ -171,12 +174,20 @@ func profiledRun(cfg experiment.Config, table, fig int, exp string, all bool, fs
 	}
 
 	startBits := bus.SimulatedBits()
+	startIdle, startFrame, startContend := bus.IdleForwardedTotal(), bus.FrameForwardedTotal(), bus.ContendForwardedTotal()
 	startWall := time.Now()
 	err := run(cfg, table, fig, exp, all, fsms)
 	wall := time.Since(startWall)
 	if simBits := bus.SimulatedBits() - startBits; simBits > 0 && wall > 0 {
 		fmt.Printf("\nsimulated %d bus bits in %v (%.1f Mbit/s of bus time per wall-clock second)\n",
 			simBits, wall.Round(time.Millisecond), float64(simBits)/wall.Seconds()/1e6)
+		idle := bus.IdleForwardedTotal() - startIdle
+		frame := bus.FrameForwardedTotal() - startFrame
+		contend := bus.ContendForwardedTotal() - startContend
+		fmt.Printf("fast-path coverage: idle %d bits (%.1f%%), frame %d bits (%.1f%%), contend %d bits (%.1f%%)\n",
+			idle, 100*float64(idle)/float64(simBits),
+			frame, 100*float64(frame)/float64(simBits),
+			contend, 100*float64(contend)/float64(simBits))
 		if hub != nil {
 			hub.Registry().Gauge("michican_sim_bits_per_second").Set(float64(simBits) / wall.Seconds())
 		}

@@ -6,16 +6,20 @@ import (
 )
 
 var (
-	_ bus.Transmitting = (*Attacker)(nil)
-	_ bus.RunObserver  = (*Attacker)(nil)
+	_ bus.Transmitting     = (*Attacker)(nil)
+	_ bus.RunObserver      = (*Attacker)(nil)
+	_ bus.ContendCommitter = (*Attacker)(nil)
 )
 
 // policyHorizon returns the earliest bit at which the injection policy may
 // act (Tick is a pure no-op strictly before it), or now when the policy
 // lacks the quiescence capability. Tick takes no bus level, so its promise
-// holds over busy spans exactly as over idle ones, and the mailbox depth it
-// is conditioned on cannot change mid-span (the controller only drains the
-// queue on the final EOF bit, which is never part of a span).
+// holds over busy spans exactly as over idle ones. The mailbox depth it is
+// conditioned on can now change on a span's final bit (a frame's last EOF
+// bit commits, and txSuccess drains the queue there), but that matches the
+// exact path bit for bit: per-bit Tick runs before the controller consumes
+// the bit, so even there the depth change at bit T is first visible to the
+// Tick at T+1 — which lies past the span either way.
 func (a *Attacker) policyHorizon(now bus.BitTime) bus.BitTime {
 	qp, ok := a.policy.(QuiescentPolicy)
 	if !ok {
@@ -45,6 +49,27 @@ func (a *Attacker) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
 
 // FrameBit implements bus.Transmitting.
 func (a *Attacker) FrameBit() int { return a.ctl.FrameBit() }
+
+// ContendBits implements bus.ContendCommitter: the controller's contested
+// commitment (mid-frame stream or error-flag run), clamped below the policy's
+// next action exactly as CommittedBits is.
+func (a *Attacker) ContendBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	bits, h := a.ctl.ContendBits(now)
+	if h <= now || len(bits) == 0 {
+		return nil, now
+	}
+	if hp := a.policyHorizon(now); hp < h {
+		if hp <= now {
+			return nil, now
+		}
+		h = hp
+		bits = bits[:int64(h-now)]
+	}
+	return bits, h
+}
+
+// ContendFrameBit implements bus.ContendCommitter.
+func (a *Attacker) ContendFrameBit() int { return a.ctl.ContendFrameBit() }
 
 // PassiveRun implements bus.RunObserver: the controller's answer, clamped
 // below the policy's next action (an injection changes the mailbox and with

@@ -118,6 +118,15 @@ type Bus struct {
 	frameFFOff   bool
 	ffFrameBits  int64
 
+	// Contested-window fast-forward state (see contendpath.go). contendCap is
+	// parallel to nodes; contendSc is the retained proposal scratch, which
+	// Detach invalidates (it may reference a detached node's committed
+	// stream).
+	contendCap    []ContendCommitter
+	contendFFOff  bool
+	ffContendBits int64
+	contendSc     *contendScratch
+
 	// tel receives fast-path span events (EvFFSpan). The zero Probe is a
 	// no-op, so unwired buses pay one nil check per committed span — never
 	// per bit.
@@ -161,6 +170,8 @@ func (b *Bus) Attach(n Node) {
 	if !ok {
 		b.runPinned++
 	}
+	cc, _ := n.(ContendCommitter)
+	b.contendCap = append(b.contendCap, cc)
 }
 
 // Detach removes a node from the bus. It reports whether the node was found.
@@ -186,6 +197,10 @@ func (b *Bus) Detach(n Node) bool {
 			copy(b.runObs[i:], b.runObs[i+1:])
 			b.runObs[last] = nil
 			b.runObs = b.runObs[:last]
+			copy(b.contendCap[i:], b.contendCap[i+1:])
+			b.contendCap[last] = nil
+			b.contendCap = b.contendCap[:last]
+			b.invalidateProposal()
 			return true
 		}
 	}
@@ -241,7 +256,7 @@ func (b *Bus) Run(n int64) {
 	}
 	end := b.now + BitTime(n)
 	for b.now < end {
-		if !b.tryFastForward(end) && !b.tryFrameForward(end) {
+		if !b.tryFastForward(end) && !b.tryFrameForward(end) && !b.tryContendForward(end) {
 			b.Step()
 		}
 	}
@@ -264,7 +279,7 @@ func (b *Bus) RunUntil(pred func() bool, maxBits int64) bool {
 	end := b.now + BitTime(maxBits)
 	defer func() { simulatedBits.Add(int64(b.now - start)) }()
 	for b.now < end {
-		if !b.tryFastForward(end) && !b.tryFrameForward(end) {
+		if !b.tryFastForward(end) && !b.tryFrameForward(end) && !b.tryContendForward(end) {
 			b.Step()
 		}
 		if pred() {

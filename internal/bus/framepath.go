@@ -14,9 +14,11 @@ import (
 // driving for bits [now, horizon), provided every other node drives recessive
 // throughout — for a CAN controller these are the serialized wire bits of the
 // frame in flight. The commitment must be unconditional on the observed bus
-// levels over that span (which is why it must exclude the ACK slot, the
-// completion bit, and any bit whose outcome feeds back into the node's next
-// drive decision). A horizon <= now, or an empty slice, declines.
+// levels over that span (which is why it must exclude the ACK slot and any
+// bit whose outcome feeds back into the node's next drive decision; the
+// frame-completion bit may commit — its level is unconditional — provided the
+// node's ObserveRun fires the completion events at that exact bit time). A
+// horizon <= now, or an empty slice, declines.
 //
 // FrameBit reports the wire index within the current frame (SOF = 0) of the
 // bit the node drives at the time CommittedBits was queried; receivers use it

@@ -1,0 +1,178 @@
+package controller
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+var _ bus.ContendCommitter = (*Controller)(nil)
+
+// ContendBits implements bus.ContendCommitter. Two controller states publish
+// a conditional stream:
+//
+//   - mid-frame transmitter: the same plan spans as CommittedBits. The
+//     commitment there is unconditional only under the sole-transmitter
+//     premise; under contention it holds bit by bit as long as the resolved
+//     level matches the driven one, which is exactly the condition the bus's
+//     divergence clamp enforces — the first overridden recessive (arbitration
+//     loss or bit error) is re-stepped exactly;
+//   - active error flag: the remaining dominant flag bits, unconditional by
+//     construction (the flag ignores the wire entirely);
+//   - pending SOF: the controller decided last bit to assert SOF
+//     (driveNext is dominant), so the head frame's serialized plan from the
+//     SOF through the CRC delimiter is its conditional stream — the frame it
+//     will begin transmitting holds bit by bit as long as it keeps winning,
+//     and the first overridden recessive is an arbitration loss (or stuff
+//     error) re-stepped exactly, as mid-frame.
+//
+// Passive flags, delimiters, and queue-less idle commit nothing — they are
+// recessive waits, covered by the passive side of the negotiation.
+func (c *Controller) ContendBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	switch c.phase {
+	case phaseFrame:
+		return c.CommittedBits(now)
+	case phaseActiveFlag:
+		n := ActiveFlagBits - c.flagCount
+		if n <= 0 {
+			return nil, now
+		}
+		run := can.DominantRun(n)
+		return run, now + bus.BitTime(len(run))
+	case phaseIdle:
+		if !c.pendingSOF {
+			return nil, now
+		}
+		if f, ok := c.queue.head(); ok {
+			p := c.planFor(f)
+			c.pendingPlan = p
+			run := p.bits[:p.ackIdx]
+			return run, now + bus.BitTime(len(run))
+		}
+	}
+	return nil, now
+}
+
+// ContendFrameBit implements bus.ContendCommitter: the transmit-plan wire
+// index for a mid-frame transmitter, 0 for a pending SOF, -1 for flag runs.
+func (c *Controller) ContendFrameBit() int {
+	if c.phase == phaseFrame && c.transmitting {
+		return c.txIdx
+	}
+	if c.pendingSOF {
+		return 0
+	}
+	return -1
+}
+
+// TxCompleteWithin reports whether delivering the next n resolved bits could
+// fire this controller's transmit-completion callback (txSuccess and with it
+// Config.OnTransmit). Only a transmitting controller whose plan's last bit
+// lies within the next n bits completes; a receiver, an error-signalling
+// node, or a transmitter whose frame extends past the span cannot. Schedule
+// wrappers (restbus.Replayer) use the answer to decide whether deadline
+// processing must interleave with span delivery or may batch at the span's
+// end.
+func (c *Controller) TxCompleteWithin(n int) bool {
+	switch c.phase {
+	case phaseFrame:
+		return c.transmitting && c.txIdx+n >= len(c.plan.bits)
+	case phaseIdle:
+		if !c.pendingSOF {
+			return false
+		}
+		if c.pendingPlan == nil {
+			return true // plan unknown: assume completion is reachable
+		}
+		return n >= len(c.pendingPlan.bits)
+	}
+	return false
+}
+
+// InFrame reports whether the controller is inside a frame or signalling an
+// error — the phases whose drive decisions never consult the transmit queue.
+// While it holds, an Enqueue can be deferred to any later bit of the phase
+// without changing externally visible behaviour, which is what lets schedule
+// wrappers (restbus.Replayer) process deadlines at batch boundaries instead
+// of clamping every span at the next due bit.
+func (c *Controller) InFrame() bool {
+	switch c.phase {
+	case phaseFrame, phaseActiveFlag, phasePassiveFlag, phaseErrorDelim:
+		return true
+	}
+	return false
+}
+
+// contendScan answers passivity for a mid-frame receiver offered a contested
+// span (frameBit < 0: the levels come from error flags or a counterattack
+// pull, not from this frame's serialized plan — by construction such spans
+// are dominant runs). The receive pipeline may hit a stuff error anywhere in
+// them, so the scan walks a copy of the destuffer and accepts through the
+// detection bit: the receiver drives recessive up to and including it, and
+// its own error flag only reaches the wire on the following bit, which the
+// clamp leaves to exact stepping.
+func (c *Controller) contendScan(levels []can.Level) int {
+	if c.rxTrailer != 0 || c.rxAwaitStuff || c.rxFSIdx >= 0 || (c.rxFDKnown && c.rxFD) {
+		return 0 // trailer form checks / FD fixed-stuff region: exact-step
+	}
+	// Stay strictly inside the dynamically stuffed region, so the CRC check
+	// and trailer transitions land on exact steps. While the header is still
+	// being decoded, the classical DLC-0 length floors every layout the frame
+	// can still turn out to have — provided no recessive bit is consumed,
+	// since a recessive IDE/FDF would switch to extended or FD framing.
+	stable := c.rxFDKnown && !c.rxFD && c.rxLayoutKnown && c.rxDLC >= 0
+	regionEnd := can.UnstuffedLen(0)
+	if stable {
+		regionEnd = c.rxLayout.UnstuffedLen(c.rxDataLen)
+	}
+	budget := regionEnd - len(c.rxBits) - 1
+	if budget <= 0 {
+		return 0
+	}
+	if budget > len(levels) {
+		budget = len(levels)
+	}
+	destuf := c.rxDestuf
+	for i := 0; i < budget; i++ {
+		if !stable && levels[i] != can.Dominant {
+			return i
+		}
+		if _, err := destuf.Next(levels[i]); err != nil {
+			return i + 1
+		}
+	}
+	return budget
+}
+
+// errorSignalScan replays the passive-flag / error-delimiter counters over a
+// span on copies, accepting through the delimiter-completion bit: the node
+// drives recessive throughout, the EvErrorEnd transition fires within the
+// prefix (ObserveRun replays it at its exact bit), and intermission — where
+// the transmit queue starts mattering — begins on the following bit.
+func (c *Controller) errorSignalScan(levels []can.Level) int {
+	ph := c.phase
+	flagCount, delimCount := c.flagCount, c.delimCount
+	passiveLast, passiveBegun := c.passiveLast, c.passiveBegun
+	for i, level := range levels {
+		if ph == phasePassiveFlag {
+			if passiveBegun && level == passiveLast {
+				flagCount++
+			} else {
+				passiveLast, passiveBegun, flagCount = level, true, 1
+			}
+			if flagCount >= PassiveFlagBits {
+				ph = phaseErrorDelim
+				delimCount = 0
+			}
+			continue
+		}
+		if level == can.Dominant {
+			delimCount = 0
+			continue
+		}
+		delimCount++
+		if delimCount >= ErrorDelimiterBits {
+			return i + 1
+		}
+	}
+	return len(levels)
+}

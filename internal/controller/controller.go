@@ -206,10 +206,9 @@ type Controller struct {
 	// (periodic traffic retransmits a small fixed message set); see planFor.
 	planCache map[planKey]*txPlan
 	// rxSpanCache memoizes the receive pipeline's end state per committed
-	// span (see rxRun); rxSharedBits marks that rxBits/rxFDCRCBits currently
-	// alias a cached snapshot and must be dropped, not truncated, on reset.
-	rxSpanCache  []rxSpanSlot
-	rxSharedBits bool
+	// span (see rxRun); adoption copies the snapshot into the controller's
+	// own working buffers, so the cached slices are never aliased.
+	rxSpanCache []rxSpanSlot
 
 	// Receive pipeline, active for every frame on the bus from its SOF.
 	rxDestuf      can.Destuffer
@@ -262,6 +261,12 @@ type Controller struct {
 	// pendingSOF records that we decided to assert SOF during the next bit,
 	// so that when the dominant level appears we know we are a contender.
 	pendingSOF bool
+
+	// pendingPlan caches the head frame's plan between the pending-SOF
+	// ContendBits query and the beginFrame that consumes it, saving the
+	// second plan-cache probe; beginFrame validates it against the live
+	// queue head before trusting it.
+	pendingPlan *txPlan
 
 	// Bus-off recovery progress.
 	recoverSeqs int

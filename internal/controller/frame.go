@@ -17,13 +17,19 @@ func (c *Controller) beginFrame(t bus.BitTime, level can.Level, contender bool) 
 	c.plan = nil
 	if contender {
 		if f, ok := c.queue.head(); ok {
-			c.plan = c.planFor(f)
+			if p := c.pendingPlan; p != nil && p.frame.Equal(&f) {
+				p.frame = f
+				c.plan = p
+			} else {
+				c.plan = c.planFor(f)
+			}
 			c.txIdx = 0
 			c.acked = false
 			c.transmitting = true
 			c.stats.TxAttempts++
 		}
 	}
+	c.pendingPlan = nil
 	// Process the SOF bit through both paths.
 	c.observeFrame(t, level)
 }
@@ -31,13 +37,6 @@ func (c *Controller) beginFrame(t bus.BitTime, level can.Level, contender bool) 
 // resetRx clears the receive pipeline for a new frame.
 func (c *Controller) resetRx() {
 	c.rxDestuf.Reset()
-	if c.rxSharedBits {
-		// The working slices alias a cached rxSnapshot; truncating and
-		// appending would scribble on it.
-		c.rxBits = nil
-		c.rxFDCRCBits = nil
-		c.rxSharedBits = false
-	}
 	c.rxBits = c.rxBits[:0]
 	c.rxCRC.Reset()
 	c.rxDLC = -1

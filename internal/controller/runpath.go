@@ -23,12 +23,16 @@ var (
 //     arbitration is uncontested by construction — any contender either
 //     commits bits itself (two committers, bus declines) or reports a
 //     dominant driveNext (pins the span);
-//   - ACK delimiter through the second-to-last EOF bit (txIdx in
-//     (ackIdx, len-1)).
+//   - ACK delimiter through the last EOF bit (txIdx in (ackIdx, len)). The
+//     trailer levels are unconditional — all recessive — so the final EOF bit
+//     commits too; txSuccess (callbacks, mailbox pop, counter updates) then
+//     fires inside the batch at the span's last bit, exactly as per-bit
+//     stepping would, and the queue cannot be read again before the next
+//     exact-stepped bit.
 //
-// The SOF (txIdx 0 never occurs between bits — beginFrame consumes it), the
-// ACK slot (its observed level feeds back into acked), and the final EOF bit
-// (txSuccess fires callbacks and pops the mailbox) stay on the exact path.
+// The SOF (txIdx 0 never occurs between bits — beginFrame consumes it) and
+// the ACK slot (its observed level feeds back into acked) stay on the exact
+// path.
 func (c *Controller) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
 	if c.phase != phaseFrame || !c.transmitting || c.plan == nil {
 		return nil, now
@@ -37,8 +41,8 @@ func (c *Controller) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
 	case c.txIdx >= 1 && c.txIdx < c.plan.ackIdx:
 		run := c.plan.bits[c.txIdx:c.plan.ackIdx]
 		return run, now + bus.BitTime(len(run))
-	case c.txIdx > c.plan.ackIdx && c.txIdx < len(c.plan.bits)-1:
-		run := c.plan.bits[c.txIdx : len(c.plan.bits)-1]
+	case c.txIdx > c.plan.ackIdx && c.txIdx < len(c.plan.bits):
+		run := c.plan.bits[c.txIdx:]
 		return run, now + bus.BitTime(len(run))
 	}
 	return nil, now
@@ -55,14 +59,21 @@ func (c *Controller) FrameBit() int { return c.txIdx }
 //     transmitter (rxWire == frameBit). Committed streams only ever come
 //     from a txPlan — a stuff-compliant serialization of a validated frame
 //     with a correct CRC — so a synchronized receiver consuming that stream
-//     can raise no stuff/form/CRC/bit error and reaches no completion
-//     callback before the final EOF bit, which the transmitter never
-//     commits. The whole span is accepted in O(1); the possible dominant ACK
-//     decision lands on driveNext at span end, after the span's last bit,
-//     which keeps the promise.
-//   - it is out of the frame (idle, intermission, suspend) with nothing to
-//     send: it accepts the leading recessive prefix — a dominant bit would
-//     be a join-as-SOF event, left to the exact path;
+//     can raise no stuff/form/CRC/bit error; frame completion (rxComplete,
+//     OnReceive) can only fall on the span's own final bit, where ObserveRun
+//     replays it at its exact bit time. The whole span is accepted in O(1);
+//     the possible dominant ACK decision lands on driveNext at span end,
+//     after the span's last bit, which keeps the promise.
+//   - it is out of the frame (idle, intermission, suspend) and the span
+//     starts at a frame's SOF (frameBit 0, dominant first level): it joins
+//     as a bit-synchronized receiver at that SOF and the previous case
+//     applies from bit 1 on — the whole span is accepted in O(1), even with
+//     frames pending (a foreign SOF always wins the slot on the exact path
+//     too, unless this node is asserting SOF itself, which pendingSOF /
+//     driveNext pin);
+//   - it is out of the frame with nothing to send: it accepts the leading
+//     recessive prefix — a dominant bit would be a join-as-SOF event, left
+//     to the exact path (or to a frameBit-0 span negotiated at it);
 //   - it is bus-off: always passive; with auto-recovery the span is clamped
 //     below the recovery-completion bit so the rejoin transition fires on an
 //     exact step.
@@ -75,11 +86,22 @@ func (c *Controller) PassiveRun(now bus.BitTime, frameBit int, levels []can.Leve
 	}
 	switch c.phase {
 	case phaseFrame:
-		if !c.transmitting && c.rxWire == frameBit {
+		if c.transmitting {
+			return 0
+		}
+		if frameBit >= 0 {
+			if c.rxWire == frameBit {
+				return len(levels)
+			}
+			return 0
+		}
+		return c.contendScan(levels)
+	case phasePassiveFlag, phaseErrorDelim:
+		return c.errorSignalScan(levels)
+	case phaseIdle, phaseIntermission, phaseSuspend:
+		if frameBit == 0 && len(levels) > 0 && levels[0] == can.Dominant && !c.pendingSOF {
 			return len(levels)
 		}
-		return 0
-	case phaseIdle, phaseIntermission, phaseSuspend:
 		if c.queue.len() > 0 || c.pendingSOF {
 			return 0
 		}
@@ -107,6 +129,15 @@ func (c *Controller) ObserveRun(from bus.BitTime, levels []can.Level) {
 	switch c.phase {
 	case phaseFrame:
 		c.frameRun(from, levels)
+	case phaseActiveFlag, phasePassiveFlag, phaseErrorDelim:
+		// Error-signal spans are short (≤ 14 bits) and dense with counter
+		// transitions — flag completion, delimiter restart, EvErrorEnd — so
+		// they replay through the exact per-bit handler. The span clamps
+		// (ContendBits length, errorSignalScan) guarantee the replay never
+		// runs past the delimiter-completion bit into intermission.
+		for i, level := range levels {
+			c.Observe(from+bus.BitTime(i), level)
+		}
 	case phaseBusOff:
 		c.trackIdleRun(levels)
 		c.driveNext = can.Recessive
@@ -126,6 +157,21 @@ func (c *Controller) ObserveRun(from bus.BitTime, levels []can.Level) {
 			}
 		}
 	default:
+		if len(levels) > 0 && levels[0] == can.Dominant {
+			// A frameBit-0 span: bit 0 is the SOF — of our own pending frame
+			// (pendingSOF, published through ContendBits) or of a foreign
+			// frame we join as receiver — and the rest of the span is
+			// mid-frame, exactly as observeIdle/-Intermission/-Suspend would
+			// process it bit by bit.
+			c.idleRun = 0
+			c.driveNext = can.Recessive
+			c.beginFrame(from, levels[0], c.pendingSOF)
+			c.pendingSOF = false
+			if len(levels) > 1 {
+				c.frameRun(from+1, levels[1:])
+			}
+			return
+		}
 		// Idle/intermission/suspend spans are all-recessive by this
 		// controller's own PassiveRun answer (the bus clamps to it), which is
 		// exactly the SkipIdle contract.
@@ -149,6 +195,14 @@ func (c *Controller) frameRun(from bus.BitTime, levels []can.Level) {
 			// exact path emits at.
 			c.tel.Emit(int64(from)+int64(c.plan.arbEnd-1-before),
 				telemetry.EvArbWon, int64(c.plan.frame.ID), 0)
+		}
+		if c.txIdx >= len(c.plan.bits) {
+			// The span reached the final EOF bit: the transmission completed
+			// at the span's last bit time, with the same callbacks and
+			// counter updates the exact path runs there.
+			c.driveNext = can.Recessive
+			c.txSuccess(from + bus.BitTime(len(levels)-1))
+			return
 		}
 		c.driveNext = c.plan.bits[c.txIdx]
 		return
@@ -193,7 +247,12 @@ type rxSpanSlot struct {
 
 // rxSpanSlotBits sizes the direct-mapped span cache (message set ×
 // rolling-counter rotation × the few clamped lengths each span recurs at).
-const rxSpanSlotBits = 14
+// Sized so a realistic matrix's full rotation (tens of IDs × 256 counter
+// values ≈ 8k identities) keeps the per-set load low: at 2^16 slots in
+// two-way sets, virtually no set holds three or more live identities, which
+// under round-robin rotation would otherwise defeat the LRU and redecode
+// those spans every cycle.
+const rxSpanSlotBits = 16
 
 // rxSpanIdx hashes a span identity into the cache.
 func rxSpanIdx(p *can.Level, n int) uint {
@@ -263,8 +322,7 @@ func (c *Controller) rxRun(from bus.BitTime, levels []can.Level) {
 	if slot != nil {
 		s := slot.snap
 		c.rxDestuf = s.destuf
-		c.rxBits = s.bits
-		c.rxSharedBits = true
+		c.rxBits = append(c.rxBits[:0], s.bits...)
 		c.rxCRC = s.crc
 		c.rxDLC = s.dlc
 		c.rxCRCOK = s.crcOK
@@ -281,7 +339,7 @@ func (c *Controller) rxRun(from bus.BitTime, levels []can.Level) {
 		c.rxDynStuff = s.dynStuff
 		c.rxFSIdx = s.fsIdx
 		c.rxFSBNext = s.fsbNext
-		c.rxFDCRCBits = s.fdCRCBits
+		c.rxFDCRCBits = append(c.rxFDCRCBits[:0], s.fdCRCBits...)
 		c.rxLastWire = s.lastWire
 		c.rxWire = s.wire
 		c.driveNext = s.driveNext
@@ -291,6 +349,11 @@ func (c *Controller) rxRun(from bus.BitTime, levels []can.Level) {
 	if c.phase != phaseFrame || c.rxWire != 1+len(levels) {
 		return // left the frame or split the span: state not span-pure
 	}
+	// Snapshot on the first sighting. Rolling payload counters make a span
+	// recur only once per full rotation, so a recurrence filter ("snapshot on
+	// the second decode") would redecode every one of the rotation's ~8k span
+	// identities each cycle; at 2^16 two-way slots, a wasted snapshot for a
+	// genuinely one-shot span costs one small allocation and an eviction.
 	s := &rxSnapshot{
 		destuf:      c.rxDestuf,
 		bits:        cloneExact(c.rxBits),

@@ -11,9 +11,10 @@ import (
 )
 
 var (
-	_ bus.RunObserver  = (*Defense)(nil)
-	_ bus.RunObserver  = (*ECU)(nil)
-	_ bus.Transmitting = (*ECU)(nil)
+	_ bus.RunObserver      = (*Defense)(nil)
+	_ bus.RunObserver      = (*ECU)(nil)
+	_ bus.Transmitting     = (*ECU)(nil)
+	_ bus.ContendCommitter = (*ECU)(nil)
 )
 
 // PassiveRun implements bus.RunObserver: a pure scan of the proposed span
@@ -23,7 +24,22 @@ var (
 // after the strike decision — and the next negotiation then sees the mux
 // driving dominant and pins. The scan walks value copies (Destuffer,
 // fsm.Cursor) so the real state is untouched if the bus discards the span.
-func (d *Defense) PassiveRun(_ bus.BitTime, _ int, levels []can.Level) int {
+func (d *Defense) PassiveRun(_ bus.BitTime, frameBit int, levels []can.Level) int {
+	return d.passiveScan(frameBit, levels, d.selfNow())
+}
+
+// selfNow answers the SelfTransmitting callback (false when unset).
+func (d *Defense) selfNow() bool {
+	return d.cfg.SelfTransmitting != nil && d.cfg.SelfTransmitting()
+}
+
+// passiveScan is PassiveRun with the SelfTransmitting answer supplied by the
+// caller. The distinction matters for frameBit-0 spans committed by the host
+// ECU's own controller (a pending SOF): at negotiation time the controller is
+// not yet transmitting, so the live callback answers false, but the frame the
+// span carries is the host's own — the strike decision inside the span must
+// be scanned with self true, as the exact path would decide it mid-frame.
+func (d *Defense) passiveScan(frameBit int, levels []can.Level, self bool) int {
 	if d.mux.DriveLevel() == can.Dominant {
 		return 0
 	}
@@ -32,21 +48,30 @@ func (d *Defense) PassiveRun(_ bus.BitTime, _ int, levels []can.Level) int {
 	}
 	// The scan is a pure function of the span's levels and a tiny entry
 	// state, and committed spans have stable identities (immutable memoized
-	// plans), so the two recurring cases are memoized per span: the SOF
-	// baseline (cnt == 1 — frame counter at SOF, stuff tracker seeded, FSM
-	// at the root; parameterized by the SelfTransmitting answer, which is
-	// span-invariant) and the idle hunt (parameterized by cnt_sof saturated
-	// at the SOF threshold — beyond it the exact count cannot change where
-	// the scan stops).
+	// plans), so the recurring cases are memoized per span: the SOF baseline
+	// (cnt == 1 — frame counter at SOF, stuff tracker seeded, FSM at the
+	// root; parameterized by the self answer, which is span-invariant), the
+	// join baseline (hunting with cnt_sof at threshold, span starts at a
+	// frame's SOF — bit 0 synchronizes, the rest replays from the post-SOF
+	// baseline), and the idle hunt (parameterized by cnt_sof saturated at the
+	// SOF threshold — beyond it the exact count cannot change where the scan
+	// stops).
 	var mode uint8
+	join := false
 	switch {
 	case d.inFrame && d.cnt == 1:
 		mode = scanModeSOF
-		if d.cfg.SelfTransmitting != nil && d.cfg.SelfTransmitting() {
+		if self {
 			mode = scanModeSOFSelf
 		}
 	case d.inFrame:
-		return d.frameScan(levels)
+		return d.frameScan(levels, self)
+	case frameBit == 0 && d.cntSOF >= can.IdleForSOF && levels[0] == can.Dominant:
+		join = true
+		mode = scanModeJoin
+		if self {
+			mode = scanModeJoinSelf
+		}
 	default:
 		run := d.cntSOF
 		if run > can.IdleForSOF {
@@ -81,9 +106,12 @@ func (d *Defense) PassiveRun(_ bus.BitTime, _ int, levels []can.Level) int {
 		return len(levels)
 	}
 	var n int
-	if d.inFrame {
-		n = d.frameScan(levels)
-	} else {
+	switch {
+	case d.inFrame:
+		n = d.frameScan(levels, self)
+	case join:
+		n = d.joinScan(levels, self)
+	default:
 		n = idleScanLevels(levels, d.cntSOF)
 	}
 	if s == nil {
@@ -107,8 +135,11 @@ type scanSlot struct {
 
 // scanSlotBits sizes the memo: 2^scanSlotBits entries organised as two-way
 // sets (message set × rolling-counter rotation × a handful of entry modes;
-// collisions merely rescan).
-const scanSlotBits = 14
+// collisions merely rescan). Sized generously — a realistic matrix's full
+// rotation is ~8k span identities, and round-robin rotation through a set
+// holding three or more of them would defeat the two-way LRU, rescanning
+// those spans every cycle.
+const scanSlotBits = 16
 
 // scanIdx hashes a span identity and entry mode into the memo.
 func scanIdx(p *can.Level, mode uint8) uint {
@@ -119,17 +150,38 @@ func scanIdx(p *can.Level, mode uint8) uint {
 
 const (
 	// Modes 0..can.IdleForSOF are idle scans keyed by the saturated
-	// recessive run; the two SOF-baseline modes follow.
-	scanModeSOF     = can.IdleForSOF + 1
-	scanModeSOFSelf = can.IdleForSOF + 2
+	// recessive run; the SOF- and join-baseline modes follow.
+	scanModeSOF      = can.IdleForSOF + 1
+	scanModeSOFSelf  = can.IdleForSOF + 2
+	scanModeJoin     = can.IdleForSOF + 3
+	scanModeJoinSelf = can.IdleForSOF + 4
 )
 
-// frameScan replays onFrameBit over the span without mutating the defense.
-func (d *Defense) frameScan(levels []can.Level) int {
-	destuf := d.destuf
-	cur := d.cfg.FSM.Cursor()
-	idBits, postID, extFlag := d.idBits, d.postID, d.extFlag
-	attackFlag := d.attackFlag
+// frameScan replays onFrameBit over the span from the defense's live state,
+// without mutating it.
+func (d *Defense) frameScan(levels []can.Level, self bool) int {
+	return d.frameScanFrom(d.destuf, d.cfg.FSM.Cursor(),
+		d.idBits, d.postID, d.extFlag, d.attackFlag, self, levels)
+}
+
+// joinScan answers passivity for a span that begins at a frame's SOF while
+// the defense is hunting with cnt_sof at or past the threshold: bit 0
+// hard-synchronizes (always passive — the defense never drives at SOF), and
+// the rest replays Algorithm 1 from the post-SOF baseline — stuff tracker
+// seeded with the dominant SOF bit, FSM at its root, all flags clear —
+// without mutating anything.
+func (d *Defense) joinScan(levels []can.Level, self bool) int {
+	var destuf can.Destuffer
+	destuf.Reset()
+	destuf.Next(can.Dominant)
+	return 1 + d.frameScanFrom(destuf, d.cfg.FSM.RootCursor(),
+		0, 0, false, false, self, levels[1:])
+}
+
+// frameScanFrom replays onFrameBit over the span from an explicit in-frame
+// entry state, mutating only the copies it was handed.
+func (d *Defense) frameScanFrom(destuf can.Destuffer, cur fsm.Cursor,
+	idBits, postID int, extFlag, attackFlag, self bool, levels []can.Level) int {
 	for i, level := range levels {
 		payload, err := destuf.Next(level)
 		if err != nil {
@@ -151,14 +203,14 @@ func (d *Defense) frameScan(levels []can.Level) int {
 		}
 		postID++
 		if !d.cfg.ExtendedAware {
-			return i + 1 + d.scanStrike(attackFlag, levels[i+1:])
+			return i + 1 + d.scanStrike(attackFlag, self, levels[i+1:])
 		}
 		switch {
 		case postID == 1:
 			// RTR/SRR: waiting for the IDE bit.
 		case postID == 2:
 			if level == can.Dominant {
-				return i + 1 + d.scanStrike(attackFlag, levels[i+1:])
+				return i + 1 + d.scanStrike(attackFlag, self, levels[i+1:])
 			}
 			extFlag = true
 			if !attackFlag {
@@ -166,7 +218,7 @@ func (d *Defense) frameScan(levels []can.Level) int {
 				return i + 1 + idleScanLevels(levels[i+1:], 0)
 			}
 		case extFlag && postID == 2+can.ExtLowBits+1:
-			return i + 1 + d.scanStrike(attackFlag, levels[i+1:])
+			return i + 1 + d.scanStrike(attackFlag, self, levels[i+1:])
 		}
 	}
 	return len(levels)
@@ -175,9 +227,8 @@ func (d *Defense) frameScan(levels []can.Level) int {
 // scanStrike resolves the strike point in a pure scan: rest holds the span
 // bits after the strike bit; the return value is how many of them stay
 // passive.
-func (d *Defense) scanStrike(attackFlag bool, rest []can.Level) int {
-	if attackFlag && d.cfg.PreventionEnabled &&
-		!(d.cfg.SelfTransmitting != nil && d.cfg.SelfTransmitting()) {
+func (d *Defense) scanStrike(attackFlag, self bool, rest []can.Level) int {
+	if attackFlag && d.cfg.PreventionEnabled && !self {
 		return 0 // the pull reaches the wire on the next bit
 	}
 	// Benign, detection-only, or own transmission: endFrame, SOF hunting.
@@ -215,11 +266,22 @@ func (d *Defense) ObserveRun(from bus.BitTime, levels []can.Level) {
 		return
 	}
 	// Every delivered span is clamped to this defense's own PassiveRun answer
-	// (via the bus negotiation, or via CommittedBits on the committing ECU),
-	// so it contains no bit that would synchronize as SOF: the in-frame
-	// prefix advances through the batched walk, and once the defense leaves
-	// the frame the whole remainder is one SOF-free idle batch.
+	// (via the bus negotiation, or via the commitment clamps on the
+	// committing ECU), so the only bit that can synchronize as SOF is the
+	// span's first (a frameBit-0 span): it replays through the exact idle
+	// handler — same invocation charges, hard-synchronizing when cnt_sof is
+	// at threshold — and the in-frame walk takes over from bit 1. Once the
+	// defense is (or falls) out of the frame, the remainder is one SOF-free
+	// idle batch.
 	i := 0
+	if !d.inFrame && levels[0] == can.Dominant {
+		d.meter.Charge(mcu.OpISREnterExit)
+		d.meter.Charge(mcu.OpReadRX)
+		d.onIdleBit(from, levels[0])
+		d.meter.EndInvocationAs(false)
+		d.mux.LatchRX(levels[0])
+		i = 1
+	}
 	for i < len(levels) && d.inFrame {
 		i += d.frameRunBatch(from+bus.BitTime(i), levels[i:])
 	}
@@ -370,6 +432,96 @@ func (e *ECU) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
 
 // FrameBit implements bus.Transmitting.
 func (e *ECU) FrameBit() int { return e.Controller.FrameBit() }
+
+// contendBits returns the defense's committed stream for the contested-window
+// path: the remainder of an in-progress counterattack pull, an unconditional
+// dominant run (the pull ignores the wire by design — that is the attack
+// suppression mechanism). The run's length is exactly pullRemaining, because
+// frameRunBatch/onFrameBit decrement it per observed bit and release the pin
+// when it reaches zero.
+func (d *Defense) contendBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	if !d.counterattacking || d.pullRemaining <= 0 {
+		return nil, now
+	}
+	run := can.DominantRun(d.pullRemaining)
+	return run, now + bus.BitTime(len(run))
+}
+
+// ContendBits implements bus.ContendCommitter for a defended ECU, combining
+// the two halves that share this attachment point:
+//
+//   - controller commitment only: as CommittedBits, clamped by the defense's
+//     own passivity over the stream;
+//   - defense pull only: the dominant run, clamped by the controller's
+//     passivity under it (contendScan — the receiver typically stuff-errors
+//     partway through the pull, and that detection bit bounds the span);
+//   - both (the controller signalling an error while the pull continues):
+//     clamped at the first bit where the halves disagree — there the wire
+//     would override the controller's recessive, and that bit-error bit must
+//     run exactly.
+//
+// In every case the returned stream equals both halves' driven levels over
+// its length, so the ECU behaves as a single committer.
+func (e *ECU) ContendBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	cb, ch := e.Controller.ContendBits(now)
+	if ch <= now {
+		cb = nil
+	}
+	if e.Defense == nil {
+		if len(cb) == 0 {
+			return nil, now
+		}
+		return cb, now + bus.BitTime(len(cb))
+	}
+	db, dh := e.Defense.contendBits(now)
+	if dh <= now {
+		db = nil
+	}
+	switch {
+	case len(cb) == 0 && len(db) == 0:
+		return nil, now
+	case len(db) == 0:
+		// A plan-backed stream (frameBit >= 0) is always the host
+		// controller's own frame — including a pending-SOF commitment, where
+		// the live SelfTransmitting answer is still false — so the defense
+		// scans it with self true; flag runs (frameBit -1) keep the live
+		// answer, matching the exact path's mid-flag strike decisions.
+		fb := e.Controller.ContendFrameBit()
+		k := e.Defense.passiveScan(fb, cb, fb >= 0 || e.Defense.selfNow())
+		if k <= 0 {
+			return nil, now
+		}
+		cb = cb[:k]
+		return cb, now + bus.BitTime(k)
+	case len(cb) == 0:
+		k := e.Controller.PassiveRun(now, -1, db)
+		if k <= 0 {
+			return nil, now
+		}
+		db = db[:k]
+		return db, now + bus.BitTime(k)
+	}
+	n := len(cb)
+	if len(db) < n {
+		n = len(db)
+	}
+	for i := 0; i < n; i++ {
+		if cb[i] != db[i] {
+			n = i
+			break
+		}
+	}
+	if n == 0 {
+		return nil, now
+	}
+	return cb[:n], now + bus.BitTime(n)
+}
+
+// ContendFrameBit implements bus.ContendCommitter: the controller's plan
+// position when its stream is in play, -1 when the commitment is the
+// defense's pull alone (the controller then reports -1 itself, since it is
+// not a mid-frame transmitter).
+func (e *ECU) ContendFrameBit() int { return e.Controller.ContendFrameBit() }
 
 // PassiveRun implements bus.RunObserver: both halves of the ECU must stay
 // passive.

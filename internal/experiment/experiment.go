@@ -35,6 +35,10 @@ type Config struct {
 	// ExactStepping disables the bus's idle fast-forward, forcing per-bit
 	// simulation — the reference path for golden-trace differential tests.
 	ExactStepping bool
+	// NoContendFF disables just the contested-window fast path, leaving the
+	// idle and sole-transmitter paths on — the michican-bench -contend-ff
+	// ablation knob. Redundant when ExactStepping is set.
+	NoContendFF bool
 	// Hub, when set, wires every testbed participant (bus, defender
 	// controller, defense, restbus, attackers) into the telemetry collector.
 	// The parallel trial runner may share one hub across trials: node names
@@ -77,6 +81,9 @@ type testbed struct {
 func newTestbed(cfg Config, matrix *restbus.Matrix, exclude []can.ID) (*testbed, error) {
 	tb := &testbed{bus: bus.New(cfg.Rate)}
 	tb.bus.SetFastForward(!cfg.ExactStepping)
+	if cfg.NoContendFF {
+		tb.bus.SetContendFastForward(false)
+	}
 	tb.recorder = trace.NewRecorder()
 	tb.bus.AttachTap(tb.recorder)
 

@@ -36,6 +36,28 @@ func (o *idleOnlyObserver) QuiescentUntil(now bus.BitTime) bus.BitTime {
 
 func (o *idleOnlyObserver) SkipIdle(from, to bus.BitTime) { o.bits += int64(to - from) }
 
+// diffMode selects which fast-path stack a differential arm runs with.
+type diffMode int
+
+const (
+	// diffExact steps every bit.
+	diffExact diffMode = iota
+	// diffFrameFF enables the idle and sole-transmitter paths but disables
+	// the contested-window path, so multi-driver windows exact-step.
+	diffFrameFF
+	// diffContendFF enables the full stack including bulk wired-AND
+	// resolution of contested windows.
+	diffContendFF
+)
+
+// ffCounters reports which fast paths a run engaged.
+type ffCounters struct {
+	idle, frame, contend int64
+	// pinned records that the half-capable observer joined, pinning the
+	// frame and contend paths to exact stepping by construction.
+	pinned bool
+}
+
 // diffOutcome captures everything the differential compares: the full
 // resolved wire trace plus every node's protocol counters.
 type diffOutcome struct {
@@ -50,11 +72,14 @@ type diffOutcome struct {
 
 // randomScenario derives a network from the seed: a handful of periodic
 // messages with random IDs/DLCs/periods behind one replayer, a
-// MichiCAN-defended ECU, optionally a fabrication attacker that starts at a
-// random bit, and optionally the half-capable pinning observer.
-func runRandomScenario(seed int64, exact bool, hub *telemetry.Hub) (diffOutcome, int64, int64, error) {
+// MichiCAN-defended ECU, optionally a rival replayer whose schedule is
+// built to provoke arbitration fights, optionally a fabrication attacker
+// that starts at a random bit, and optionally the half-capable pinning
+// observer.
+func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutcome, ffCounters, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var out diffOutcome
+	var ff ffCounters
 
 	// Random schedule: 2-6 messages, distinct random IDs, random DLC/period.
 	nMsgs := 2 + rng.Intn(5)
@@ -76,22 +101,57 @@ func runRandomScenario(seed int64, exact bool, hub *telemetry.Hub) (diffOutcome,
 		})
 	}
 
+	// Fight mix: with probability ~1/2 a rival replayer mirrors part of the
+	// schedule at equal periods, so both nodes regularly hold queued frames
+	// through the same busy window and assert SOF together. A mirror keeps
+	// either the same ID with a different payload length — the fight then
+	// survives arbitration and diverges mid-frame into a bit error and an
+	// error-flag exchange — or takes the adjacent ID, a classic
+	// priority-resolved arbitration fight.
+	var rival *restbus.Matrix
+	if rng.Intn(2) == 0 {
+		rival = &restbus.Matrix{Vehicle: "fuzz", Bus: "rival"}
+		for _, msg := range matrix.Messages {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			m := msg
+			m.Transmitter = "rival-" + m.Transmitter
+			if rng.Intn(2) == 0 {
+				m.DLC = (m.DLC + 1 + rng.Intn(7)) % 9 // never the original DLC
+			} else {
+				id := m.ID + 1
+				for used[id] {
+					id++
+				}
+				used[id] = true
+				ids = append(ids, id)
+				m.ID = id
+			}
+			rival.Messages = append(rival.Messages, m)
+		}
+		if len(rival.Messages) == 0 {
+			rival = nil
+		}
+	}
+
 	v, err := fsm.NewIVN(ids)
 	if err != nil {
-		return out, 0, 0, err
+		return out, ff, err
 	}
 	ds, err := fsm.NewDetectionSet(v, v.Index(DefenderID))
 	if err != nil {
-		return out, 0, 0, err
+		return out, ff, err
 	}
 	def, err := core.New(core.Config{Name: "defender", FSM: fsm.Build(ds)})
 	if err != nil {
-		return out, 0, 0, err
+		return out, ff, err
 	}
 
 	bb := bus.New(bus.Rate50k)
-	bb.SetFastForward(!exact)
-	bb.SetFrameFastForward(!exact)
+	bb.SetFastForward(mode != diffExact)
+	bb.SetFrameFastForward(mode != diffExact)
+	bb.SetContendFastForward(mode == diffContendFF)
 
 	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
 	ecu := core.NewECU(defCtl, def)
@@ -105,6 +165,15 @@ func runRandomScenario(seed int64, exact bool, hub *telemetry.Hub) (diffOutcome,
 	}
 
 	ctls := []*controller.Controller{defCtl, rep.Controller()}
+
+	if rival != nil {
+		rrep := restbus.NewReplayer("rival", rival, bus.Rate50k, rand.New(rand.NewSource(seed+2)))
+		bb.Attach(rrep)
+		if hub != nil {
+			rrep.SetTelemetry(hub)
+		}
+		ctls = append(ctls, rrep.Controller())
+	}
 
 	// Pinned-node mix: with probability ~1/3 a half-capable observer joins,
 	// pinning every frame span to exact stepping in both runs.
@@ -159,39 +228,49 @@ func runRandomScenario(seed int64, exact bool, hub *telemetry.Hub) (diffOutcome,
 	ds2 := def.Stats()
 	out.Detections = ds2.Detections
 	out.Counterattacks = ds2.Counterattacks
-	idleFF, frameFF := bb.IdleForwardedBits(), bb.FrameForwardedBits()
-	if pinned {
-		// Report the pin through the frame counter so the caller can assert
-		// engagement expectations; idle jumps must still have happened.
-		frameFF = -1
-	}
-	return out, idleFF, frameFF, nil
+	ff.idle = bb.IdleForwardedBits()
+	ff.frame = bb.FrameForwardedBits()
+	ff.contend = bb.ContendForwardedBits()
+	ff.pinned = pinned
+	return out, ff, nil
 }
 
-// diffSeed runs one seed three ways — exact, fast-forward, and fast-forward
-// with a fully wired, event-retaining telemetry hub — and fails on any
-// divergence: telemetry must be a pure observer on every path.
+// diffSeed runs one seed four ways — exact, frame-FF with contested windows
+// exact-stepped, the full stack with the contested-window path, and the full
+// stack with a fully wired, event-retaining telemetry hub — and fails on any
+// divergence: every fast path must be bit-invisible, and telemetry must be a
+// pure observer on every path.
 func diffSeed(t *testing.T, seed int64) {
 	t.Helper()
-	exact, exIdle, _, err := runRandomScenario(seed, true, nil)
+	exact, exFF, err := runRandomScenario(seed, diffExact, nil)
 	if err != nil {
 		t.Fatalf("seed %d exact: %v", seed, err)
 	}
-	if exIdle != 0 {
+	if exFF.idle != 0 || exFF.frame != 0 || exFF.contend != 0 {
 		t.Fatalf("seed %d: exact run fast-forwarded", seed)
 	}
-	fast, ffIdle, ffFrame, err := runRandomScenario(seed, false, nil)
+	fast, fastFF, err := runRandomScenario(seed, diffFrameFF, nil)
 	if err != nil {
 		t.Fatalf("seed %d fast: %v", seed, err)
 	}
-	if ffIdle == 0 {
+	if fastFF.idle == 0 {
 		t.Errorf("seed %d: idle fast path never engaged", seed)
 	}
-	if ffFrame == 0 {
+	if fastFF.frame == 0 && !fastFF.pinned {
 		t.Errorf("seed %d: frame fast path never engaged with no pinning node", seed)
 	}
+	if fastFF.contend != 0 {
+		t.Errorf("seed %d: contend path engaged while disabled", seed)
+	}
+	contend, contendFF, err := runRandomScenario(seed, diffContendFF, nil)
+	if err != nil {
+		t.Fatalf("seed %d contend: %v", seed, err)
+	}
+	if contendFF.contend == 0 && !contendFF.pinned {
+		t.Errorf("seed %d: contend fast path never engaged with no pinning node", seed)
+	}
 	hub := telemetry.NewHub()
-	wired, _, _, err := runRandomScenario(seed, false, hub)
+	wired, _, err := runRandomScenario(seed, diffContendFF, hub)
 	if err != nil {
 		t.Fatalf("seed %d wired: %v", seed, err)
 	}
@@ -210,17 +289,18 @@ func diffSeed(t *testing.T, seed int64) {
 			t.Fatalf("seed %d: %s counters diverge:\n%+v\nvs\n%+v", seed, label, a, b)
 		}
 	}
-	compare("exact vs fast", exact, fast)
-	compare("fast vs telemetry-wired", fast, wired)
+	compare("exact vs frame-ff", exact, fast)
+	compare("frame-ff vs contend-ff", fast, contend)
+	compare("contend-ff vs telemetry-wired", contend, wired)
 	if hub.Len() == 0 {
 		t.Errorf("seed %d: wired run captured no telemetry events", seed)
 	}
 }
 
 // TestFastForwardDifferentialRandom sweeps a fixed seed range through the
-// differential: random schedules, attack start bits, and pinned-node mixes
-// must produce bit-identical traces and identical TEC/REC/bus-off counters
-// with the fast paths on and off.
+// differential: random schedules, rival-replayer arbitration fights, attack
+// start bits, and pinned-node mixes must produce bit-identical traces and
+// identical TEC/REC/bus-off counters across all stepping modes.
 func TestFastForwardDifferentialRandom(t *testing.T) {
 	seeds := int64(30)
 	if testing.Short() {
@@ -235,7 +315,7 @@ func TestFastForwardDifferentialRandom(t *testing.T) {
 // sweep: any seed for which the fast path diverges from exact stepping is a
 // crasher.
 func FuzzFastForwardDifferential(f *testing.F) {
-	for _, seed := range []int64{1, 2, 7, 42, 1<<40 + 3} {
+	for _, seed := range []int64{1, 2, 7, 42, 99, 123, 1<<40 + 3} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

@@ -17,7 +17,7 @@ import (
 // measurement.
 type SteppingMode string
 
-// The three stepping modes of the fast-forward evaluation grid.
+// The four stepping modes of the fast-forward evaluation grid.
 const (
 	// ModeExact steps every bit through the full 2N+T interface calls.
 	ModeExact SteppingMode = "exact"
@@ -27,6 +27,11 @@ const (
 	// ModeFrameFF adds the sole-transmitter frame fast path on top: an
 	// uncontended frame's committed span is resolved and delivered in bulk.
 	ModeFrameFF SteppingMode = "frame-ff"
+	// ModeContendFF adds the contested-window fast path on top: spans with
+	// multiple conditional drivers (arbitration fights, pending SOFs, error
+	// flags) resolve via bit-packed wired-AND words and clamp at the first
+	// divergence instead of pinning the whole window to exact stepping.
+	ModeContendFF SteppingMode = "contend-ff"
 )
 
 // ThroughputRow is one measured cell of the load × stepping-mode grid.
@@ -51,13 +56,16 @@ type ThroughputRow struct {
 	// FrameHitRate is the fraction of simulated bits covered by the
 	// sole-transmitter frame fast path.
 	FrameHitRate float64 `json:"frame_hit_rate"`
+	// ContendHitRate is the fraction of simulated bits covered by the
+	// contested-window (multi-driver) fast path.
+	ContendHitRate float64 `json:"contend_hit_rate"`
 }
 
 // String renders the row for terminal output.
 func (r ThroughputRow) String() string {
-	return fmt.Sprintf("load=%2.0f%%  %-8s  %7.2f Mbit/s  %7.1f ns/bit  idle-hit=%4.1f%%  frame-hit=%4.1f%%  allocs/Mbit=%.0f",
+	return fmt.Sprintf("load=%2.0f%%  %-10s  %7.2f Mbit/s  %7.1f ns/bit  idle-hit=%4.1f%%  frame-hit=%4.1f%%  contend-hit=%4.1f%%  allocs/Mbit=%.0f",
 		r.Load*100, r.Mode, r.BitsPerSecond/1e6, r.NsPerBit,
-		r.IdleHitRate*100, r.FrameHitRate*100, r.AllocsPerMBit)
+		r.IdleHitRate*100, r.FrameHitRate*100, r.ContendHitRate*100, r.AllocsPerMBit)
 }
 
 // ThroughputScenario builds the fast-forward evaluation scenario: a Veh.-D
@@ -89,7 +97,8 @@ func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node
 
 	bb := bus.New(bus.Rate50k)
 	bb.SetFastForward(mode != ModeExact)
-	bb.SetFrameFastForward(mode == ModeFrameFF)
+	bb.SetFrameFastForward(mode == ModeFrameFF || mode == ModeContendFF)
+	bb.SetContendFastForward(mode == ModeContendFF)
 	v, err := fsm.NewIVN(append(matrix.IDs(), DefenderID))
 	if err != nil {
 		return nil, nil, err
@@ -115,14 +124,25 @@ func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node
 // MeasureThroughput simulates simBits bit times of the scenario at the given
 // load and stepping mode and reports wall-clock throughput, allocation rate,
 // and fast-path hit rates. A warm-up run lets the initial phase offsets
-// settle before timing starts.
+// settle and the span memos populate before timing starts: the restbus
+// payloads carry rolling counters, so the working set of span identities is
+// the full 256-value rotation (~1.4M bit times at 60% load), and a timed
+// window that starts cold spends a large prefix paying one-time plan builds
+// and span decodes instead of measuring the stepping mode. The warm-up
+// scales with the measurement length (one fifth, floored at 100k bits) so
+// long grid runs reach the steady state the table reports while short smoke
+// runs stay cheap.
 func MeasureThroughput(target float64, mode SteppingMode, simBits int64) (ThroughputRow, error) {
 	bb, err := ThroughputScenario(target, mode)
 	if err != nil {
 		return ThroughputRow{}, err
 	}
-	bb.Run(100_000) // warm-up: phase offsets settle, caches populate
-	idle0, frame0 := bb.IdleForwardedBits(), bb.FrameForwardedBits()
+	warmup := simBits / 5
+	if warmup < 100_000 {
+		warmup = 100_000
+	}
+	bb.Run(warmup)
+	idle0, frame0, contend0 := bb.IdleForwardedBits(), bb.FrameForwardedBits(), bb.ContendForwardedBits()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
@@ -133,15 +153,16 @@ func MeasureThroughput(target float64, mode SteppingMode, simBits int64) (Throug
 		wall = 1e-9
 	}
 	return ThroughputRow{
-		Load:          target,
-		Mode:          mode,
-		SimulatedBits: simBits,
-		WallSeconds:   wall,
-		BitsPerSecond: float64(simBits) / wall,
-		NsPerBit:      wall * 1e9 / float64(simBits),
-		AllocsPerMBit: float64(ms1.Mallocs-ms0.Mallocs) / (float64(simBits) / 1e6),
-		IdleHitRate:   float64(bb.IdleForwardedBits()-idle0) / float64(simBits),
-		FrameHitRate:  float64(bb.FrameForwardedBits()-frame0) / float64(simBits),
+		Load:           target,
+		Mode:           mode,
+		SimulatedBits:  simBits,
+		WallSeconds:    wall,
+		BitsPerSecond:  float64(simBits) / wall,
+		NsPerBit:       wall * 1e9 / float64(simBits),
+		AllocsPerMBit:  float64(ms1.Mallocs-ms0.Mallocs) / (float64(simBits) / 1e6),
+		IdleHitRate:    float64(bb.IdleForwardedBits()-idle0) / float64(simBits),
+		FrameHitRate:   float64(bb.FrameForwardedBits()-frame0) / float64(simBits),
+		ContendHitRate: float64(bb.ContendForwardedBits()-contend0) / float64(simBits),
 	}, nil
 }
 
@@ -153,7 +174,7 @@ func ThroughputGrid(loads []float64, simBits int64) ([]ThroughputRow, error) {
 	}
 	var rows []ThroughputRow
 	for _, load := range loads {
-		for _, mode := range []SteppingMode{ModeExact, ModeIdleFF, ModeFrameFF} {
+		for _, mode := range []SteppingMode{ModeExact, ModeIdleFF, ModeFrameFF, ModeContendFF} {
 			row, err := MeasureThroughput(load, mode, simBits)
 			if err != nil {
 				return nil, err

@@ -17,6 +17,14 @@ func (f *FSM) Cursor() Cursor {
 	return Cursor{f: f, eval: f.eval, done: f.done}
 }
 
+// RootCursor returns a walker positioned at the machine's start state — the
+// state Reset establishes — regardless of the FSM's current streaming
+// position. The defense core uses it to pre-scan a span that begins at a
+// frame's SOF, where the real FSM would be reset before stepping.
+func (f *FSM) RootCursor() Cursor {
+	return Cursor{f: f, eval: 0, done: f.nodes[0].decision}
+}
+
 // Step consumes the next ID bit exactly as FSM.Step would, but only the
 // cursor moves.
 func (cu *Cursor) Step(bit can.Level) Decision {

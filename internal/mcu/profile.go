@@ -40,7 +40,7 @@ type Profile struct {
 }
 
 // Cost returns the cycle cost of a fixed-cost operation.
-func (p Profile) Cost(op Op) int64 {
+func (p *Profile) Cost(op Op) int64 {
 	switch op {
 	case OpISREnterExit:
 		return p.CostISR
@@ -65,13 +65,13 @@ func (p Profile) Cost(op Op) int64 {
 
 // FSMStepCost returns the cycle cost of one FSM transition for a machine
 // with the given number of states.
-func (p Profile) FSMStepCost(states int) int64 {
+func (p *Profile) FSMStepCost(states int) int64 {
 	return p.CostFSMBase + int64(math.Round(p.CostFSMPerState*float64(states)))
 }
 
 // CyclesPerBit returns how many CPU cycles fit into one nominal bit time at
 // the given bus rate.
-func (p Profile) CyclesPerBit(rate int) float64 {
+func (p *Profile) CyclesPerBit(rate int) float64 {
 	if rate <= 0 {
 		return 0
 	}
@@ -82,7 +82,7 @@ func (p Profile) CyclesPerBit(rate int) float64 {
 // cost completes within one bit time at the given rate — the feasibility
 // condition behind "MichiCAN does not always reliably work on bus speeds
 // above 125 kbit/s on Arduino Dues" (Sec. V-D).
-func (p Profile) FitsBitTime(worstCycles int64, rate int) bool {
+func (p *Profile) FitsBitTime(worstCycles int64, rate int) bool {
 	return float64(worstCycles) <= p.CyclesPerBit(rate)
 }
 

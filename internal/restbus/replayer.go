@@ -36,11 +36,10 @@ type Replayer struct {
 	ctl   *controller.Controller
 	rate  bus.Rate
 	items []schedItem
+	// byID maps a message ID to its index in items, for the per-transmission
+	// completion callback; the per-bit schedule scan reads item fields only.
+	byID  map[can.ID]int
 	stats ReplayStats
-	// outstanding[id] is true while an instance of id awaits transmission.
-	outstanding map[can.ID]bool
-	// enqueuedAt[id] is the bit time the pending instance was queued.
-	enqueuedAt map[can.ID]bus.BitTime
 	// nextScan caches the earliest nextDue across items, so the per-bit
 	// Observe path is O(1) until a message actually comes due. Item deadlines
 	// only move inside scanDue, which recomputes the cache, so nextScan is
@@ -53,6 +52,10 @@ type schedItem struct {
 	periodBits int64
 	nextDue    bus.BitTime
 	seq        byte
+	// outstanding is true while an instance of this message awaits
+	// transmission; enqueuedAt is the bit time it was queued.
+	outstanding bool
+	enqueuedAt  bus.BitTime
 }
 
 var (
@@ -65,10 +68,9 @@ var (
 // ECUs do not boot in phase); a nil rng starts everything at time zero.
 func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replayer {
 	r := &Replayer{
-		rate:        rate,
-		items:       make([]schedItem, 0, len(m.Messages)),
-		outstanding: make(map[can.ID]bool, len(m.Messages)),
-		enqueuedAt:  make(map[can.ID]bus.BitTime, len(m.Messages)),
+		rate:  rate,
+		items: make([]schedItem, 0, len(m.Messages)),
+		byID:  make(map[can.ID]int, len(m.Messages)),
 	}
 	r.ctl = controller.New(controller.Config{
 		Name:                name,
@@ -76,8 +78,13 @@ func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replaye
 		SortQueueByPriority: true,
 		OnTransmit: func(t bus.BitTime, f can.Frame) {
 			r.stats.Transmitted++
-			if r.outstanding[f.ID] {
-				lat := int64(t - r.enqueuedAt[f.ID] + 1)
+			i, ok := r.byID[f.ID]
+			if !ok {
+				return
+			}
+			item := &r.items[i]
+			if item.outstanding {
+				lat := int64(t - item.enqueuedAt + 1)
 				if r.stats.MaxLatencyBits == nil {
 					r.stats.MaxLatencyBits = make(map[can.ID]int64)
 				}
@@ -85,7 +92,7 @@ func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replaye
 					r.stats.MaxLatencyBits[f.ID] = lat
 				}
 			}
-			r.outstanding[f.ID] = false
+			item.outstanding = false
 		},
 	})
 	for _, msg := range m.Messages {
@@ -97,6 +104,7 @@ func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replaye
 		if rng != nil {
 			item.nextDue = bus.BitTime(rng.Int63n(period))
 		}
+		r.byID[msg.ID] = len(r.items)
 		r.items = append(r.items, item)
 	}
 	r.nextScan = neverDue
@@ -141,7 +149,7 @@ func (r *Replayer) scanDue(t bus.BitTime) {
 		item := &r.items[i]
 		if t >= item.nextDue {
 			item.nextDue = t + bus.BitTime(item.periodBits)
-			if r.outstanding[item.msg.ID] {
+			if item.outstanding {
 				// The previous instance never got out: deadline missed; the
 				// fresh instance replaces it logically (we keep the queued
 				// frame — its payload is stale but its slot is reused).
@@ -158,8 +166,8 @@ func (r *Replayer) scanDue(t bus.BitTime) {
 				}
 				if err := r.ctl.Enqueue(can.Frame{ID: item.msg.ID, Data: data}); err == nil {
 					r.stats.Enqueued++
-					r.outstanding[item.msg.ID] = true
-					r.enqueuedAt[item.msg.ID] = t
+					item.outstanding = true
+					item.enqueuedAt = t
 				}
 			}
 		}

@@ -6,42 +6,59 @@ import (
 )
 
 var (
-	_ bus.Transmitting = (*Replayer)(nil)
-	_ bus.RunObserver  = (*Replayer)(nil)
+	_ bus.Transmitting     = (*Replayer)(nil)
+	_ bus.RunObserver      = (*Replayer)(nil)
+	_ bus.ContendCommitter = (*Replayer)(nil)
 )
 
 // CommittedBits implements bus.Transmitting: the controller's commitment,
-// clamped below the earliest scheduled deadline. An enqueue never alters the
-// in-flight plan's bits, but the due item must be queued (and any deadline
-// miss recorded) at its exact bit, so that bit is left to exact stepping.
+// unclamped. A controller mid-frame never consults its transmit queue before
+// the bit after the frame's last EOF bit, so a scheduled deadline inside the
+// span does not alter any drive decision; ObserveRun interleaves every due
+// item at its exact virtual bit, before the controller consumes that bit.
+// (Deadlines due while the controller is *outside* a frame keep their
+// exact-step treatment through QuiescentUntil and the PassiveRun clamp
+// below.)
 func (r *Replayer) CommittedBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
-	bits, h := r.ctl.CommittedBits(now)
-	if h <= now || len(bits) == 0 {
-		return nil, now
-	}
-	if r.nextScan < h {
-		if r.nextScan <= now {
-			return nil, now
-		}
-		h = r.nextScan
-		bits = bits[:int64(h-now)]
-	}
-	return bits, h
+	return r.ctl.CommittedBits(now)
 }
 
 // FrameBit implements bus.Transmitting.
 func (r *Replayer) FrameBit() int { return r.ctl.FrameBit() }
 
+// ContendBits implements bus.ContendCommitter: the controller's contested
+// commitment. Mid-frame and error-signal phases never read the transmit
+// queue, so deadlines inside the span defer to ObserveRun as above. The one
+// commitment that does read the queue is a pending SOF (the head frame is
+// serialized at the SOF bit itself), so it declines when a deadline is due at
+// this very bit — the enqueue could reorder a priority-sorted mailbox's head
+// out from under the published stream; the SOF is exact-stepped instead, as
+// on the per-bit path.
+func (r *Replayer) ContendBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
+	if !r.ctl.InFrame() && r.nextScan <= now {
+		return nil, now
+	}
+	return r.ctl.ContendBits(now)
+}
+
+// ContendFrameBit implements bus.ContendCommitter.
+func (r *Replayer) ContendFrameBit() int { return r.ctl.ContendFrameBit() }
+
 // PassiveRun implements bus.RunObserver: the controller's answer, clamped
-// below the earliest deadline — the enqueue there changes the controller's
-// mailbox and hence its drive decisions, so that bit must be exact-stepped.
+// below the earliest deadline only when the controller is at a point where an
+// enqueue changes its drive decisions (idle, intermission, suspend — the
+// phases that poll the queue for a SOF). Inside a frame or an error signal
+// the queue is dormant and the due item is instead processed by ObserveRun at
+// its exact virtual bit.
 func (r *Replayer) PassiveRun(now bus.BitTime, frameBit int, levels []can.Level) int {
 	n := len(levels)
-	if m := int64(r.nextScan - now); m < int64(n) {
-		if m <= 0 {
-			return 0
+	if !r.ctl.InFrame() {
+		if m := int64(r.nextScan - now); m < int64(n) {
+			if m <= 0 {
+				return 0
+			}
+			n = int(m)
 		}
-		n = int(m)
 	}
 	if k := r.ctl.PassiveRun(now, frameBit, levels[:n]); k < n {
 		n = k
@@ -49,9 +66,44 @@ func (r *Replayer) PassiveRun(now bus.BitTime, frameBit int, levels []can.Level)
 	return n
 }
 
-// ObserveRun implements bus.RunObserver. Both PassiveRun and CommittedBits
-// clamp every span inside [now, nextScan), so no item can come due in here
-// and only the controller advances.
+// ObserveRun implements bus.RunObserver: the span is delivered to the
+// controller in chunks split at every deadline that falls inside it, so each
+// due item is processed at its exact virtual bit relative to the controller —
+// after the bits before it, before the due bit itself. The ordering matters
+// two ways: a frame whose final EOF bit lies in the span completes mid-span
+// (OnTransmit clears the outstanding flag scanDue checks — a due bit earlier
+// in the span must still see it set and record the deadline miss), and a
+// frameBit-0 span begins a frame whose plan was chosen from the queue head at
+// the SOF bit (dues strictly inside the span can only touch the queue, which
+// the controller does not read again before its next exact-stepped bit).
+//
+// Splitting is skipped when the controller cannot complete a transmission
+// within the span: then OnTransmit cannot fire, the outstanding flags scanDue
+// reads are constant across the span, and the enqueues only touch the
+// transmit queue — which no bit of the span observes (the bus clamps every
+// queue-visible idle/intermission proposal at nextScan via PassiveRun and
+// QuiescentUntil above). Delivering the span whole keeps its backing-array
+// identity intact for the controller's span memos, then each due is processed
+// at its recorded time with identical period arithmetic and stamps.
 func (r *Replayer) ObserveRun(from bus.BitTime, levels []can.Level) {
-	r.ctl.ObserveRun(from, levels)
+	to := from + bus.BitTime(len(levels))
+	if r.nextScan < to && !r.ctl.TxCompleteWithin(len(levels)) {
+		r.ctl.ObserveRun(from, levels)
+		for r.nextScan < to {
+			r.scanDue(r.nextScan)
+		}
+		return
+	}
+	for r.nextScan < to {
+		due := r.nextScan
+		if due > from {
+			r.ctl.ObserveRun(from, levels[:due-from])
+			levels = levels[due-from:]
+			from = due
+		}
+		r.scanDue(due)
+	}
+	if len(levels) > 0 {
+		r.ctl.ObserveRun(from, levels)
+	}
 }

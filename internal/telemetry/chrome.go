@@ -21,8 +21,8 @@ type chromeEvent struct {
 
 // chromeTrace is the top-level trace_event envelope.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
 	Metadata        map[string]any `json:"metadata,omitempty"`
 }
 
@@ -150,8 +150,11 @@ func (h *Hub) WriteChromeTrace(w io.Writer, bitsPerSecond int64) error {
 			})
 		case EvFFSpan:
 			name := "idle-ff"
-			if ev.B != 0 {
+			switch ev.B {
+			case 1:
 				name = "frame-ff"
+			case 2:
+				name = "contend-ff"
 			}
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: name, Ph: "X", Ts: ts, Dur: float64(ev.A) * usPerBit, Pid: pid, Tid: tid,

@@ -68,8 +68,11 @@ func writeEventJSON(w *bufio.Writer, node string, ev Event) error {
 		_, err = fmt.Fprintf(w, `,"value":%d,"prev":%d`, ev.A, ev.B)
 	case EvFFSpan:
 		path := "idle"
-		if ev.B != 0 {
+		switch ev.B {
+		case 1:
 			path = "frame"
+		case 2:
+			path = "contend"
 		}
 		_, err = fmt.Fprintf(w, `,"bits":%d,"path":%q`, ev.A, path)
 	case EvErrorEnd, EvBusOff, EvRecover:

@@ -67,7 +67,7 @@ const (
 	EvRecover
 	// EvFFSpan: the bus committed a fast-path span. A = the span length in
 	// bits, B = 0 for the idle quiescence path, 1 for the sole-transmitter
-	// frame path.
+	// frame path, 2 for the contested-window (multi-driver) path.
 	EvFFSpan
 )
 
@@ -131,16 +131,16 @@ type NodeID int32
 // folding an event into the registry is a few atomic operations — no map
 // lookups, no label formatting, no allocation on the emit path.
 type nodeInstruments struct {
-	arbWon, arbLost   *Counter
-	detections        *Counter
-	detectionBits     *Histogram
-	pulls             *Counter
-	pullBits          *Counter
-	errors            *Counter
-	framesDestroyed   *Counter
-	busOff, recovered *Counter
-	tec, rec          *Gauge
-	ffIdle, ffFrame   *Counter
+	arbWon, arbLost            *Counter
+	detections                 *Counter
+	detectionBits              *Histogram
+	pulls                      *Counter
+	pullBits                   *Counter
+	errors                     *Counter
+	framesDestroyed            *Counter
+	busOff, recovered          *Counter
+	tec, rec                   *Gauge
+	ffIdle, ffFrame, ffContend *Counter
 }
 
 // Hub is the telemetry collector: a registry of named nodes, an append-only
@@ -221,6 +221,7 @@ func (h *Hub) instrumentsFor(name string) *nodeInstruments {
 		rec:             r.Gauge("michican_rec", "node", name),
 		ffIdle:          r.Counter("michican_ff_idle_bits_total", "node", name),
 		ffFrame:         r.Counter("michican_ff_frame_bits_total", "node", name),
+		ffContend:       r.Counter("michican_ff_contend_bits_total", "node", name),
 	}
 }
 
@@ -306,10 +307,13 @@ func (h *Hub) emit(ev Event) {
 	case EvRecover:
 		ni.recovered.Inc()
 	case EvFFSpan:
-		if ev.B == 0 {
+		switch ev.B {
+		case 0:
 			ni.ffIdle.Add(ev.A)
-		} else {
+		case 1:
 			ni.ffFrame.Add(ev.A)
+		default:
+			ni.ffContend.Add(ev.A)
 		}
 	}
 }

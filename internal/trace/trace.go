@@ -49,19 +49,18 @@ func (r *Recorder) Bit(t bus.BitTime, level can.Level) {
 	r.n++
 }
 
-// BitRun implements bus.TapRunObserver: record a resolved span in one call.
+// BitRun implements bus.TapRunObserver: record a resolved span in one call,
+// word-packed via the same routine the bus's contested-window path uses.
 func (r *Recorder) BitRun(from bus.BitTime, levels []can.Level) {
 	if !r.began {
 		r.start = from
 		r.began = true
 	}
-	for _, level := range levels {
-		if r.n&63 == 0 {
-			r.words = append(r.words, 0)
-		}
-		r.words[len(r.words)-1] |= uint64(level&1) << (r.n & 63)
-		r.n++
+	for need := (r.n + len(levels) + 63) >> 6; len(r.words) < need; {
+		r.words = append(r.words, 0)
 	}
+	can.PackLevels(r.words, r.n, levels)
+	r.n += len(levels)
 }
 
 // SkipIdle implements bus.TapFastForwarder: record to-from recessive bits as
