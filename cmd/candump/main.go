@@ -1,8 +1,14 @@
 // Command candump decodes a raw bit trace (as written by michican-sim
 // -trace, or any '0'/'1' text where 0 is dominant) into frames and error
-// episodes — the logic-analyzer view of Sec. V-A.
+// episodes — the logic-analyzer view of Sec. V-A. With -events it replays the
+// matching telemetry stream (michican-sim -events) through the forensics
+// engine and annotates each destroyed attempt with its incident markers: the
+// detection bit, the counterattack span, and bus-off — so spoof fights are
+// visible inline in the dump.
 //
 //	michican-sim -attack dos -trace t.txt && candump t.txt
+//	michican-sim -attack spoof -trace t.txt -events e.jsonl
+//	candump -events e.jsonl t.txt
 package main
 
 import (
@@ -10,7 +16,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"michican/internal/forensics"
+	"michican/internal/telemetry"
 	"michican/internal/trace"
 )
 
@@ -22,8 +31,9 @@ func main() {
 }
 
 func run() error {
+	eventsIn := flag.String("events", "", "telemetry event stream (JSONL) from the same run; adds incident markers to destroyed attempts")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: candump [file]   (reads stdin without a file)")
+		fmt.Fprintln(os.Stderr, "usage: candump [-events e.jsonl] [file]   (reads stdin without a file)")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,6 +59,14 @@ func run() error {
 		return err
 	}
 	events := trace.Decode(bits, 0)
+
+	var marks *markers
+	if *eventsIn != "" {
+		if marks, err = loadMarkers(*eventsIn, int64(len(bits))); err != nil {
+			return err
+		}
+	}
+
 	frames, destroyed := 0, 0
 	for _, e := range events {
 		switch e.Kind {
@@ -70,10 +88,141 @@ func run() error {
 			if e.IDComplete {
 				id = e.ID.String()
 			}
-			fmt.Printf("(%08d) %s  DESTROYED (error frame after %d bits)\n", e.Start, id, e.Bits())
+			note := ""
+			if marks != nil {
+				note = marks.annotate(int64(e.Start), int64(e.End))
+			}
+			fmt.Printf("(%08d) %s  DESTROYED (error frame after %d bits)%s\n", e.Start, id, e.Bits(), note)
 		}
 	}
 	fmt.Printf("-- %d bits, %d frames, %d destroyed attempts, bus load %.1f%%\n",
 		len(bits), frames, destroyed, trace.Load(events, int64(len(bits)))*100)
+	if marks != nil {
+		marks.printIncidents()
+	}
 	return nil
+}
+
+// markers holds the per-instant annotations recovered from the telemetry
+// stream plus the reconstructed incidents.
+type markers struct {
+	detects  []detectMark
+	pulls    []pullMark
+	busOffs  []nodeMark
+	recovers []nodeMark
+	eng      *forensics.Engine
+}
+
+type detectMark struct {
+	at, bit int64
+}
+
+type pullMark struct {
+	start, end, bits int64
+}
+
+type nodeMark struct {
+	at   int64
+	node string
+}
+
+// loadMarkers replays the JSONL event stream through a hub with a forensics
+// engine subscribed — the same pipeline a live run uses — and collects the
+// per-instant marks for inline annotation.
+func loadMarkers(path string, recordingEnd int64) (*markers, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	named, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return nil, err
+	}
+
+	hub := telemetry.NewHub()
+	hub.RetainEvents(false)
+	eng := forensics.NewEngine(hub)
+	defer eng.Close()
+
+	m := &markers{eng: eng}
+	var pending []int64 // open pull starts
+	for _, ev := range named {
+		hub.Probe(ev.Node).Emit(ev.Time, ev.Kind, ev.A, ev.B)
+		switch ev.Kind {
+		case telemetry.EvDetect:
+			m.detects = append(m.detects, detectMark{at: ev.Time, bit: ev.A})
+		case telemetry.EvPullStart:
+			pending = append(pending, ev.Time)
+		case telemetry.EvPullEnd:
+			start := ev.Time
+			if n := len(pending); n > 0 {
+				start, pending = pending[n-1], pending[:n-1]
+			}
+			m.pulls = append(m.pulls, pullMark{start: start, end: ev.Time, bits: ev.A})
+		case telemetry.EvBusOff:
+			m.busOffs = append(m.busOffs, nodeMark{at: ev.Time, node: ev.Node})
+		case telemetry.EvRecover:
+			m.recovers = append(m.recovers, nodeMark{at: ev.Time, node: ev.Node})
+		}
+	}
+	eng.Finalize(recordingEnd)
+	return m, nil
+}
+
+// annotate renders the markers that fall inside one destroyed attempt's wire
+// span. The error episode's delimiter tail extends past the last busy bit, so
+// bus-off entry (emitted at the TEC step) is matched with the same slack.
+func (m *markers) annotate(start, end int64) string {
+	const tail = 16
+	var parts []string
+	for _, d := range m.detects {
+		if d.at >= start && d.at <= end+tail {
+			parts = append(parts, fmt.Sprintf("detect@bit%d t=%d", d.bit, d.at))
+			break
+		}
+	}
+	for _, p := range m.pulls {
+		if p.start >= start && p.start <= end+tail {
+			parts = append(parts, fmt.Sprintf("counterattack %d bits t=%d–%d", p.bits, p.start, p.end))
+			break
+		}
+	}
+	for _, b := range m.busOffs {
+		if b.at >= start && b.at <= end+tail {
+			parts = append(parts, fmt.Sprintf("%s BUS-OFF", b.node))
+			break
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "  [" + strings.Join(parts, "; ") + "]"
+}
+
+// printIncidents appends the forensics engine's incident view of the same
+// stream under the dump.
+func (m *markers) printIncidents() {
+	incs := m.eng.Incidents()
+	if len(incs) == 0 {
+		return
+	}
+	fmt.Printf("-- %d incidents reconstructed from the event stream:\n", len(incs))
+	for _, inc := range incs {
+		line := fmt.Sprintf("   %s  start=%d end=%d (%d bits) attempts=%d", inc.IDHex,
+			inc.Start, inc.End, inc.Bits(), inc.Attempts)
+		if inc.Attacker != "" {
+			line += " attacker=" + inc.Attacker
+		}
+		if inc.Detections > 0 {
+			line += fmt.Sprintf(" detect@bit mean %.1f", inc.DetectionBits.Mean)
+		}
+		if inc.Eradicated {
+			line += fmt.Sprintf(" bus-off@%d", inc.BusOffAt)
+			if inc.RecoveredAt >= 0 {
+				line += fmt.Sprintf(" recovered@%d", inc.RecoveredAt)
+			}
+		}
+		fmt.Println(line)
+	}
 }

@@ -7,6 +7,8 @@
 //	michican-sim -attack spoof -trace trace.txt            # dump bits for candump
 //	michican-sim -attack spoof -events e.jsonl -chrome-trace t.json
 //	michican-sim -attack spoof -json                       # machine-readable outcome
+//	michican-sim -attack spoof -http 127.0.0.1:0 -linger 30s  # live observability
+//	michican-sim -attack spoof -incidents inc.json         # forensics incident log
 package main
 
 import (
@@ -22,7 +24,9 @@ import (
 	"michican/internal/cli"
 	"michican/internal/controller"
 	"michican/internal/core"
+	"michican/internal/forensics"
 	"michican/internal/fsm"
+	"michican/internal/obs"
 	"michican/internal/restbus"
 	"michican/internal/telemetry"
 	"michican/internal/trace"
@@ -49,6 +53,9 @@ func run() error {
 		eventsOut  = flag.String("events", "", "write the telemetry event stream (JSONL) to this file")
 		chromeOut  = flag.String("chrome-trace", "", "write a Chrome trace_event JSON (Perfetto-viewable) to this file")
 		jsonOut    = flag.Bool("json", false, "emit the outcome as one JSON object instead of text")
+		httpAddr   = flag.String("http", "", "serve live observability (/metrics /incidents /snapshot /debug/pprof) on this address (use :0 for an ephemeral port)")
+		linger     = flag.Duration("linger", 0, "keep the -http server up this long after the run (so probes and profilers can attach)")
+		incOut     = flag.String("incidents", "", "write the forensics incident log (JSON, same shape as /incidents) to this file")
 		verbose    = flag.Bool("v", false, "print every decoded bus event")
 	)
 	flag.Parse()
@@ -75,9 +82,33 @@ func run() error {
 	// only created when an exporter asked for it, so the default run pays
 	// nothing beyond the disabled-probe nil checks.
 	var hub *telemetry.Hub
-	if *eventsOut != "" || *chromeOut != "" {
+	if *eventsOut != "" || *chromeOut != "" || *httpAddr != "" || *incOut != "" {
 		hub = telemetry.NewHub()
 		b.SetTelemetry(hub, "bus")
+	}
+
+	// The forensics engine streams off the hub (no retained-log copies) and
+	// reconstructs per-attack incidents; the observability server exposes it
+	// live alongside the metrics registry.
+	var eng *forensics.Engine
+	if *httpAddr != "" || *incOut != "" {
+		eng = forensics.NewEngine(hub)
+		defer eng.Close()
+	}
+	var server *obs.Server
+	if *httpAddr != "" {
+		server, err = obs.Serve(*httpAddr, hub, eng)
+		if err != nil {
+			return err
+		}
+		defer server.Close()
+		// The bound URL goes to stderr under -json so stdout stays one
+		// machine-readable object.
+		bannerTo := os.Stdout
+		if *jsonOut {
+			bannerTo = os.Stderr
+		}
+		fmt.Fprintf(bannerTo, "observability server listening on %s\n", server.URL())
 	}
 
 	// Legitimate IDs: the defender plus optional restbus.
@@ -170,6 +201,9 @@ func run() error {
 	}
 
 	b.RunFor(*duration)
+	if eng != nil {
+		eng.Finalize(int64(b.Now()))
+	}
 
 	events := trace.Decode(rec.Bits(), rec.Start())
 	frames, errors := 0, 0
@@ -220,6 +254,24 @@ func run() error {
 				return err
 			}
 		}
+	}
+	if *incOut != "" {
+		doc, err := json.MarshalIndent(obs.Incidents(eng), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*incOut, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Printf("forensics incident log written to %s\n", *incOut)
+		}
+	}
+	if server != nil && *linger > 0 {
+		if !*jsonOut {
+			fmt.Printf("lingering %v for probes on %s (Ctrl-C to stop)\n", *linger, server.URL())
+		}
+		time.Sleep(*linger)
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ func (c *Controller) beginFrame(t bus.BitTime, level can.Level, contender bool) 
 			c.acked = false
 			c.transmitting = true
 			c.stats.TxAttempts++
+			c.tel.Emit(int64(t), telemetry.EvTxStart, int64(c.plan.frame.ID), 0)
 		}
 	}
 	c.pendingPlan = nil
@@ -130,6 +131,7 @@ func (c *Controller) txSuccess(t bus.BitTime) {
 	f := c.plan.frame
 	c.queue.remove(f)
 	c.stats.TxSuccess++
+	c.tel.Emit(int64(t), telemetry.EvTxSuccess, int64(f.ID), 0)
 	if c.tec > 0 {
 		c.tec--
 	}

@@ -51,7 +51,7 @@ func DefenseComparison(cfg Config) ([]ComparisonRow, error) {
 	cfg = cfg.Defaults()
 	systems := []string{"IDS", "Parrot", "MichiCAN"}
 	rows, err := Map(len(systems), cfg.Workers, func(i int) (ComparisonRow, error) {
-		row, err := comparisonRun(cfg, systems[i])
+		row, _, err := comparisonRun(cfg, systems[i])
 		if err != nil {
 			return row, fmt.Errorf("comparison %s: %w", systems[i], err)
 		}
@@ -63,15 +63,30 @@ func DefenseComparison(cfg Config) ([]ComparisonRow, error) {
 	return rows, nil
 }
 
-func comparisonRun(cfg Config, system string) (ComparisonRow, error) {
+// comparisonAttacker is the spoofer's node name in the comparison runs.
+const comparisonAttacker = "spoofer"
+
+// comparisonMeta carries the run instants the forensics parity check needs:
+// the attack's first bit and the bus time the run stopped at.
+type comparisonMeta struct {
+	attackStart int64
+	endAt       int64
+}
+
+func comparisonRun(cfg Config, system string) (ComparisonRow, comparisonMeta, error) {
 	b := bus.New(cfg.Rate)
 	row := ComparisonRow{System: system, DetectionBits: -1}
+	var meta comparisonMeta
 
 	// A benign peer provides ACKs and periodic legitimate traffic that the
 	// IDS can train on.
 	peerPeriod := cfg.Rate.Bits(20 * time.Millisecond)
 	peer := controller.New(controller.Config{Name: "peer", AutoRecover: true})
 	b.Attach(peer)
+	if cfg.Hub != nil {
+		b.SetTelemetry(cfg.Hub, "bus")
+		peer.SetTelemetry(cfg.Hub)
+	}
 
 	var detectedAt bus.BitTime = -1
 	markDetect := func(t bus.BitTime) {
@@ -98,11 +113,11 @@ func comparisonRun(cfg Config, system string) (ComparisonRow, error) {
 	case "MichiCAN":
 		v, err := fsm.NewIVN([]can.ID{0x0A0, DefenderID})
 		if err != nil {
-			return row, err
+			return row, meta, err
 		}
 		ds, err := fsm.NewDetectionSet(v, v.Index(DefenderID))
 		if err != nil {
-			return row, err
+			return row, meta, err
 		}
 		def, err := core.New(core.Config{
 			Name:     "michican",
@@ -110,11 +125,15 @@ func comparisonRun(cfg Config, system string) (ComparisonRow, error) {
 			OnDetect: func(t bus.BitTime, _ int) { markDetect(t) },
 		})
 		if err != nil {
-			return row, err
+			return row, meta, err
 		}
-		b.Attach(core.NewECU(controller.New(controller.Config{Name: "victim", AutoRecover: true}), def))
+		ecu := core.NewECU(controller.New(controller.Config{Name: "victim", AutoRecover: true}), def)
+		if cfg.Hub != nil {
+			ecu.SetTelemetry(cfg.Hub)
+		}
+		b.Attach(ecu)
 	default:
-		return row, fmt.Errorf("unknown system %q", system)
+		return row, meta, fmt.Errorf("unknown system %q", system)
 	}
 
 	// Warm-up (IDS training) with periodic peer traffic.
@@ -134,9 +153,13 @@ func comparisonRun(cfg Config, system string) (ComparisonRow, error) {
 	}
 
 	// Attack: persistent spoof of the defender's ID.
-	att := attack.NewFabrication("spoofer", DefenderID,
+	att := attack.NewFabrication(comparisonAttacker, DefenderID,
 		[]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 0)
+	if cfg.Hub != nil {
+		att.SetTelemetry(cfg.Hub)
+	}
 	attackStart := b.Now()
+	meta.attackStart = int64(attackStart)
 	b.Attach(att)
 	total := cfg.Rate.Bits(cfg.Duration)
 	busOffAt := bus.BitTime(-1)
@@ -152,6 +175,7 @@ func comparisonRun(cfg Config, system string) (ComparisonRow, error) {
 	// quiescence capability), so the per-bit loops above are the real cost;
 	// credit them to the process-wide throughput counter.
 	bus.AddSimulatedBits(int64(b.Now()))
+	meta.endAt = int64(b.Now())
 
 	if detectedAt >= 0 {
 		row.DetectionBits = int64(detectedAt - attackStart)
@@ -161,5 +185,5 @@ func comparisonRun(cfg Config, system string) (ComparisonRow, error) {
 		row.Eradicated = true
 		row.BusOffBits = int64(busOffAt - attackStart)
 	}
-	return row, nil
+	return row, meta, nil
 }

@@ -39,6 +39,11 @@ type Config struct {
 	// idle and sole-transmitter paths on — the michican-bench -contend-ff
 	// ablation knob. Redundant when ExactStepping is set.
 	NoContendFF bool
+	// NoFrameFF additionally disables the sole-transmitter frame fast path
+	// (and, since it builds on frame spans, the contested-window path),
+	// leaving only the idle fast-forward — the "idle-ff" arm of the
+	// stepping-mode grid. Redundant when ExactStepping is set.
+	NoFrameFF bool
 	// Hub, when set, wires every testbed participant (bus, defender
 	// controller, defense, restbus, attackers) into the telemetry collector.
 	// The parallel trial runner may share one hub across trials: node names
@@ -82,6 +87,10 @@ func newTestbed(cfg Config, matrix *restbus.Matrix, exclude []can.ID) (*testbed,
 	tb := &testbed{bus: bus.New(cfg.Rate)}
 	tb.bus.SetFastForward(!cfg.ExactStepping)
 	if cfg.NoContendFF {
+		tb.bus.SetContendFastForward(false)
+	}
+	if cfg.NoFrameFF {
+		tb.bus.SetFrameFastForward(false)
 		tb.bus.SetContendFastForward(false)
 	}
 	tb.recorder = trace.NewRecorder()

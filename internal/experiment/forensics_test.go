@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// forensicsModes enumerates the four stepping arms the incident parity must
+// hold across: the forensics engine sees the same event stream whichever
+// fast paths deliver it.
+var forensicsModes = []struct {
+	name string
+	set  func(*Config)
+}{
+	{"exact", func(c *Config) { c.ExactStepping = true }},
+	{"idle-ff", func(c *Config) { c.NoFrameFF = true }},
+	{"frame-ff", func(c *Config) { c.NoContendFF = true }},
+	{"contend-ff", func(c *Config) {}},
+}
+
+// TestTable2ForensicsParity regenerates every Table-II row from forensics
+// incidents alone and requires bit-for-bit equality with the trace-derived
+// rows, in all four stepping modes. Equality of Mean/Std/Max durations
+// implies the incident boundaries (SOF of the first destroyed attempt, last
+// busy bit of the final error episode) land on exactly the bits the wire
+// decoder assigns.
+func TestTable2ForensicsParity(t *testing.T) {
+	exps := []int{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		exps = []int{1, 2, 5}
+	}
+	for _, exp := range exps {
+		for _, mode := range forensicsModes {
+			cfg := Config{Duration: 500 * time.Millisecond}
+			mode.set(&cfg)
+			traceRows, incidentRows, err := Table2Forensics(cfg, exp)
+			if err != nil {
+				t.Fatalf("exp %d %s: %v", exp, mode.name, err)
+			}
+			if len(traceRows) != len(incidentRows) {
+				t.Fatalf("exp %d %s: %d trace rows vs %d incident rows",
+					exp, mode.name, len(traceRows), len(incidentRows))
+			}
+			for i := range traceRows {
+				if traceRows[i] != incidentRows[i] {
+					t.Errorf("exp %d %s: row %d differs\ntrace:    %+v\nincident: %+v",
+						exp, mode.name, i, traceRows[i], incidentRows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestComparisonForensicsParity derives the Table-I MichiCAN row (detection
+// latency, leaked frames, bus-off time) from the forensics engine's view of
+// the run and requires field-for-field equality with the hand-instrumented
+// row computed from the same simulation.
+func TestComparisonForensicsParity(t *testing.T) {
+	hand, derived, err := ComparisonForensics(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hand != derived {
+		t.Errorf("rows differ\nhand:     %+v\nforensics: %+v", hand, derived)
+	}
+	if !hand.Eradicated || hand.DetectionBits < 0 {
+		t.Errorf("MichiCAN row not meaningful: %+v", hand)
+	}
+}

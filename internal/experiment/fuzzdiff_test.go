@@ -12,6 +12,7 @@ import (
 	"michican/internal/can"
 	"michican/internal/controller"
 	"michican/internal/core"
+	"michican/internal/forensics"
 	"michican/internal/fsm"
 	"michican/internal/restbus"
 	"michican/internal/telemetry"
@@ -206,7 +207,7 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 
 	// Attach-time randomization happens at a Run boundary, which is the only
 	// point external mutation is allowed on either path.
-	total := int64(20_000) // 400 ms of bus time at 50 kbit/s
+	total := fuzzTotalBits // 400 ms of bus time at 50 kbit/s
 	if attacker != nil {
 		bb.Run(attackStart)
 		bb.Attach(attacker)
@@ -235,13 +236,31 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 	return out, ff, nil
 }
 
-// diffSeed runs one seed four ways — exact, frame-FF with contested windows
-// exact-stepped, the full stack with the contested-window path, and the full
-// stack with a fully wired, event-retaining telemetry hub — and fails on any
-// divergence: every fast path must be bit-invisible, and telemetry must be a
-// pure observer on every path.
-func diffSeed(t *testing.T, seed int64) {
+// fuzzTotalBits mirrors runRandomScenario's run length so differential arms
+// can finalize their forensics engines at the recording end.
+const fuzzTotalBits = int64(20_000)
+
+// diffSeed runs one seed four ways — exact with no telemetry, frame-FF with
+// contested windows exact-stepped, the full stack with the contested-window
+// path, and exact again with a fully wired, event-retaining hub — and fails
+// on any divergence: every fast path must be bit-invisible, and telemetry
+// must be a pure observer on every path. The three wired arms each feed a
+// live forensics engine, and the reconstructed incident logs must be
+// identical across stepping modes — the tentpole's parity claim, fuzzed.
+// Returns the number of incidents the seed produced.
+func diffSeed(t *testing.T, seed int64) int {
 	t.Helper()
+	newEng := func(retain bool) (*telemetry.Hub, *forensics.Engine) {
+		h := telemetry.NewHub()
+		h.RetainEvents(retain)
+		return h, forensics.NewEngine(h)
+	}
+	finalize := func(e *forensics.Engine) []forensics.Incident {
+		e.Finalize(fuzzTotalBits)
+		e.Close()
+		return e.Incidents()
+	}
+
 	exact, exFF, err := runRandomScenario(seed, diffExact, nil)
 	if err != nil {
 		t.Fatalf("seed %d exact: %v", seed, err)
@@ -249,7 +268,8 @@ func diffSeed(t *testing.T, seed int64) {
 	if exFF.idle != 0 || exFF.frame != 0 || exFF.contend != 0 {
 		t.Fatalf("seed %d: exact run fast-forwarded", seed)
 	}
-	fast, fastFF, err := runRandomScenario(seed, diffFrameFF, nil)
+	fastHub, fastEng := newEng(false)
+	fast, fastFF, err := runRandomScenario(seed, diffFrameFF, fastHub)
 	if err != nil {
 		t.Fatalf("seed %d fast: %v", seed, err)
 	}
@@ -262,15 +282,16 @@ func diffSeed(t *testing.T, seed int64) {
 	if fastFF.contend != 0 {
 		t.Errorf("seed %d: contend path engaged while disabled", seed)
 	}
-	contend, contendFF, err := runRandomScenario(seed, diffContendFF, nil)
+	contendHub, contendEng := newEng(false)
+	contend, contendFF, err := runRandomScenario(seed, diffContendFF, contendHub)
 	if err != nil {
 		t.Fatalf("seed %d contend: %v", seed, err)
 	}
 	if contendFF.contend == 0 && !contendFF.pinned {
 		t.Errorf("seed %d: contend fast path never engaged with no pinning node", seed)
 	}
-	hub := telemetry.NewHub()
-	wired, _, err := runRandomScenario(seed, diffContendFF, hub)
+	hub, wiredEng := newEng(true)
+	wired, _, err := runRandomScenario(seed, diffExact, hub)
 	if err != nil {
 		t.Fatalf("seed %d wired: %v", seed, err)
 	}
@@ -291,10 +312,26 @@ func diffSeed(t *testing.T, seed int64) {
 	}
 	compare("exact vs frame-ff", exact, fast)
 	compare("frame-ff vs contend-ff", fast, contend)
-	compare("contend-ff vs telemetry-wired", contend, wired)
+	compare("contend-ff vs telemetry-wired-exact", contend, wired)
 	if hub.Len() == 0 {
 		t.Errorf("seed %d: wired run captured no telemetry events", seed)
 	}
+
+	// Forensics parity: the incident logs reconstructed from each arm's event
+	// stream must be field-identical, whatever mix of fast paths stepped the
+	// run.
+	exactIncs := finalize(wiredEng)
+	fastIncs := finalize(fastEng)
+	contendIncs := finalize(contendEng)
+	if !reflect.DeepEqual(exactIncs, fastIncs) {
+		t.Fatalf("seed %d: forensics incidents diverge exact vs frame-ff:\n%+v\nvs\n%+v",
+			seed, exactIncs, fastIncs)
+	}
+	if !reflect.DeepEqual(exactIncs, contendIncs) {
+		t.Fatalf("seed %d: forensics incidents diverge exact vs contend-ff:\n%+v\nvs\n%+v",
+			seed, exactIncs, contendIncs)
+	}
+	return len(exactIncs)
 }
 
 // TestFastForwardDifferentialRandom sweeps a fixed seed range through the
@@ -306,8 +343,14 @@ func TestFastForwardDifferentialRandom(t *testing.T) {
 	if testing.Short() {
 		seeds = 8
 	}
+	incidents := 0
 	for seed := int64(1); seed <= seeds; seed++ {
-		diffSeed(t, seed)
+		incidents += diffSeed(t, seed)
+	}
+	// The attack mix guarantees defender-ID spoofs across the sweep; if no
+	// seed produced an incident, the forensics parity leg compared nothing.
+	if incidents == 0 {
+		t.Error("no seed in the sweep produced a forensics incident")
 	}
 }
 

@@ -43,30 +43,43 @@ type telemetryWirer interface{ SetTelemetry(*telemetry.Hub) }
 func measureScenarioThroughput(target float64, mode SteppingMode, simBits int64, reps int, hub *telemetry.Hub) (float64, error) {
 	best := 0.0
 	for i := 0; i < reps; i++ {
-		bb, nodes, err := throughputScenario(target, mode)
+		bps, err := runScenarioOnce(target, mode, simBits, hub)
 		if err != nil {
 			return 0, err
 		}
-		if hub != nil {
-			bb.SetTelemetry(hub, "bus")
-			for _, n := range nodes {
-				if w, ok := n.(telemetryWirer); ok {
-					w.SetTelemetry(hub)
-				}
-			}
-		}
-		bb.Run(100_000) // warm-up
-		start := time.Now()
-		bb.Run(simBits)
-		wall := time.Since(start).Seconds()
-		if wall <= 0 {
-			wall = 1e-9
-		}
-		if bps := float64(simBits) / wall; bps > best {
+		if bps > best {
 			best = bps
 		}
 	}
 	return best, nil
+}
+
+// runScenarioOnce builds one fresh throughput scenario, optionally wires it
+// into hub, and times one simBits run after a warm-up. Exposed separately so
+// multi-arm comparisons (MeasureObsOverhead) can interleave single
+// repetitions across arms, cancelling slow machine drift that a
+// block-per-arm schedule folds into the verdict.
+func runScenarioOnce(target float64, mode SteppingMode, simBits int64, hub *telemetry.Hub) (float64, error) {
+	bb, nodes, err := throughputScenario(target, mode)
+	if err != nil {
+		return 0, err
+	}
+	if hub != nil {
+		bb.SetTelemetry(hub, "bus")
+		for _, n := range nodes {
+			if w, ok := n.(telemetryWirer); ok {
+				w.SetTelemetry(hub)
+			}
+		}
+	}
+	bb.Run(100_000) // warm-up
+	start := time.Now()
+	bb.Run(simBits)
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return float64(simBits) / wall, nil
 }
 
 // MeasureTelemetryOverhead measures the disabled-telemetry cost of one

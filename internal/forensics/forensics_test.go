@@ -1,0 +1,274 @@
+package forensics_test
+
+import (
+	"strings"
+	"testing"
+
+	"michican/internal/controller"
+	"michican/internal/forensics"
+	"michican/internal/telemetry"
+)
+
+// campaignEmitter drives a synthetic spoof-fight event stream through a hub:
+// the exact per-node event grammar the simulation emits, without running the
+// simulation. Each destroyed attempt is the canonical MichiCAN exchange — the
+// attacker's SOF, the defender's verdict at ID bit 9, a 7-bit counterattack
+// pull, the attacker's bit error and TEC(+8) bump, and the shared error
+// delimiter reported by the surviving receiver.
+type campaignEmitter struct {
+	att, def telemetry.Probe
+	tec      int64
+}
+
+const (
+	campaignID      = 0x173
+	attemptSpacing  = 43 // SOF-to-SOF distance between consecutive attempts
+	attemptLastBusy = 23 // last dominant bit of each attempt, relative to SOF
+)
+
+// destroyAttempt emits one destroyed attempt starting at t and returns the
+// attacker's post-bump TEC. busOff marks the final attempt of an eradication
+// campaign: the attacker crosses the bus-off threshold and, having left the
+// bus, never reports its own error delimiter.
+func (c *campaignEmitter) destroyAttempt(t int64, busOff bool) {
+	c.att.Emit(t, telemetry.EvTxStart, campaignID, 0)
+	c.def.Emit(t+12, telemetry.EvDetect, 9, 0)
+	c.def.Emit(t+12, telemetry.EvPullStart, 0, 0)
+	c.att.Emit(t+14, telemetry.EvError, int64(controller.BitError), 1)
+	c.att.Emit(t+14, telemetry.EvTEC, c.tec+8, c.tec)
+	c.tec += 8
+	if busOff {
+		c.att.Emit(t+14, telemetry.EvBusOff, 0, 0)
+	}
+	c.def.Emit(t+20, telemetry.EvPullEnd, 7, 0)
+	c.def.Emit(t+31, telemetry.EvErrorEnd, 0, 0)
+}
+
+func causalitySteps(inc forensics.Incident) string {
+	var steps []string
+	for _, l := range inc.Causality {
+		steps = append(steps, l.Step)
+	}
+	return strings.Join(steps, ",")
+}
+
+// TestEngineFullCampaign folds a complete 32-attempt eradication campaign and
+// checks every field of the reconstructed incident.
+func TestEngineFullCampaign(t *testing.T) {
+	hub := telemetry.NewHub()
+	hub.RetainEvents(false)
+	eng := forensics.NewEngine(hub)
+	defer eng.Close()
+
+	em := &campaignEmitter{att: hub.Probe("attacker"), def: hub.Probe("defender")}
+	const t0 = int64(100)
+	for i := 0; i < forensics.FullCampaignAttempts; i++ {
+		em.destroyAttempt(t0+int64(i)*attemptSpacing, i == forensics.FullCampaignAttempts-1)
+	}
+	busOffAt := t0 + 31*attemptSpacing + 14
+	recoverAt := busOffAt + int64(controller.RecoverySequences*controller.RecoveryIdleBits)
+	em.att.Emit(recoverAt, telemetry.EvRecover, 0, 0)
+	end := recoverAt + 100
+	eng.Finalize(end)
+
+	incs := eng.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("got %d incidents, want 1: %+v", len(incs), incs)
+	}
+	inc := incs[0]
+	// The final attempt ends at the pull's last bit: the attacker crossed
+	// straight into bus-off, so no active flag extended the episode.
+	wantEnd := t0 + 31*attemptSpacing + 20
+	if inc.Start != t0 || inc.End != wantEnd {
+		t.Errorf("span [%d, %d], want [%d, %d]", inc.Start, inc.End, t0, wantEnd)
+	}
+	if inc.IDHex != "0x173" || inc.Attempts != 32 {
+		t.Errorf("id %s attempts %d, want 0x173/32", inc.IDHex, inc.Attempts)
+	}
+	if inc.Attacker != "attacker" || inc.Defender != "defender" {
+		t.Errorf("attribution %q vs %q, want attacker vs defender", inc.Attacker, inc.Defender)
+	}
+	if inc.Detections != 32 || inc.FirstDetectAt != t0+12 {
+		t.Errorf("detections %d first@%d, want 32 @%d", inc.Detections, inc.FirstDetectAt, t0+12)
+	}
+	db := inc.DetectionBits
+	if db.N != 32 || db.Mean != 9 || db.Min != 9 || db.Max != 9 {
+		t.Errorf("detection bits summary %+v, want 32×9", db)
+	}
+	if inc.Counterattacks != 32 || inc.PullBitsTotal != 32*7 {
+		t.Errorf("counterattacks %d pull bits %d, want 32/224", inc.Counterattacks, inc.PullBitsTotal)
+	}
+	if inc.FramesLeaked != 0 {
+		t.Errorf("frames leaked %d, want 0", inc.FramesLeaked)
+	}
+	if len(inc.TEC) != 32 {
+		t.Fatalf("TEC trajectory has %d steps, want 32", len(inc.TEC))
+	}
+	if first, last := inc.TEC[0], inc.TEC[31]; first.Prev != 0 || first.Value != 8 ||
+		last.Prev != 248 || last.Value != int64(controller.BusOffThreshold) {
+		t.Errorf("TEC trajectory ends %+v → %+v", first, last)
+	}
+	if !inc.Eradicated || inc.BusOffAt != busOffAt || inc.RecoveredAt != recoverAt {
+		t.Errorf("eradication %v busoff@%d recovered@%d, want true/%d/%d",
+			inc.Eradicated, inc.BusOffAt, inc.RecoveredAt, busOffAt, recoverAt)
+	}
+	steps := causalitySteps(inc)
+	for _, want := range []string{"tx_start", "detect@bit9", "counterattack(7 bits)",
+		"error(bit)", "tec 248→256", "bus_off", "recover"} {
+		if !strings.Contains(steps, want) {
+			t.Errorf("causality chain missing %q (have %s)", want, steps)
+		}
+	}
+
+	if got := forensics.Complete(incs, end); len(got) != 1 {
+		t.Errorf("Complete dropped a full 32-attempt campaign")
+	}
+	if got := eng.FirstDetectionAt(); got != t0+12 {
+		t.Errorf("FirstDetectionAt = %d, want %d", got, t0+12)
+	}
+	if got := eng.FirstBusOffAt("attacker"); got != busOffAt {
+		t.Errorf("FirstBusOffAt = %d, want %d", got, busOffAt)
+	}
+	sums := eng.Summaries()
+	if len(sums) != 1 || sums[0].Incidents != 1 || sums[0].Attempts != 32 ||
+		sums[0].EpisodeBits.N != 1 || sums[0].EpisodeBits.Mean != float64(inc.Bits()) {
+		t.Errorf("summaries = %+v", sums)
+	}
+	st := eng.Stats()
+	if !st.Finalized || st.RecordingEnd != end || st.DroppedAttempts != 0 || st.StrayAttempts != 0 {
+		t.Errorf("engine stats = %+v", st)
+	}
+}
+
+// TestEngineEpisodeGapAndCompleteness checks that a same-ID gap longer than
+// EpisodeGapBits splits incidents and that Complete drops a short trailing
+// incident near the recording edge.
+func TestEngineEpisodeGapAndCompleteness(t *testing.T) {
+	hub := telemetry.NewHub()
+	hub.RetainEvents(false)
+	eng := forensics.NewEngine(hub)
+	defer eng.Close()
+
+	em := &campaignEmitter{att: hub.Probe("attacker"), def: hub.Probe("defender")}
+	const t0 = int64(100)
+	for i := int64(0); i < 3; i++ {
+		em.destroyAttempt(t0+i*attemptSpacing, false)
+	}
+	t1 := t0 + 2*attemptSpacing + attemptLastBusy + forensics.EpisodeGapBits + 200
+	for i := int64(0); i < 3; i++ {
+		em.destroyAttempt(t1+i*attemptSpacing, false)
+	}
+	end := t1 + 3*attemptSpacing + 50 // well inside the edge margin
+	eng.Finalize(end)
+
+	incs := eng.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("got %d incidents, want 2 (gap %d should split)", len(incs), forensics.EpisodeGapBits)
+	}
+	if incs[0].Attempts != 3 || incs[1].Attempts != 3 || incs[0].ID != incs[1].ID {
+		t.Errorf("incident shapes: %+v", incs)
+	}
+	if incs[0].Eradicated || incs[1].Eradicated {
+		t.Error("no bus-off was emitted, yet an incident reads eradicated")
+	}
+	// The trailing 3-attempt incident ends within the edge margin: still in
+	// progress, so the completeness filter drops it.
+	if got := forensics.Complete(incs, end); len(got) != 1 || got[0].Start != t0 {
+		t.Errorf("Complete = %+v, want only the first incident", got)
+	}
+	// In-flight view: the second incident has not been closed by a gap.
+	inflight := eng.InFlight()
+	if len(inflight) != 1 || inflight[0].Start != t1 {
+		t.Errorf("InFlight = %+v, want the trailing incident", inflight)
+	}
+	sums := eng.Summaries()
+	if len(sums) != 1 || sums[0].Incidents != 2 || sums[0].Attempts != 6 || sums[0].EpisodeBits.N != 2 {
+		t.Errorf("summaries = %+v", sums)
+	}
+}
+
+// TestEngineFramesLeaked checks that a complete spoofed frame the attacker
+// slips through mid-incident is charged to it at resolution time.
+func TestEngineFramesLeaked(t *testing.T) {
+	hub := telemetry.NewHub()
+	hub.RetainEvents(false)
+	eng := forensics.NewEngine(hub)
+	defer eng.Close()
+
+	em := &campaignEmitter{att: hub.Probe("attacker"), def: hub.Probe("defender")}
+	const t0 = int64(100)
+	em.destroyAttempt(t0, false)
+	// A leaked frame: the attacker transmits the spoofed ID to completion.
+	em.att.Emit(t0+200, telemetry.EvTxStart, campaignID, 0)
+	em.att.Emit(t0+310, telemetry.EvTxSuccess, campaignID, 0)
+	// The next SOF must clear the decoder's 11-recessive idle rule (>3 bits
+	// past the completed frame's end) or it reads as stray noise.
+	em.destroyAttempt(t0+400, false)
+	eng.Finalize(t0 + 3000)
+
+	incs := eng.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("got %d incidents, want 1: %+v", len(incs), incs)
+	}
+	inc := incs[0]
+	if inc.Attempts != 2 || inc.Attacker != "attacker" {
+		t.Errorf("attempts %d attacker %q, want 2 attempts by attacker", inc.Attempts, inc.Attacker)
+	}
+	if inc.FramesLeaked != 1 {
+		t.Errorf("frames leaked = %d, want 1", inc.FramesLeaked)
+	}
+	if got := eng.TxSuccessCount("attacker"); got != 1 {
+		t.Errorf("TxSuccessCount = %d, want 1", got)
+	}
+}
+
+// TestEngineStrayAndDroppedAttempts exercises the wire-visibility bookkeeping:
+// an unresolved attempt displaced by a new SOF is dropped, a SOF inside the
+// previous frame's recessive tail is stray, and a counterattack pull that
+// corrupts the arbitration region makes the attempt unattributable.
+func TestEngineStrayAndDroppedAttempts(t *testing.T) {
+	hub := telemetry.NewHub()
+	hub.RetainEvents(false)
+	eng := forensics.NewEngine(hub)
+	defer eng.Close()
+
+	att := hub.Probe("attacker")
+	def := hub.Probe("defender")
+	em := &campaignEmitter{att: att, def: def}
+
+	// Dropped: a SOF with no wire resolution before the next SOF.
+	att.Emit(100, telemetry.EvTxStart, campaignID, 0)
+	em.destroyAttempt(600, false)
+
+	// Stray: a completed frame ends at t=1350; a SOF 2 bits later sits inside
+	// its recessive tail, so the decoder never sees it.
+	att.Emit(1240, telemetry.EvTxStart, campaignID, 0)
+	att.Emit(1350, telemetry.EvTxSuccess, campaignID, 0)
+	att.Emit(1352, telemetry.EvTxStart, campaignID, 0)
+	att.Emit(1360, telemetry.EvError, int64(controller.BitError), 1)
+	att.Emit(1360, telemetry.EvTEC, 16, 8)
+	def.Emit(1374, telemetry.EvErrorEnd, 0, 0)
+
+	// Unattributable: a pull landing inside the stuffed SOF+ID region corrupts
+	// the bits the decoder needs for IDComplete.
+	att.Emit(2000, telemetry.EvTxStart, campaignID, 0)
+	def.Emit(2003, telemetry.EvPullStart, 0, 0)
+	def.Emit(2010, telemetry.EvPullEnd, 7, 0)
+	att.Emit(2004, telemetry.EvError, int64(controller.BitError), 1)
+	att.Emit(2004, telemetry.EvTEC, 24, 16)
+	def.Emit(2021, telemetry.EvErrorEnd, 0, 0)
+
+	eng.Finalize(5000)
+
+	incs := eng.Incidents()
+	if len(incs) != 1 || incs[0].Attempts != 1 || incs[0].Start != 600 {
+		t.Fatalf("incidents = %+v, want one single-attempt incident at 600", incs)
+	}
+	st := eng.Stats()
+	if st.DroppedAttempts != 2 {
+		t.Errorf("dropped attempts = %d, want 2 (displaced SOF + corrupted ID)", st.DroppedAttempts)
+	}
+	if st.StrayAttempts != 1 {
+		t.Errorf("stray attempts = %d, want 1", st.StrayAttempts)
+	}
+}

@@ -1,0 +1,240 @@
+// Package obs embeds a live observability server into a running simulation:
+// an HTTP surface over the telemetry hub and the forensics engine so
+// multi-hour grid runs and replays are inspectable while they advance.
+//
+// Endpoints:
+//
+//	/healthz      liveness probe ("ok")
+//	/metrics      Prometheus-style text snapshot of the hub registry
+//	/incidents    JSON incident log: closed + in-flight incidents, per-ID
+//	              summaries, and engine counters
+//	/snapshot     live per-node TEC/REC/fault-confinement state plus
+//	              per-path fast-forward hit rates
+//	/debug/pprof  the standard Go profiling surface (profile, heap, trace…)
+//
+// The server runs on its own mux (nothing leaks onto http.DefaultServeMux)
+// and its own goroutine; Serve returns once the listener is bound, so an
+// ephemeral ":0" address is usable — Addr reports the bound port. The
+// simulation datapath is untouched: every handler reads hub metrics through
+// atomic snapshots and engine state behind its own mutex, so serving requests
+// costs the run nothing until a request arrives.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"michican/internal/bus"
+	"michican/internal/controller"
+	"michican/internal/forensics"
+	"michican/internal/telemetry"
+)
+
+// Server is a bound, running observability server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; use ":0" or "127.0.0.1:0" for an ephemeral
+// port) and serves the observability surface for the given hub and engine in
+// a background goroutine. Either may be nil: a nil engine serves an empty
+// incident log, a nil hub an empty metrics page. Close shuts the listener
+// down.
+func Serve(addr string, hub *telemetry.Hub, eng *forensics.Engine) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if hub != nil {
+			_ = hub.Registry().WriteText(w)
+		}
+	})
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, Incidents(eng))
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, snapshotView(hub))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "michican observability server")
+		fmt.Fprintln(w, "  /healthz   /metrics   /incidents   /snapshot   /debug/pprof/")
+	})
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port for ":0" binds).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// writeJSON renders v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// IncidentsView is the /incidents payload.
+type IncidentsView struct {
+	// Incidents lists every reconstructed incident, closed and open, in
+	// (Start, ID) order.
+	Incidents []forensics.Incident `json:"incidents"`
+	// InFlight lists only the incidents not yet closed by a same-ID gap.
+	InFlight []forensics.Incident `json:"in_flight"`
+	// Summaries aggregates per-ID episode and detection-bit distributions.
+	Summaries []forensics.IDSummary `json:"summaries"`
+	// Engine carries the engine's own counters (events folded, attempts
+	// dropped or stray, finalization state).
+	Engine forensics.EngineStats `json:"engine"`
+}
+
+// Incidents snapshots the engine into the /incidents payload ([]… fields
+// stay non-nil so the JSON shape is stable). Exported so command-line
+// consumers (-incidents file export) write the same document the live
+// endpoint serves.
+func Incidents(eng *forensics.Engine) IncidentsView {
+	v := IncidentsView{
+		Incidents: []forensics.Incident{},
+		InFlight:  []forensics.Incident{},
+		Summaries: []forensics.IDSummary{},
+	}
+	if eng == nil {
+		return v
+	}
+	if incs := eng.Incidents(); incs != nil {
+		v.Incidents = incs
+	}
+	if incs := eng.InFlight(); incs != nil {
+		v.InFlight = incs
+	}
+	if sums := eng.Summaries(); sums != nil {
+		v.Summaries = sums
+	}
+	v.Engine = eng.Stats()
+	return v
+}
+
+// NodeSnapshot is one node's live state in the /snapshot payload, derived
+// from the hub's per-node metric instruments.
+type NodeSnapshot struct {
+	Name string `json:"name"`
+	// TEC/REC are the last emitted error-counter values; State applies the
+	// fault-confinement thresholds to them (error-active, error-passive,
+	// bus-off).
+	TEC   int64  `json:"tec"`
+	REC   int64  `json:"rec"`
+	State string `json:"state"`
+	// Counter views of the node's activity so far.
+	TxAttempts int64 `json:"tx_attempts"`
+	TxSuccess  int64 `json:"tx_success"`
+	Errors     int64 `json:"errors"`
+	Detections int64 `json:"detections"`
+	BusOff     int64 `json:"bus_off"`
+	Recoveries int64 `json:"recoveries"`
+}
+
+// FastPathSnapshot reports the process-wide fast-forward coverage: bits
+// committed per path and each path's share of all simulated bits.
+type FastPathSnapshot struct {
+	SimulatedBits  int64   `json:"simulated_bits"`
+	IdleBits       int64   `json:"idle_bits"`
+	FrameBits      int64   `json:"frame_bits"`
+	ContendBits    int64   `json:"contend_bits"`
+	IdleHitRate    float64 `json:"idle_hit_rate"`
+	FrameHitRate   float64 `json:"frame_hit_rate"`
+	ContendHitRate float64 `json:"contend_hit_rate"`
+}
+
+// SnapshotView is the /snapshot payload.
+type SnapshotView struct {
+	Nodes     []NodeSnapshot   `json:"nodes"`
+	FastPaths FastPathSnapshot `json:"fast_paths"`
+}
+
+// snapshotView assembles the live state page. Metric lookups use the
+// registry's Find variants so a read never materializes zero series into the
+// /metrics exposition.
+func snapshotView(hub *telemetry.Hub) SnapshotView {
+	v := SnapshotView{Nodes: []NodeSnapshot{}}
+	sim := bus.SimulatedBits()
+	v.FastPaths = FastPathSnapshot{
+		SimulatedBits: sim,
+		IdleBits:      bus.IdleForwardedTotal(),
+		FrameBits:     bus.FrameForwardedTotal(),
+		ContendBits:   bus.ContendForwardedTotal(),
+	}
+	if sim > 0 {
+		v.FastPaths.IdleHitRate = float64(v.FastPaths.IdleBits) / float64(sim)
+		v.FastPaths.FrameHitRate = float64(v.FastPaths.FrameBits) / float64(sim)
+		v.FastPaths.ContendHitRate = float64(v.FastPaths.ContendBits) / float64(sim)
+	}
+	if hub == nil {
+		return v
+	}
+	reg := hub.Registry()
+	counter := func(name, node string) int64 {
+		if c := reg.FindCounter(name, "node", node); c != nil {
+			return c.Value()
+		}
+		return 0
+	}
+	gauge := func(name, node string) int64 {
+		if g := reg.FindGauge(name, "node", node); g != nil {
+			return int64(g.Value())
+		}
+		return 0
+	}
+	for _, name := range hub.Nodes() {
+		ns := NodeSnapshot{
+			Name:       name,
+			TEC:        gauge("michican_tec", name),
+			REC:        gauge("michican_rec", name),
+			TxAttempts: counter("michican_tx_attempts_total", name),
+			TxSuccess:  counter("michican_tx_success_total", name),
+			Errors:     counter("michican_errors_total", name),
+			Detections: counter("michican_detections_total", name),
+			BusOff:     counter("michican_busoff_total", name),
+			Recoveries: counter("michican_recoveries_total", name),
+		}
+		switch {
+		case ns.TEC >= controller.BusOffThreshold:
+			ns.State = "bus-off"
+		case ns.TEC > controller.PassiveThreshold || ns.REC > controller.PassiveThreshold:
+			ns.State = "error-passive"
+		default:
+			ns.State = "error-active"
+		}
+		v.Nodes = append(v.Nodes, ns)
+	}
+	return v
+}

@@ -13,9 +13,18 @@ import (
 // whole per-node spans one node at a time, so the raw log can interleave
 // across nodes; a stable sort restores global order while preserving every
 // node's begin/end pairing order.
+// The secondary key is the node ID so that ties at the same bit time land in
+// a canonical order regardless of stepping mode: per-node streams are
+// identical across exact and batch delivery, and the stable sort keeps each
+// node's same-time emissions in program order.
 func (h *Hub) sortedEvents() []Event {
 	events := h.Events()
-	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Node < events[j].Node
+	})
 	return events
 }
 
@@ -75,6 +84,8 @@ func writeEventJSON(w *bufio.Writer, node string, ev Event) error {
 			path = "contend"
 		}
 		_, err = fmt.Fprintf(w, `,"bits":%d,"path":%q`, ev.A, path)
+	case EvTxStart, EvTxSuccess:
+		_, err = fmt.Fprintf(w, `,"id":"0x%03X"`, ev.A)
 	case EvErrorEnd, EvBusOff, EvRecover:
 		// No arguments.
 	}

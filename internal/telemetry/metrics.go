@@ -147,6 +147,26 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return h
 }
 
+// FindCounter returns the counter with this name and labels, or nil if it
+// was never created — unlike Counter it never materializes a zero series,
+// which keeps read-only consumers (the observability server's /snapshot)
+// from polluting the /metrics exposition.
+func (r *Registry) FindCounter(name string, labels ...string) *Counter {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[key]
+}
+
+// FindGauge returns the gauge with this name and labels, or nil if it was
+// never created.
+func (r *Registry) FindGauge(name string, labels ...string) *Gauge {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[key]
+}
+
 // familyOf strips the label set off a metric key.
 func familyOf(key string) string {
 	if i := strings.IndexByte(key, '{'); i >= 0 {

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubscribeReceivesEvents(t *testing.T) {
+	h := NewHub()
+	h.RetainEvents(false)
+	var got []Event
+	cancel := h.Subscribe(func(ev Event) { got = append(got, ev) })
+	p := h.Probe("n")
+	p.Emit(10, EvDetect, 5, 0)
+	p.Emit(20, EvTEC, 8, 0)
+	if len(got) != 2 || got[0].Kind != EvDetect || got[0].A != 5 || got[1].Time != 20 {
+		t.Fatalf("subscriber saw %+v", got)
+	}
+	cancel()
+	p.Emit(30, EvBusOff, 0, 0)
+	if len(got) != 2 {
+		t.Fatalf("event delivered after unsubscribe: %+v", got)
+	}
+	cancel() // idempotent
+}
+
+func TestSubscribeMultiple(t *testing.T) {
+	h := NewHub()
+	h.RetainEvents(false)
+	var a, b int
+	cancelA := h.Subscribe(func(Event) { a++ })
+	cancelB := h.Subscribe(func(Event) { b++ })
+	p := h.Probe("n")
+	p.Emit(1, EvDetect, 5, 0)
+	cancelA()
+	p.Emit(2, EvDetect, 5, 0)
+	cancelB()
+	p.Emit(3, EvDetect, 5, 0)
+	if a != 1 || b != 2 {
+		t.Fatalf("a=%d b=%d, want 1 and 2", a, b)
+	}
+}
+
+// TestConcurrentEmitWithSubscriber hammers one hub from concurrent emitters
+// while subscribers come and go — the shape `go test -race` must hold for the
+// live observability server, whose forensics engine subscribes mid-run.
+func TestConcurrentEmitWithSubscriber(t *testing.T) {
+	h := NewHub()
+	h.RetainEvents(false)
+	var delivered atomic.Int64
+	cancel := h.Subscribe(func(ev Event) { delivered.Add(1) })
+
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := h.Probe("defender")
+			for i := 0; i < perG; i++ {
+				p.Emit(int64(i), EvDetect, int64(i%11+1), 0)
+			}
+		}(g)
+	}
+	// Subscriber churn while emission is in flight: transient subscribers must
+	// neither lose the long-lived subscriber's events nor race the emitters.
+	for i := 0; i < 50; i++ {
+		h.Subscribe(func(Event) {})()
+	}
+	wg.Wait()
+	cancel()
+	if got := delivered.Load(); got != goroutines*perG {
+		t.Fatalf("long-lived subscriber saw %d events, want %d", got, goroutines*perG)
+	}
+	if got := h.Registry().Counter("michican_detections_total", "node", "defender").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestSequencerCanonicalOrder feeds the sequencer node-interleaved events and
+// checks the released order is the canonical (Time, Node, arrival) order.
+func TestSequencerCanonicalOrder(t *testing.T) {
+	var got []Event
+	s := Sequencer{Slack: 4, Emit: func(ev Event) { got = append(got, ev) }}
+	// Node 2's span arrives whole before node 1's — the batch fast-path
+	// delivery pattern.
+	s.Add(Event{Time: 10, Node: 2, Kind: EvTxStart, A: 7})
+	s.Add(Event{Time: 12, Node: 2, Kind: EvError})
+	s.Add(Event{Time: 10, Node: 1, Kind: EvTxStart, A: 7})
+	s.Add(Event{Time: 11, Node: 1, Kind: EvDetect, A: 9})
+	s.Flush()
+	want := []struct {
+		t    int64
+		node NodeID
+	}{{10, 1}, {10, 2}, {11, 1}, {12, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("released %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Time != w.t || got[i].Node != w.node {
+			t.Fatalf("event %d = t%d node%d, want t%d node%d", i, got[i].Time, got[i].Node, w.t, w.node)
+		}
+	}
+}

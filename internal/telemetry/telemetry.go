@@ -69,6 +69,14 @@ const (
 	// bits, B = 0 for the idle quiescence path, 1 for the sole-transmitter
 	// frame path, 2 for the contested-window (multi-driver) path.
 	EvFFSpan
+	// EvTxStart: a controller began a transmission attempt — the SOF bit of
+	// a frame it is driving. A = the pending frame's CAN ID. The event time
+	// is the SOF bit on the wire, which is what lets the forensics engine
+	// line attempts up with the trace decoder's episode boundaries.
+	EvTxStart
+	// EvTxSuccess: a transmission completed acknowledged and error-free.
+	// A = the frame's CAN ID; the event time is the final EOF bit.
+	EvTxSuccess
 )
 
 // String names the kind as it appears in the JSONL stream.
@@ -98,6 +106,10 @@ func (k Kind) String() string {
 		return "recover"
 	case EvFFSpan:
 		return "ff_span"
+	case EvTxStart:
+		return "tx_start"
+	case EvTxSuccess:
+		return "tx_success"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -141,6 +153,7 @@ type nodeInstruments struct {
 	busOff, recovered          *Counter
 	tec, rec                   *Gauge
 	ffIdle, ffFrame, ffContend *Counter
+	txStarts, txSuccess        *Counter
 }
 
 // Hub is the telemetry collector: a registry of named nodes, an append-only
@@ -154,6 +167,18 @@ type Hub struct {
 	events  []Event
 	retain  bool
 	reg     *Registry
+	// subs is the subscriber list, replaced wholesale on every
+	// Subscribe/unsubscribe (copy-on-write): emit reads the slice header
+	// under mu and iterates outside it, so a steady-state emit never copies
+	// and subscribers may call back into the hub without deadlocking.
+	subs      []subscriber
+	nextSubID int
+}
+
+// subscriber is one registered streaming consumer.
+type subscriber struct {
+	id int
+	fn func(Event)
 }
 
 // NewHub creates an empty hub that retains events.
@@ -222,6 +247,8 @@ func (h *Hub) instrumentsFor(name string) *nodeInstruments {
 		ffIdle:          r.Counter("michican_ff_idle_bits_total", "node", name),
 		ffFrame:         r.Counter("michican_ff_frame_bits_total", "node", name),
 		ffContend:       r.Counter("michican_ff_contend_bits_total", "node", name),
+		txStarts:        r.Counter("michican_tx_attempts_total", "node", name),
+		txSuccess:       r.Counter("michican_tx_success_total", "node", name),
 	}
 }
 
@@ -272,13 +299,46 @@ func (h *Hub) Len() int {
 	return len(h.events)
 }
 
-// emit appends the event and folds it into the metrics registry.
+// Subscribe registers a streaming consumer and returns its cancel function.
+// The callback is invoked synchronously from every Emit, outside the hub
+// lock, after the event has been retained (if retention is on) and before
+// Emit returns — so a single-threaded simulation delivers events to
+// subscribers in exact emission order, with no retained-log copy needed.
+// When multiple goroutines emit concurrently, callbacks run concurrently
+// too: subscribers that keep state must do their own locking.
+func (h *Hub) Subscribe(fn func(Event)) (unsubscribe func()) {
+	if h == nil || fn == nil {
+		return func() {}
+	}
+	h.mu.Lock()
+	id := h.nextSubID
+	h.nextSubID++
+	subs := make([]subscriber, len(h.subs), len(h.subs)+1)
+	copy(subs, h.subs)
+	h.subs = append(subs, subscriber{id: id, fn: fn})
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		subs := make([]subscriber, 0, len(h.subs))
+		for _, s := range h.subs {
+			if s.id != id {
+				subs = append(subs, s)
+			}
+		}
+		h.subs = subs
+	}
+}
+
+// emit appends the event, folds it into the metrics registry, and fans it
+// out to subscribers.
 func (h *Hub) emit(ev Event) {
 	h.mu.Lock()
 	if h.retain {
 		h.events = append(h.events, ev)
 	}
 	ni := h.perNode[ev.Node]
+	subs := h.subs
 	h.mu.Unlock()
 
 	switch ev.Kind {
@@ -315,6 +375,13 @@ func (h *Hub) emit(ev Event) {
 		default:
 			ni.ffContend.Add(ev.A)
 		}
+	case EvTxStart:
+		ni.txStarts.Inc()
+	case EvTxSuccess:
+		ni.txSuccess.Inc()
+	}
+	for _, s := range subs {
+		s.fn(ev)
 	}
 }
 
