@@ -553,16 +553,18 @@ func ffScenarioBus(b *testing.B, target float64, mode experiment.SteppingMode) *
 }
 
 // BenchmarkBusFastForward measures simulated-bits-per-second across the
-// four stepping modes — exact per-bit, idle fast-forward only (the PR1
-// baseline), idle plus the sole-transmitter frame fast path, and the full
-// stack with the contested-window path — on restbus scenarios at three
-// offered loads: a 2% parking/diagnostic load where the bus is almost
-// entirely idle, the 30% prototype load of the online experiments, and a
-// saturated 60% load. Under idle-FF alone every busy bit is exact-stepped,
-// so its win shrinks with load (Amdahl); the frame path batches
-// uncontended mid-frame windows; the contend path batches the rest —
-// arbitration fights and pending-SOF windows — leaving only the ACK slot
-// and enqueue bits on the exact path. The scenario is stationary, so each
+// five stepping modes — exact per-bit, idle fast-forward only (the PR1
+// baseline), idle plus the sole-transmitter frame fast path, the stack
+// with the contested-window path, and the full ladder topped by the
+// compiled-splice tier — on restbus scenarios at three offered loads: a
+// 2% parking/diagnostic load where the bus is almost entirely idle, the
+// 30% prototype load of the online experiments, and a saturated 60% load.
+// Under idle-FF alone every busy bit is exact-stepped, so its win shrinks
+// with load (Amdahl); the frame path batches uncontended mid-frame
+// windows; the contend path batches the rest — arbitration fights and
+// pending-SOF windows — leaving only the ACK slot and enqueue bits on the
+// exact path; the splice tier lifts whole precompiled frame windows over
+// the per-bit machinery entirely. The scenario is stationary, so each
 // iteration extends the same simulation by two seconds of bus time.
 func BenchmarkBusFastForward(b *testing.B) {
 	const bitsPerIter = 100_000 // 2 s of bus time at 50 kbit/s
@@ -576,11 +578,13 @@ func BenchmarkBusFastForward(b *testing.B) {
 			idleFF    bool
 			frameFF   bool
 			contendFF bool
+			spliceFF  bool
 		}{
-			{"exact", experiment.ModeExact, false, false, false},
-			{"idle-ff", experiment.ModeIdleFF, true, false, false},
-			{"frame-ff", experiment.ModeFrameFF, true, true, false},
-			{"contend-ff", experiment.ModeContendFF, true, true, true},
+			{"exact", experiment.ModeExact, false, false, false, false},
+			{"idle-ff", experiment.ModeIdleFF, true, false, false, false},
+			{"frame-ff", experiment.ModeFrameFF, true, true, false, false},
+			{"contend-ff", experiment.ModeContendFF, true, true, true, false},
+			{"splice-ff", experiment.ModeSpliceFF, true, true, true, true},
 		} {
 			load, mode := load, mode
 			b.Run(load.name+"/"+mode.name, func(b *testing.B) {
@@ -598,11 +602,17 @@ func BenchmarkBusFastForward(b *testing.B) {
 				if mode.frameFF && bb.FrameForwardedBits() == 0 {
 					b.Fatal("frame fast path never engaged")
 				}
-				if mode.contendFF && bb.ContendForwardedBits() == 0 {
+				if mode.contendFF && !mode.spliceFF && bb.ContendForwardedBits() == 0 {
 					b.Fatal("contend fast path never engaged")
 				}
 				if !mode.contendFF && bb.ContendForwardedBits() != 0 {
 					b.Fatal("contend path engaged while disabled")
+				}
+				if mode.spliceFF && bb.SpliceForwardedBits() == 0 {
+					b.Fatal("splice fast path never engaged")
+				}
+				if !mode.spliceFF && bb.SpliceForwardedBits() != 0 {
+					b.Fatal("splice path engaged while disabled")
 				}
 				if !mode.idleFF && bb.FastForwardedBits() != 0 {
 					b.Fatal("exact path fast-forwarded")

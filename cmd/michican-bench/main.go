@@ -41,7 +41,8 @@ func main() {
 		fsms       = flag.Int("fsms", 160_000, "random FSMs for the detection study")
 		workers    = flag.Int("workers", 0, "trial-runner pool size (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 		exact      = flag.Bool("exact", false, "force exact per-bit stepping (disable idle fast-forward)")
-		contendFF  = flag.Bool("contend-ff", true, "enable the contested-window fast path (set -contend-ff=false to ablate it; idle and frame paths stay on)")
+		contendFF  = flag.Bool("contend-ff", true, "enable the contested-window fast path (set -contend-ff=false to ablate it and the splice tier above it; idle and frame paths stay on)")
+		spliceFF   = flag.Bool("splice-ff", true, "enable the compiled-splice fast path (set -splice-ff=false to ablate just the splice tier; the idle/frame/contend ladder stays on)")
 		jsonOut    = flag.String("json", "", "measure the throughput grid (load × stepping mode) and write machine-readable results to this file")
 		gridBits   = flag.Int64("gridbits", 2_000_000, "simulated bit times per throughput-grid cell")
 		metrics    = flag.Bool("metrics", false, "collect telemetry metrics during the run and print a Prometheus-style snapshot")
@@ -84,6 +85,7 @@ func main() {
 		Workers:       *workers,
 		ExactStepping: *exact,
 		NoContendFF:   !*contendFF,
+		NoSpliceFF:    !*spliceFF,
 	}
 	var hub *telemetry.Hub
 	if *metrics || *httpAddr != "" {
@@ -150,9 +152,9 @@ func writeThroughputJSON(path string, simBits int64, workers int) error {
 	}
 	modes := []experiment.SteppingMode{
 		experiment.ModeExact, experiment.ModeIdleFF, experiment.ModeFrameFF,
-		experiment.ModeContendFF,
+		experiment.ModeContendFF, experiment.ModeSpliceFF,
 	}
-	header("Throughput grid — exact vs idle-FF vs frame-FF vs contend-FF")
+	header("Throughput grid — exact vs idle-FF vs frame-FF vs contend-FF vs splice-FF")
 	fmt.Printf("fast-path modes: %v, workers=%d\n", modes, workers)
 	var rows []experiment.ThroughputRow
 	for _, load := range []float64{0.02, 0.30, 0.60} {
@@ -322,6 +324,7 @@ func profiledRun(cfg experiment.Config, table, fig int, exp string, all bool, fs
 
 	startBits := bus.SimulatedBits()
 	startIdle, startFrame, startContend := bus.IdleForwardedTotal(), bus.FrameForwardedTotal(), bus.ContendForwardedTotal()
+	startSplice := bus.SpliceForwardedTotal()
 	startWall := time.Now()
 	err := run(cfg, table, fig, exp, all, fsms)
 	wall := time.Since(startWall)
@@ -331,10 +334,12 @@ func profiledRun(cfg experiment.Config, table, fig int, exp string, all bool, fs
 		idle := bus.IdleForwardedTotal() - startIdle
 		frame := bus.FrameForwardedTotal() - startFrame
 		contend := bus.ContendForwardedTotal() - startContend
-		fmt.Printf("fast-path coverage: idle %d bits (%.1f%%), frame %d bits (%.1f%%), contend %d bits (%.1f%%)\n",
+		splice := bus.SpliceForwardedTotal() - startSplice
+		fmt.Printf("fast-path coverage: idle %d bits (%.1f%%), frame %d bits (%.1f%%), contend %d bits (%.1f%%), splice %d bits (%.1f%%)\n",
 			idle, 100*float64(idle)/float64(simBits),
 			frame, 100*float64(frame)/float64(simBits),
-			contend, 100*float64(contend)/float64(simBits))
+			contend, 100*float64(contend)/float64(simBits),
+			splice, 100*float64(splice)/float64(simBits))
 		if hub != nil {
 			hub.Registry().Gauge("michican_sim_bits_per_second").Set(float64(simBits) / wall.Seconds())
 		}

@@ -1,0 +1,46 @@
+package attack
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+var _ bus.Splicing = (*Attacker)(nil)
+
+// SpliceOffer implements bus.Splicing: the compiled-splice tier is
+// indifferent to intent, so the attacker's compliant controller may offer its
+// own window — provided the injection policy promises to be a no-op across
+// it, because Tick never runs on the splice path. (A window the defense would
+// counterattack is declined at query time by the defense itself, exactly as
+// the lower tiers decline it.)
+func (a *Attacker) SpliceOffer(now bus.BitTime) (bus.SpliceWindow, bool) {
+	win, ok := a.ctl.SpliceOffer(now)
+	if !ok {
+		return bus.SpliceWindow{}, false
+	}
+	if a.policyHorizon(now) < now+bus.BitTime(len(win.Bits)+can.IntermissionBits) {
+		return bus.SpliceWindow{}, false
+	}
+	return win, true
+}
+
+// SpliceQuery implements bus.Splicing: the controller's promise, gated on the
+// policy sleeping through the whole window (an injection inside it would
+// change the mailbox mid-window, which only exact stepping reproduces).
+func (a *Attacker) SpliceQuery(now bus.BitTime, resolved []can.Level, ackIdx int, slot *any) (bool, bool) {
+	if a.policyHorizon(now) < now+bus.BitTime(len(resolved)) {
+		return false, false
+	}
+	return a.ctl.SpliceQuery(now, resolved, ackIdx, slot)
+}
+
+// SpliceApply implements bus.Splicing. The offer/query gates promised the
+// policy a no-op over the window, so only the controller advances.
+func (a *Attacker) SpliceApply(now bus.BitTime, resolved []can.Level, ackIdx int, rx can.Frame, slot *any) {
+	a.ctl.SpliceApply(now, resolved, ackIdx, rx, slot)
+}
+
+// SpliceCommit implements bus.Splicing.
+func (a *Attacker) SpliceCommit(now bus.BitTime, resolved []can.Level, slot *any) {
+	a.ctl.SpliceCommit(now, resolved, slot)
+}

@@ -127,6 +127,17 @@ type Bus struct {
 	ffContendBits int64
 	contendSc     *contendScratch
 
+	// Compiled-splice fast-forward state (see splicepath.go). spliceCap is
+	// parallel to nodes; splicePinned counts nodes lacking the capability;
+	// spliceGen stamps the node topology so plan-carried splice memos —
+	// whose per-node slots are indexed by attachment order — invalidate
+	// when a detach renumbers the nodes.
+	spliceCap    []Splicing
+	splicePinned int
+	spliceFFOff  bool
+	ffSpliceBits int64
+	spliceGen    uint64
+
 	// tel receives fast-path span events (EvFFSpan). The zero Probe is a
 	// no-op, so unwired buses pay one nil check per committed span — never
 	// per bit.
@@ -172,6 +183,11 @@ func (b *Bus) Attach(n Node) {
 	}
 	cc, _ := n.(ContendCommitter)
 	b.contendCap = append(b.contendCap, cc)
+	sp, ok := n.(Splicing)
+	b.spliceCap = append(b.spliceCap, sp)
+	if !ok {
+		b.splicePinned++
+	}
 }
 
 // Detach removes a node from the bus. It reports whether the node was found.
@@ -200,6 +216,15 @@ func (b *Bus) Detach(n Node) bool {
 			copy(b.contendCap[i:], b.contendCap[i+1:])
 			b.contendCap[last] = nil
 			b.contendCap = b.contendCap[:last]
+			if b.spliceCap[i] == nil {
+				b.splicePinned--
+			}
+			copy(b.spliceCap[i:], b.spliceCap[i+1:])
+			b.spliceCap[last] = nil
+			b.spliceCap = b.spliceCap[:last]
+			// Compaction renumbered the surviving nodes, so every per-node
+			// slot in the plan-carried splice memos is stale.
+			b.spliceGen++
 			b.invalidateProposal()
 			return true
 		}
@@ -256,7 +281,8 @@ func (b *Bus) Run(n int64) {
 	}
 	end := b.now + BitTime(n)
 	for b.now < end {
-		if !b.tryFastForward(end) && !b.tryFrameForward(end) && !b.tryContendForward(end) {
+		if !b.tryFastForward(end) && !b.trySpliceForward(end) &&
+			!b.tryFrameForward(end) && !b.tryContendForward(end) {
 			b.Step()
 		}
 	}
@@ -279,7 +305,8 @@ func (b *Bus) RunUntil(pred func() bool, maxBits int64) bool {
 	end := b.now + BitTime(maxBits)
 	defer func() { simulatedBits.Add(int64(b.now - start)) }()
 	for b.now < end {
-		if !b.tryFastForward(end) && !b.tryFrameForward(end) && !b.tryContendForward(end) {
+		if !b.tryFastForward(end) && !b.trySpliceForward(end) &&
+			!b.tryFrameForward(end) && !b.tryContendForward(end) {
 			b.Step()
 		}
 		if pred() {

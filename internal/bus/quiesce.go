@@ -64,10 +64,11 @@ func AddSimulatedBits(n int64) {
 func (b *Bus) SetFastForward(on bool) { b.ffDisabled = !on }
 
 // FastForwardedBits returns how many bit times this bus advanced via a fast
-// path — the idle quiescence jump, the sole-transmitter frame path, and the
-// contested-window path — rather than exact stepping.
+// path — the idle quiescence jump, the sole-transmitter frame path, the
+// contested-window path, and the compiled-splice path — rather than exact
+// stepping.
 func (b *Bus) FastForwardedBits() int64 {
-	return b.ffSkipped + b.ffFrameBits + b.ffContendBits
+	return b.ffSkipped + b.ffFrameBits + b.ffContendBits + b.ffSpliceBits
 }
 
 // idleHorizon computes the furthest bit time, bounded by end, through which

@@ -98,6 +98,9 @@ func (l Layout) DecodeID(payload []Level) ID {
 const (
 	// EOFBits is the number of recessive end-of-frame bits.
 	EOFBits = 7
+	// IntermissionBits is the recessive inter-frame space that must follow
+	// every frame before the bus is idle again (ISO 11898-1 intermission).
+	IntermissionBits = 3
 	// IFSBits is the intermission (inter-frame space) after EOF.
 	IFSBits = 3
 	// IdleForSOF is the minimum number of consecutive recessive bits after

@@ -43,7 +43,10 @@ func (c *Controller) ContendBits(now bus.BitTime) ([]can.Level, bus.BitTime) {
 			return nil, now
 		}
 		if f, ok := c.queue.head(); ok {
-			p := c.planFor(f)
+			p := c.queue.headPlan()
+			if p == nil {
+				p = c.planFor(f)
+			}
 			c.pendingPlan = p
 			run := p.bits[:p.ackIdx]
 			return run, now + bus.BitTime(len(run))

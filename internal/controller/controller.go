@@ -76,7 +76,7 @@ const (
 	// frame.
 	ErrorDelimiterBits = 8
 	// IntermissionBits is the inter-frame space.
-	IntermissionBits = 3
+	IntermissionBits = can.IntermissionBits
 	// SuspendBits is the suspend-transmission penalty for an error-passive
 	// node that transmitted the current or previous frame.
 	SuspendBits = 8
@@ -205,6 +205,12 @@ type Controller struct {
 	// planCache memoizes serializations of recently transmitted frames
 	// (periodic traffic retransmits a small fixed message set); see planFor.
 	planCache map[planKey]*txPlan
+	// planSlots is a direct-mapped front cache over planCache: the map probe
+	// hashes the full frame content on every lookup, which dominates the
+	// compiled-splice offer path, so hot frames are also indexed by a cheap
+	// hash and verified by value comparison. Lazily sized; misses fall
+	// through to the map.
+	planSlots []*txPlan
 	// rxSpanCache memoizes the receive pipeline's end state per committed
 	// span (see rxRun); adoption copies the snapshot into the controller's
 	// own working buffers, so the cached slices are never aliased.
@@ -361,7 +367,7 @@ func (c *Controller) Enqueue(f can.Frame) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	c.queue.push(f.Clone(), c.cfg.SortQueueByPriority)
+	c.queue.push(f.Clone(), nil, c.cfg.SortQueueByPriority)
 	return nil
 }
 

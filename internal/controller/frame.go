@@ -20,6 +20,8 @@ func (c *Controller) beginFrame(t bus.BitTime, level can.Level, contender bool) 
 			if p := c.pendingPlan; p != nil && p.frame.Equal(&f) {
 				p.frame = f
 				c.plan = p
+			} else if p := c.queue.headPlan(); p != nil {
+				c.plan = p
 			} else {
 				c.plan = c.planFor(f)
 			}

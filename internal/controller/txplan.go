@@ -1,6 +1,11 @@
 package controller
 
-import "michican/internal/can"
+import (
+	"errors"
+
+	"michican/internal/bus"
+	"michican/internal/can"
+)
 
 // txPlan is a fully serialized transmission: the wire bits of one frame
 // (stuff bits included, ACK slot recessive) plus the geometry the transmit
@@ -25,6 +30,11 @@ type txPlan struct {
 	// ackIdx is the wire index of the ACK slot, where reading dominant while
 	// sending recessive means the frame was acknowledged.
 	ackIdx int
+	// memo is the compiled-splice cache this plan's window carries across
+	// offers (lazily created on first offer; see bus.SpliceMemo). It rides
+	// on the plan so the splice tier's lookups are a pointer chase instead
+	// of a table probe, and dies with the plan's content-addressed entry.
+	memo *bus.SpliceMemo
 }
 
 // planKey is the value identity of a classical frame, used to memoize
@@ -55,6 +65,13 @@ func (c *Controller) planFor(f can.Frame) *txPlan {
 	if f.FD || len(f.Data) > can.MaxDataLen {
 		return newTxPlan(f)
 	}
+	slot := planSlotIdx(&f)
+	if c.planSlots != nil {
+		if p := c.planSlots[slot]; p != nil && p.frame.Equal(&f) {
+			p.frame = f
+			return p
+		}
+	}
 	key := planKey{id: f.ID, reqLen: int8(f.RequestLen), dataLen: int8(len(f.Data))}
 	if f.Extended {
 		key.flags |= 1
@@ -65,6 +82,9 @@ func (c *Controller) planFor(f can.Frame) *txPlan {
 	copy(key.data[:], f.Data)
 	if p, ok := c.planCache[key]; ok {
 		p.frame = f
+		if c.planSlots != nil {
+			c.planSlots[slot] = p
+		}
 		return p
 	}
 	p := newTxPlan(f)
@@ -72,7 +92,31 @@ func (c *Controller) planFor(f can.Frame) *txPlan {
 		c.planCache = make(map[planKey]*txPlan)
 	}
 	c.planCache[key] = p
+	if c.planSlots == nil {
+		c.planSlots = make([]*txPlan, 1<<planSlotBits)
+	}
+	c.planSlots[slot] = p
 	return p
+}
+
+// planSlotBits sizes the planFor front cache: a realistic matrix's working
+// set is tens of IDs times a 256-value rolling counter (thousands of
+// distinct frames), so the direct-mapped table is sized an order of
+// magnitude above it to keep steady-state collisions rare; a collision
+// merely falls through to the content-keyed map.
+const planSlotBits = 15
+
+// planSlotIdx hashes the cheap identity fields of a classical frame — ID,
+// length, and the edge payload bytes, which carry the rolling counters
+// that distinguish a periodic message's instances — into the front cache
+// (Fibonacci finalizer to spread the small-integer inputs).
+func planSlotIdx(f *can.Frame) uint {
+	h := uint64(f.ID)<<20 ^ uint64(len(f.Data))<<16
+	if len(f.Data) > 0 {
+		h ^= uint64(f.Data[0])<<8 ^ uint64(f.Data[len(f.Data)-1])
+	}
+	h *= 0x9E3779B97F4A7C15
+	return uint(h>>(64-planSlotBits)) & (1<<planSlotBits - 1)
 }
 
 // newTxPlan serializes a frame for transmission.
@@ -210,15 +254,69 @@ func levelOf(v uint, i int) can.Level {
 	return can.Level(v >> uint(i) & 1)
 }
 
-// txQueue is the controller's transmit mailbox. The head of the queue is the
-// frame currently being (re)transmitted.
-type txQueue struct {
-	frames []can.Frame
+// Planned is a frame pre-validated and pre-serialized for transmission on a
+// specific controller. Schedule-driven producers (the restbus replayer) build
+// one per upcoming message instance and enqueue it with EnqueuePlanned, so
+// the steady-state transmit path — and the splice tier keyed off it — starts
+// from the plan by direct pointer instead of re-probing the plan cache on
+// every frame start. The zero Planned is invalid.
+type Planned struct {
+	frame can.Frame
+	plan  *txPlan
 }
 
-func (q *txQueue) push(f can.Frame, sortByPriority bool) {
+// Valid reports whether p holds a plannable frame (the zero Planned, and any
+// frame the classical serializer cannot plan, is not).
+func (p Planned) Valid() bool { return p.plan != nil }
+
+// Frame returns the planned frame value.
+func (p Planned) Frame() can.Frame { return p.frame }
+
+// ErrUnplannable indicates a frame the pre-serialized enqueue path cannot
+// carry (FD or oversize frames plan per-transmission on the exact path).
+var ErrUnplannable = errors.New("controller: frame cannot be pre-planned")
+
+// Plan validates, clones, and serializes f for later EnqueuePlanned calls.
+// The returned handle is immutable and reusable: enqueueing it any number of
+// times costs no validation, cloning, or cache probing.
+func (c *Controller) Plan(f can.Frame) (Planned, error) {
+	if err := f.Validate(); err != nil {
+		return Planned{}, err
+	}
+	if f.FD || len(f.Data) > can.MaxDataLen {
+		return Planned{}, ErrUnplannable
+	}
+	f = f.Clone()
+	return Planned{frame: f, plan: c.planFor(f)}, nil
+}
+
+// EnqueuePlanned schedules a pre-planned frame for transmission, carrying
+// its serialization into the mailbox so the transmit paths skip the plan
+// lookup. Equivalent to Enqueue(p.Frame()) in every observable way.
+func (c *Controller) EnqueuePlanned(p Planned) error {
+	if c.cfg.ListenOnly {
+		return ErrListenOnly
+	}
+	if !p.Valid() {
+		return ErrUnplannable
+	}
+	c.queue.push(p.frame, p.plan, c.cfg.SortQueueByPriority)
+	return nil
+}
+
+// txQueue is the controller's transmit mailbox. The head of the queue is the
+// frame currently being (re)transmitted. plans rides in parallel with frames:
+// a non-nil entry is the frame's serialization, carried from EnqueuePlanned
+// so head-of-queue transmit paths skip the plan-cache probe.
+type txQueue struct {
+	frames []can.Frame
+	plans  []*txPlan
+}
+
+func (q *txQueue) push(f can.Frame, p *txPlan, sortByPriority bool) {
 	if !sortByPriority {
 		q.frames = append(q.frames, f)
+		q.plans = append(q.plans, p)
 		return
 	}
 	// Insert keeping ascending ID order (lowest ID = highest priority first).
@@ -229,6 +327,9 @@ func (q *txQueue) push(f can.Frame, sortByPriority bool) {
 	q.frames = append(q.frames, can.Frame{})
 	copy(q.frames[i+1:], q.frames[i:])
 	q.frames[i] = f
+	q.plans = append(q.plans, nil)
+	copy(q.plans[i+1:], q.plans[i:])
+	q.plans[i] = p
 }
 
 func (q *txQueue) head() (can.Frame, bool) {
@@ -236,6 +337,15 @@ func (q *txQueue) head() (can.Frame, bool) {
 		return can.Frame{}, false
 	}
 	return q.frames[0], true
+}
+
+// headPlan returns the serialization carried with the head frame, or nil if
+// the head was enqueued unplanned.
+func (q *txQueue) headPlan() *txPlan {
+	if len(q.plans) == 0 {
+		return nil
+	}
+	return q.plans[0]
 }
 
 // remove deletes the first queued frame equal to f. The transmit path uses
@@ -247,6 +357,7 @@ func (q *txQueue) remove(f can.Frame) {
 	for i := range q.frames {
 		if q.frames[i].Equal(&f) {
 			q.frames = append(q.frames[:i], q.frames[i+1:]...)
+			q.plans = append(q.plans[:i], q.plans[i+1:]...)
 			return
 		}
 	}
@@ -254,4 +365,4 @@ func (q *txQueue) remove(f can.Frame) {
 
 func (q *txQueue) len() int { return len(q.frames) }
 
-func (q *txQueue) clear() { q.frames = nil }
+func (q *txQueue) clear() { q.frames, q.plans = nil, nil }

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/fsm"
+	"michican/internal/mcu"
+	"michican/internal/telemetry"
+)
+
+var (
+	_ bus.Splicing = (*ECU)(nil)
+	_ bus.Splicing = (*Defense)(nil)
+)
+
+// spliceMemoEntry is the defense's entry in a splice window's per-node memo
+// slot (bus.SpliceMemo): the compiled summary for each SelfTransmitting
+// answer — the only live input the in-window walk consults — plus a done
+// flag distinguishing "compiled to nil" (the window is known unsummarizable,
+// so repeat offers skip the compile walk) from "not compiled yet". The entry
+// is reached by a pointer chase through the offerer's transmit plan, so no
+// table probe or identity hash is involved; it dies with the plan.
+type spliceMemoEntry struct {
+	n    int // resolved-window length the entry was compiled for
+	done [2]bool
+	sums [2]*spliceSummary
+}
+
+// spliceSummary is the precompiled effect of one whole resolved frame window
+// on a defense entering from the synced-idle baseline (out of frame, cnt_sof
+// at or past the SOF threshold): the per-class invocation counts Algorithm 1
+// would have charged, the FSM state at frame exit, the detection outcome, and
+// the cnt_sof the trailing bits leave behind. Applying it is bit-identical to
+// ObserveRun over the window — dead fields (cnt, the stuff tracker, idBits,
+// postID, extFlag) are reset by the next beginFrame before anything reads
+// them, so the summary does not carry them.
+type spliceSummary struct {
+	n         int   // window length the summary was compiled for
+	trackN    int64 // stuff-track-class invocations (incl. the strike bit)
+	idStoreN  int64 // ID bits stored after the FSM decided
+	idStepN   int64 // ID bits stepped through the FSM
+	idleN     int64 // out-of-frame invocations after the defense left the frame
+	exitSOF   int   // cnt_sof at the window's last bit
+	cursor    fsm.Cursor
+	flagged   bool // the FSM reached Malicious inside the ID
+	flaggedAt int  // decision position (1-11), valid when flagged
+	strikeOff int  // window offset of the strike decision, valid when flagged
+}
+
+// spliceQuery answers the bus's whole-window passivity question for the
+// defense half: with the TX pin released, the defense must stay passive over
+// every bit of the resolved window. From the synced-idle baseline that is
+// exactly the question compileSplice answers — a summary exists iff the walk
+// never pulls the pin and exits clean — so the memoized summary doubles as
+// the promise, and the apply that follows reuses it. Off the baseline the
+// generic passive scan decides. Any decline falls through to the lower
+// tiers.
+func (d *Defense) spliceQuery(resolved []can.Level, self bool, slot *any) bool {
+	if d.mux.DriveLevel() == can.Dominant {
+		return false
+	}
+	if !d.armed {
+		return true
+	}
+	if d.inFrame || d.cntSOF < can.IdleForSOF {
+		return d.passiveScan(0, resolved, self) == len(resolved)
+	}
+	return d.spliceSummaryFor(resolved, self, slot) != nil
+}
+
+// spliceApply folds one accepted window into the defense. From the
+// synced-idle baseline the precompiled summary advances everything in O(1);
+// from any other entry state (hunting below the SOF threshold, or mid-frame)
+// the exact ObserveRun machinery runs instead — spliceQuery accepted the
+// whole window, so ObserveRun is passive over it and remains bit-exact. The
+// splice never depends on the summary for correctness, only for speed.
+func (d *Defense) spliceApply(now bus.BitTime, resolved []can.Level, self bool, slot *any) {
+	if !d.armed {
+		d.mux.LatchRX(resolved[len(resolved)-1])
+		return
+	}
+	if d.inFrame || d.cntSOF < can.IdleForSOF {
+		d.ObserveRun(now, resolved)
+		return
+	}
+	s := d.spliceSummaryFor(resolved, self, slot)
+	if s == nil {
+		d.ObserveRun(now, resolved)
+		return
+	}
+
+	// SOF bit: one idle-class invocation that hard-synchronizes (Charge
+	// ISR+ReadRX, onIdleBit's IdleTrack, beginFrame's FrameReset) and counts
+	// the frame. Entry cnt_sof past the threshold behaves identically to
+	// exactly at it, so the summary holds for the whole baseline class.
+	d.stats.FramesObserved++
+	m := d.meter
+	base := m.OpCost(mcu.OpISREnterExit) + m.OpCost(mcu.OpReadRX)
+	m.ChargeInvocationsAs(1, base+m.OpCost(mcu.OpIdleTrack)+m.OpCost(mcu.OpFrameReset), false)
+
+	// In-frame bits, folded per handler-cost class exactly as frameRunBatch
+	// folds them (the strike bit costs base+StuffTrack when no pull launches,
+	// so it rides in the track class).
+	track := base + m.OpCost(mcu.OpStuffTrack)
+	m.ChargeInvocationsAs(s.trackN, track, true)
+	store := track + m.OpCost(mcu.OpFrameStore)
+	m.ChargeInvocationsAs(s.idStoreN, store, true)
+	m.ChargeInvocationsAs(s.idStepN, store+m.FSMStepCostOf(d.cfg.FSM.Size()), true)
+
+	// Out-of-frame remainder after the defense left the frame.
+	m.ChargeIdleInvocations(s.idleN, mcu.OpISREnterExit, mcu.OpReadRX, mcu.OpIdleTrack)
+
+	d.cfg.FSM.Restore(s.cursor)
+	if s.flagged {
+		d.detectedAt = s.flaggedAt
+		if !self {
+			// Detection-only verdict (a prevention launch would have declined
+			// the splice at query time): record it at the strike bit's time.
+			t := now + bus.BitTime(s.strikeOff)
+			d.stats.Detections++
+			d.stats.DetectionBitsSum += s.flaggedAt
+			if s.flaggedAt > d.stats.DetectionBitsMax {
+				d.stats.DetectionBitsMax = s.flaggedAt
+			}
+			d.tel.Emit(int64(t), telemetry.EvDetect, int64(s.flaggedAt), 0)
+			if d.cfg.OnDetect != nil {
+				d.cfg.OnDetect(t, s.flaggedAt)
+			}
+		}
+	}
+	d.cntSOF = s.exitSOF
+	d.mux.LatchRX(resolved[len(resolved)-1])
+}
+
+// spliceSummaryFor returns the memoized summary for the window, compiling it
+// on first sight into this node's slot of the window's memo. A nil return
+// means the window is not summarizable from the baseline, which spliceQuery
+// reports as a decline; the exact fallback in spliceApply keeps that
+// reasoning non-load-bearing. With a nil slot (an unmemoized caller) the
+// compile runs uncached.
+func (d *Defense) spliceSummaryFor(resolved []can.Level, self bool, slot *any) *spliceSummary {
+	if slot == nil {
+		return d.compileSplice(resolved, self)
+	}
+	e, ok := (*slot).(*spliceMemoEntry)
+	if !ok || e.n != len(resolved) {
+		e = &spliceMemoEntry{n: len(resolved)}
+		*slot = e
+	}
+	k := 0
+	if self {
+		k = 1
+	}
+	if !e.done[k] {
+		e.done[k] = true
+		e.sums[k] = d.compileSplice(resolved, self)
+	}
+	return e.sums[k]
+}
+
+// compileSplice walks the resolved window through Algorithm 1 from the
+// post-SOF baseline — stuff tracker seeded with the dominant SOF, FSM at its
+// root, flags clear — on value copies, recording the per-class invocation
+// counts and the exit state. It mirrors frameRunBatch's control flow bit for
+// bit and returns nil for any window whose walk would mutate beyond the
+// summary's vocabulary (a pull launch, a stuff violation, a walk that ends
+// still in-frame, or a trailing run long enough to depend on the entry
+// cnt_sof).
+func (d *Defense) compileSplice(resolved []can.Level, self bool) *spliceSummary {
+	if len(resolved) == 0 || resolved[0] != can.Dominant {
+		return nil // a window not anchored at a SOF is no frame window
+	}
+	s := &spliceSummary{n: len(resolved)}
+	var destuf can.Destuffer
+	destuf.Reset()
+	destuf.Next(can.Dominant) // the SOF bit seeds the tracker
+	cur := d.cfg.FSM.RootCursor()
+	idBits, postID := 0, 0
+	extFlag, attackFlag := false, false
+	inFrame := true
+	i := 1
+	for i < len(resolved) && inFrame {
+		level := resolved[i]
+		i++
+		payload, err := destuf.Next(level)
+		if err != nil {
+			return nil // six equal levels inside a plan window: not a plan
+		}
+		if !payload {
+			s.trackN++
+			continue
+		}
+		if idBits < can.IDBits {
+			idBits++
+			if !attackFlag && cur.Decided() == fsm.Undecided {
+				s.idStepN++
+				if cur.Step(level) == fsm.Malicious {
+					attackFlag = true
+					s.flaggedAt = idBits
+				}
+			} else {
+				s.idStoreN++
+			}
+			continue
+		}
+		postID++
+		if !d.cfg.ExtendedAware {
+			if attackFlag && d.cfg.PreventionEnabled && !self {
+				return nil // the pull would launch: the query declines this
+			}
+			s.trackN++
+			s.strikeOff = i - 1
+			inFrame = false
+			continue
+		}
+		switch {
+		case postID == 1:
+			s.trackN++ // RTR/SRR: waiting for the IDE bit
+		case postID == 2:
+			s.trackN++
+			if level == can.Dominant {
+				if attackFlag && d.cfg.PreventionEnabled && !self {
+					return nil
+				}
+				s.strikeOff = i - 1
+				inFrame = false
+			} else {
+				extFlag = true
+				if !attackFlag {
+					inFrame = false // benign extended frame: endFrame here
+				}
+			}
+		case extFlag && postID == 2+can.ExtLowBits+1:
+			if attackFlag && d.cfg.PreventionEnabled && !self {
+				return nil
+			}
+			s.trackN++
+			s.strikeOff = i - 1
+			inFrame = false
+		default:
+			s.trackN++
+		}
+	}
+	if inFrame {
+		return nil // ran off the window mid-frame: not a whole-frame plan
+	}
+	s.cursor = cur
+	s.flagged = attackFlag
+	s.idleN = int64(len(resolved) - i)
+	run := 0
+	for j := len(resolved) - 1; j >= i && resolved[j] == can.Recessive; j-- {
+		run++
+	}
+	if int64(run) == s.idleN {
+		// An all-recessive remainder accumulates onto the entry cnt_sof; the
+		// dominant ACK makes this unreachable for real windows, but a window
+		// that hits it is simply left to the exact path.
+		return nil
+	}
+	s.exitSOF = run
+	return s
+}
+
+// SpliceOffer implements bus.Splicing for a standalone Defense: it never
+// transmits frames, so it never offers.
+func (d *Defense) SpliceOffer(bus.BitTime) (bus.SpliceWindow, bool) {
+	return bus.SpliceWindow{}, false
+}
+
+// SpliceQuery implements bus.Splicing: the defense never acks (it is not a
+// CAN node in the protocol sense).
+func (d *Defense) SpliceQuery(_ bus.BitTime, resolved []can.Level, _ int, slot *any) (bool, bool) {
+	return d.spliceQuery(resolved, d.selfNow(), slot), false
+}
+
+// SpliceApply implements bus.Splicing.
+func (d *Defense) SpliceApply(now bus.BitTime, resolved []can.Level, _ int, _ can.Frame, slot *any) {
+	d.spliceApply(now, resolved, d.selfNow(), slot)
+}
+
+// SpliceCommit implements bus.Splicing. Unreachable — the defense never
+// offers — but exact if it ever ran.
+func (d *Defense) SpliceCommit(now bus.BitTime, resolved []can.Level, _ *any) {
+	d.ObserveRun(now, resolved)
+}
+
+// SpliceOffer implements bus.Splicing for a defended ECU: the controller's
+// offer, gated on the defense sitting at the synced-idle baseline with its TX
+// pin released. The bus never queries the offerer, so the gate is what
+// guarantees the defense absorbs its host's own window — from the baseline
+// with self true the scan always accepts (the strike decision suppresses on
+// SelfTransmitting), and the commit-side fold takes the summary path.
+func (e *ECU) SpliceOffer(now bus.BitTime) (bus.SpliceWindow, bool) {
+	win, ok := e.Controller.SpliceOffer(now)
+	if !ok || e.Defense == nil {
+		return win, ok
+	}
+	d := e.Defense
+	if d.mux.DriveLevel() == can.Dominant {
+		return bus.SpliceWindow{}, false
+	}
+	if d.armed && (d.inFrame || d.cntSOF < can.IdleForSOF) {
+		return bus.SpliceWindow{}, false
+	}
+	return win, true
+}
+
+// SpliceQuery implements bus.Splicing: both halves must promise passivity;
+// the ack promise is the controller's alone.
+func (e *ECU) SpliceQuery(now bus.BitTime, resolved []can.Level, ackIdx int, slot *any) (bool, bool) {
+	ok, acks := e.Controller.SpliceQuery(now, resolved, ackIdx, slot)
+	if !ok {
+		return false, false
+	}
+	if e.Defense != nil && !e.Defense.spliceQuery(resolved, e.Defense.selfNow(), slot) {
+		return false, false
+	}
+	return true, acks
+}
+
+// SpliceApply implements bus.Splicing, preserving the controller-then-defense
+// order ObserveRun uses. The self answer is latched before the controller
+// folds its half: the controller is a receiver over this window on both
+// sides of the fold, so the answer is window-invariant either way.
+func (e *ECU) SpliceApply(now bus.BitTime, resolved []can.Level, ackIdx int, rx can.Frame, slot *any) {
+	var self bool
+	if e.Defense != nil {
+		self = e.Defense.selfNow()
+	}
+	e.Controller.SpliceApply(now, resolved, ackIdx, rx, slot)
+	if e.Defense != nil {
+		e.Defense.spliceApply(now, resolved, self, slot)
+	}
+}
+
+// SpliceCommit implements bus.Splicing: the controller completes its own
+// transmission, and the defense folds the window with self true — on the
+// exact path the host controller answers SelfTransmitting at the mid-frame
+// strike bit, and over a committed splice it is the transmitter throughout.
+func (e *ECU) SpliceCommit(now bus.BitTime, resolved []can.Level, slot *any) {
+	e.Controller.SpliceCommit(now, resolved, slot)
+	if e.Defense != nil {
+		e.Defense.spliceApply(now, resolved, true, slot)
+	}
+}

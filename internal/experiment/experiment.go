@@ -35,15 +35,22 @@ type Config struct {
 	// ExactStepping disables the bus's idle fast-forward, forcing per-bit
 	// simulation — the reference path for golden-trace differential tests.
 	ExactStepping bool
-	// NoContendFF disables just the contested-window fast path, leaving the
-	// idle and sole-transmitter paths on — the michican-bench -contend-ff
-	// ablation knob. Redundant when ExactStepping is set.
+	// NoContendFF disables the contested-window fast path and the
+	// compiled-splice tier above it, leaving the idle and sole-transmitter
+	// paths on — the michican-bench -contend-ff ablation knob (each grid arm
+	// switches off its tier and every tier above). Redundant when
+	// ExactStepping is set.
 	NoContendFF bool
 	// NoFrameFF additionally disables the sole-transmitter frame fast path
 	// (and, since it builds on frame spans, the contested-window path),
 	// leaving only the idle fast-forward — the "idle-ff" arm of the
 	// stepping-mode grid. Redundant when ExactStepping is set.
 	NoFrameFF bool
+	// NoSpliceFF disables just the compiled-splice fast path, leaving the
+	// idle/frame/contend ladder on — the michican-bench -splice-ff ablation
+	// knob (its off position is exactly the contend-ff grid arm). Redundant
+	// when ExactStepping is set.
+	NoSpliceFF bool
 	// Hub, when set, wires every testbed participant (bus, defender
 	// controller, defense, restbus, attackers) into the telemetry collector.
 	// The parallel trial runner may share one hub across trials: node names
@@ -88,10 +95,15 @@ func newTestbed(cfg Config, matrix *restbus.Matrix, exclude []can.ID) (*testbed,
 	tb.bus.SetFastForward(!cfg.ExactStepping)
 	if cfg.NoContendFF {
 		tb.bus.SetContendFastForward(false)
+		tb.bus.SetSpliceFastForward(false)
 	}
 	if cfg.NoFrameFF {
 		tb.bus.SetFrameFastForward(false)
 		tb.bus.SetContendFastForward(false)
+		tb.bus.SetSpliceFastForward(false)
+	}
+	if cfg.NoSpliceFF {
+		tb.bus.SetSpliceFastForward(false)
 	}
 	tb.recorder = trace.NewRecorder()
 	tb.bus.AttachTap(tb.recorder)

@@ -5,7 +5,7 @@ import (
 	"time"
 )
 
-// forensicsModes enumerates the four stepping arms the incident parity must
+// forensicsModes enumerates the five stepping arms the incident parity must
 // hold across: the forensics engine sees the same event stream whichever
 // fast paths deliver it.
 var forensicsModes = []struct {
@@ -15,12 +15,13 @@ var forensicsModes = []struct {
 	{"exact", func(c *Config) { c.ExactStepping = true }},
 	{"idle-ff", func(c *Config) { c.NoFrameFF = true }},
 	{"frame-ff", func(c *Config) { c.NoContendFF = true }},
-	{"contend-ff", func(c *Config) {}},
+	{"contend-ff", func(c *Config) { c.NoSpliceFF = true }},
+	{"splice-ff", func(c *Config) {}},
 }
 
 // TestTable2ForensicsParity regenerates every Table-II row from forensics
 // incidents alone and requires bit-for-bit equality with the trace-derived
-// rows, in all four stepping modes. Equality of Mean/Std/Max durations
+// rows, in all five stepping modes. Equality of Mean/Std/Max durations
 // implies the incident boundaries (SOF of the first destroyed attempt, last
 // busy bit of the final error episode) land on exactly the bits the wire
 // decoder assigns.

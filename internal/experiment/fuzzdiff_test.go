@@ -44,18 +44,23 @@ const (
 	// diffExact steps every bit.
 	diffExact diffMode = iota
 	// diffFrameFF enables the idle and sole-transmitter paths but disables
-	// the contested-window path, so multi-driver windows exact-step.
+	// the contested-window and compiled-splice paths, so multi-driver
+	// windows exact-step.
 	diffFrameFF
-	// diffContendFF enables the full stack including bulk wired-AND
-	// resolution of contested windows.
+	// diffContendFF adds bulk wired-AND resolution of contested windows,
+	// with the compiled-splice tier still disabled.
 	diffContendFF
+	// diffSpliceFF enables the full stack including the compiled-splice
+	// tier, which folds whole precompiled frame windows plus their
+	// intermission tails.
+	diffSpliceFF
 )
 
 // ffCounters reports which fast paths a run engaged.
 type ffCounters struct {
-	idle, frame, contend int64
+	idle, frame, contend, splice int64
 	// pinned records that the half-capable observer joined, pinning the
-	// frame and contend paths to exact stepping by construction.
+	// frame, contend, and splice paths to exact stepping by construction.
 	pinned bool
 }
 
@@ -152,7 +157,8 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 	bb := bus.New(bus.Rate50k)
 	bb.SetFastForward(mode != diffExact)
 	bb.SetFrameFastForward(mode != diffExact)
-	bb.SetContendFastForward(mode == diffContendFF)
+	bb.SetContendFastForward(mode == diffContendFF || mode == diffSpliceFF)
+	bb.SetSpliceFastForward(mode == diffSpliceFF)
 
 	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
 	ecu := core.NewECU(defCtl, def)
@@ -232,6 +238,7 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 	ff.idle = bb.IdleForwardedBits()
 	ff.frame = bb.FrameForwardedBits()
 	ff.contend = bb.ContendForwardedBits()
+	ff.splice = bb.SpliceForwardedBits()
 	ff.pinned = pinned
 	return out, ff, nil
 }
@@ -240,12 +247,13 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 // can finalize their forensics engines at the recording end.
 const fuzzTotalBits = int64(20_000)
 
-// diffSeed runs one seed four ways — exact with no telemetry, frame-FF with
-// contested windows exact-stepped, the full stack with the contested-window
-// path, and exact again with a fully wired, event-retaining hub — and fails
-// on any divergence: every fast path must be bit-invisible, and telemetry
-// must be a pure observer on every path. The three wired arms each feed a
-// live forensics engine, and the reconstructed incident logs must be
+// diffSeed runs one seed five ways — exact with no telemetry, frame-FF with
+// contested windows exact-stepped, contend-FF with bulk wired-AND
+// resolution, splice-FF with the full stack including compiled-window
+// splicing, and exact again with a fully wired, event-retaining hub — and
+// fails on any divergence: every fast path must be bit-invisible, and
+// telemetry must be a pure observer on every path. The four wired arms each
+// feed a live forensics engine, and the reconstructed incident logs must be
 // identical across stepping modes — the tentpole's parity claim, fuzzed.
 // Returns the number of incidents the seed produced.
 func diffSeed(t *testing.T, seed int64) int {
@@ -265,7 +273,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	if err != nil {
 		t.Fatalf("seed %d exact: %v", seed, err)
 	}
-	if exFF.idle != 0 || exFF.frame != 0 || exFF.contend != 0 {
+	if exFF.idle != 0 || exFF.frame != 0 || exFF.contend != 0 || exFF.splice != 0 {
 		t.Fatalf("seed %d: exact run fast-forwarded", seed)
 	}
 	fastHub, fastEng := newEng(false)
@@ -279,8 +287,8 @@ func diffSeed(t *testing.T, seed int64) int {
 	if fastFF.frame == 0 && !fastFF.pinned {
 		t.Errorf("seed %d: frame fast path never engaged with no pinning node", seed)
 	}
-	if fastFF.contend != 0 {
-		t.Errorf("seed %d: contend path engaged while disabled", seed)
+	if fastFF.contend != 0 || fastFF.splice != 0 {
+		t.Errorf("seed %d: disabled fast path engaged on frame-ff arm", seed)
 	}
 	contendHub, contendEng := newEng(false)
 	contend, contendFF, err := runRandomScenario(seed, diffContendFF, contendHub)
@@ -289,6 +297,17 @@ func diffSeed(t *testing.T, seed int64) int {
 	}
 	if contendFF.contend == 0 && !contendFF.pinned {
 		t.Errorf("seed %d: contend fast path never engaged with no pinning node", seed)
+	}
+	if contendFF.splice != 0 {
+		t.Errorf("seed %d: splice path engaged while disabled", seed)
+	}
+	spliceHub, spliceEng := newEng(false)
+	splice, spliceFF, err := runRandomScenario(seed, diffSpliceFF, spliceHub)
+	if err != nil {
+		t.Fatalf("seed %d splice: %v", seed, err)
+	}
+	if spliceFF.splice == 0 && !spliceFF.pinned {
+		t.Errorf("seed %d: splice fast path never engaged with no pinning node", seed)
 	}
 	hub, wiredEng := newEng(true)
 	wired, _, err := runRandomScenario(seed, diffExact, hub)
@@ -312,7 +331,8 @@ func diffSeed(t *testing.T, seed int64) int {
 	}
 	compare("exact vs frame-ff", exact, fast)
 	compare("frame-ff vs contend-ff", fast, contend)
-	compare("contend-ff vs telemetry-wired-exact", contend, wired)
+	compare("contend-ff vs splice-ff", contend, splice)
+	compare("splice-ff vs telemetry-wired-exact", splice, wired)
 	if hub.Len() == 0 {
 		t.Errorf("seed %d: wired run captured no telemetry events", seed)
 	}
@@ -323,6 +343,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	exactIncs := finalize(wiredEng)
 	fastIncs := finalize(fastEng)
 	contendIncs := finalize(contendEng)
+	spliceIncs := finalize(spliceEng)
 	if !reflect.DeepEqual(exactIncs, fastIncs) {
 		t.Fatalf("seed %d: forensics incidents diverge exact vs frame-ff:\n%+v\nvs\n%+v",
 			seed, exactIncs, fastIncs)
@@ -330,6 +351,10 @@ func diffSeed(t *testing.T, seed int64) int {
 	if !reflect.DeepEqual(exactIncs, contendIncs) {
 		t.Fatalf("seed %d: forensics incidents diverge exact vs contend-ff:\n%+v\nvs\n%+v",
 			seed, exactIncs, contendIncs)
+	}
+	if !reflect.DeepEqual(exactIncs, spliceIncs) {
+		t.Fatalf("seed %d: forensics incidents diverge exact vs splice-ff:\n%+v\nvs\n%+v",
+			seed, exactIncs, spliceIncs)
 	}
 	return len(exactIncs)
 }

@@ -17,7 +17,7 @@ import (
 // measurement.
 type SteppingMode string
 
-// The four stepping modes of the fast-forward evaluation grid.
+// The five stepping modes of the fast-forward evaluation grid.
 const (
 	// ModeExact steps every bit through the full 2N+T interface calls.
 	ModeExact SteppingMode = "exact"
@@ -32,6 +32,11 @@ const (
 	// flags) resolve via bit-packed wired-AND words and clamp at the first
 	// divergence instead of pinning the whole window to exact stepping.
 	ModeContendFF SteppingMode = "contend-ff"
+	// ModeSpliceFF adds the compiled-splice path on top: whole steady-state
+	// frame windows — one transmitter with a memoized plan, everyone else
+	// provably passive — splice in as a single precompiled summary per node
+	// instead of being re-resolved.
+	ModeSpliceFF SteppingMode = "splice-ff"
 )
 
 // ThroughputRow is one measured cell of the load × stepping-mode grid.
@@ -59,13 +64,16 @@ type ThroughputRow struct {
 	// ContendHitRate is the fraction of simulated bits covered by the
 	// contested-window (multi-driver) fast path.
 	ContendHitRate float64 `json:"contend_hit_rate"`
+	// SpliceHitRate is the fraction of simulated bits covered by the
+	// compiled-splice fast path.
+	SpliceHitRate float64 `json:"splice_hit_rate"`
 }
 
 // String renders the row for terminal output.
 func (r ThroughputRow) String() string {
-	return fmt.Sprintf("load=%2.0f%%  %-10s  %7.2f Mbit/s  %7.1f ns/bit  idle-hit=%4.1f%%  frame-hit=%4.1f%%  contend-hit=%4.1f%%  allocs/Mbit=%.0f",
+	return fmt.Sprintf("load=%2.0f%%  %-10s  %7.2f Mbit/s  %7.1f ns/bit  idle-hit=%4.1f%%  frame-hit=%4.1f%%  contend-hit=%4.1f%%  splice-hit=%4.1f%%  allocs/Mbit=%.0f",
 		r.Load*100, r.Mode, r.BitsPerSecond/1e6, r.NsPerBit,
-		r.IdleHitRate*100, r.FrameHitRate*100, r.ContendHitRate*100, r.AllocsPerMBit)
+		r.IdleHitRate*100, r.FrameHitRate*100, r.ContendHitRate*100, r.SpliceHitRate*100, r.AllocsPerMBit)
 }
 
 // ThroughputScenario builds the fast-forward evaluation scenario: a Veh.-D
@@ -97,8 +105,9 @@ func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node
 
 	bb := bus.New(bus.Rate50k)
 	bb.SetFastForward(mode != ModeExact)
-	bb.SetFrameFastForward(mode == ModeFrameFF || mode == ModeContendFF)
-	bb.SetContendFastForward(mode == ModeContendFF)
+	bb.SetFrameFastForward(mode == ModeFrameFF || mode == ModeContendFF || mode == ModeSpliceFF)
+	bb.SetContendFastForward(mode == ModeContendFF || mode == ModeSpliceFF)
+	bb.SetSpliceFastForward(mode == ModeSpliceFF)
 	v, err := fsm.NewIVN(append(matrix.IDs(), DefenderID))
 	if err != nil {
 		return nil, nil, err
@@ -111,12 +120,22 @@ func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node
 	if err != nil {
 		return nil, nil, err
 	}
+	rp := restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(1)))
 	nodes := []bus.Node{
 		core.NewECU(controller.New(controller.Config{Name: "defender", AutoRecover: true}), def),
-		restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(1))),
+		rp,
 	}
 	for _, n := range nodes {
 		bb.Attach(n)
+	}
+	if mode == ModeSpliceFF {
+		// Schedule-driven cache warm: precompile the plans the rolling
+		// sequence counters will produce. One full rotation (256 values per
+		// message) covers every frame content the schedule can emit, so
+		// steady-state splicing never pays a first-sight serialization; the
+		// warm set stays well inside the bounded plan cache (messages × 256
+		// ≪ 16384).
+		rp.WarmSplice(256)
 	}
 	return bb, nodes, nil
 }
@@ -128,22 +147,31 @@ func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node
 // payloads carry rolling counters, so the working set of span identities is
 // the full 256-value rotation (~1.4M bit times at 60% load), and a timed
 // window that starts cold spends a large prefix paying one-time plan builds
-// and span decodes instead of measuring the stepping mode. The warm-up
-// scales with the measurement length (one fifth, floored at 100k bits) so
-// long grid runs reach the steady state the table reports while short smoke
-// runs stay cheap.
+// and span decodes instead of measuring the stepping mode. The warm-up is
+// one fifth of the measurement length, floored at a full rotation for grid
+// runs (1M+ bit measurements) so the table reports steady state, and at
+// 100k bits below that so short smoke runs stay cheap.
 func MeasureThroughput(target float64, mode SteppingMode, simBits int64) (ThroughputRow, error) {
 	bb, err := ThroughputScenario(target, mode)
 	if err != nil {
 		return ThroughputRow{}, err
 	}
 	warmup := simBits / 5
-	if warmup < 100_000 {
+	if simBits >= 1_000_000 {
+		if warmup < 1_500_000 {
+			warmup = 1_500_000
+		}
+	} else if warmup < 100_000 {
 		warmup = 100_000
 	}
 	bb.Run(warmup)
-	idle0, frame0, contend0 := bb.IdleForwardedBits(), bb.FrameForwardedBits(), bb.ContendForwardedBits()
+	idle0, frame0 := bb.IdleForwardedBits(), bb.FrameForwardedBits()
+	contend0, splice0 := bb.ContendForwardedBits(), bb.SpliceForwardedBits()
 	var ms0, ms1 runtime.MemStats
+	// Collect before the baseline read so garbage left by the warm-up (or a
+	// previous grid cell) cannot trigger a GC inside the timed window and
+	// charge its assist allocations to this mode's row.
+	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	bb.Run(simBits)
@@ -163,6 +191,7 @@ func MeasureThroughput(target float64, mode SteppingMode, simBits int64) (Throug
 		IdleHitRate:    float64(bb.IdleForwardedBits()-idle0) / float64(simBits),
 		FrameHitRate:   float64(bb.FrameForwardedBits()-frame0) / float64(simBits),
 		ContendHitRate: float64(bb.ContendForwardedBits()-contend0) / float64(simBits),
+		SpliceHitRate:  float64(bb.SpliceForwardedBits()-splice0) / float64(simBits),
 	}, nil
 }
 
@@ -174,7 +203,7 @@ func ThroughputGrid(loads []float64, simBits int64) ([]ThroughputRow, error) {
 	}
 	var rows []ThroughputRow
 	for _, load := range loads {
-		for _, mode := range []SteppingMode{ModeExact, ModeIdleFF, ModeFrameFF, ModeContendFF} {
+		for _, mode := range []SteppingMode{ModeExact, ModeIdleFF, ModeFrameFF, ModeContendFF, ModeSpliceFF} {
 			row, err := MeasureThroughput(load, mode, simBits)
 			if err != nil {
 				return nil, err

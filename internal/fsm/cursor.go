@@ -39,3 +39,13 @@ func (cu *Cursor) Step(bit can.Level) Decision {
 
 // Decided returns the cursor's decision so far.
 func (cu *Cursor) Decided() Decision { return cu.done }
+
+// Restore sets the FSM's streaming state to the cursor's position — the
+// inverse of Cursor(). The defense core's splice fast path walks a compiled
+// window with a cursor once, memoizes the exit position, and on later cache
+// hits restores the FSM directly instead of re-stepping every ID bit. The
+// cursor must have been derived from this FSM.
+func (f *FSM) Restore(cu Cursor) {
+	f.eval = cu.eval
+	f.done = cu.done
+}

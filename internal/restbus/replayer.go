@@ -38,7 +38,10 @@ type Replayer struct {
 	items []schedItem
 	// byID maps a message ID to its index in items, for the per-transmission
 	// completion callback; the per-bit schedule scan reads item fields only.
-	byID  map[can.ID]int
+	byID map[can.ID]int
+	// idIdx is byID flattened over the base-frame ID space (-1 = not
+	// scheduled); extended IDs fall back to the map.
+	idIdx [1 << can.IDBits]int16
 	stats ReplayStats
 	// nextScan caches the earliest nextDue across items, so the per-bit
 	// Observe path is O(1) until a message actually comes due. Item deadlines
@@ -56,6 +59,19 @@ type schedItem struct {
 	// transmission; enqueuedAt is the bit time it was queued.
 	outstanding bool
 	enqueuedAt  bus.BitTime
+	// maxLat accumulates the worst observed latency; Stats materializes the
+	// per-ID map from it, keeping the per-transmission callback map-free.
+	maxLat int64
+	// bufs holds the message's 256 payload instances (the rolling counter is
+	// the only varying byte), pre-built so the schedule scan enqueues without
+	// allocating. The slices are immutable once built: the controller's plan
+	// cache and receivers key off their identity.
+	bufs [][]byte
+	// planned holds the pre-serialized enqueue handle per rolling-counter
+	// value, filled lazily (or by WarmSplice) so the steady-state schedule
+	// scan enqueues by direct pointer — no validation, cloning, or plan-cache
+	// probing per instance.
+	planned []controller.Planned
 }
 
 var (
@@ -78,31 +94,36 @@ func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replaye
 		SortQueueByPriority: true,
 		OnTransmit: func(t bus.BitTime, f can.Frame) {
 			r.stats.Transmitted++
-			i, ok := r.byID[f.ID]
-			if !ok {
+			i := r.itemIdx(f.ID)
+			if i < 0 {
 				return
 			}
 			item := &r.items[i]
 			if item.outstanding {
-				lat := int64(t - item.enqueuedAt + 1)
-				if r.stats.MaxLatencyBits == nil {
-					r.stats.MaxLatencyBits = make(map[can.ID]int64)
-				}
-				if lat > r.stats.MaxLatencyBits[f.ID] {
-					r.stats.MaxLatencyBits[f.ID] = lat
+				if lat := int64(t - item.enqueuedAt + 1); lat > item.maxLat {
+					item.maxLat = lat
 				}
 			}
 			item.outstanding = false
 		},
 	})
+	for i := range r.idIdx {
+		r.idIdx[i] = -1
+	}
 	for _, msg := range m.Messages {
 		period := rate.Bits(msg.Period)
 		if period < 1 {
 			period = 1
 		}
-		item := schedItem{msg: msg, periodBits: period}
+		item := schedItem{
+			msg: msg, periodBits: period,
+			bufs: seqBufs(msg.DLC), planned: make([]controller.Planned, 256),
+		}
 		if rng != nil {
 			item.nextDue = bus.BitTime(rng.Int63n(period))
+		}
+		if int(msg.ID) < len(r.idIdx) {
+			r.idIdx[msg.ID] = int16(len(r.items))
 		}
 		r.byID[msg.ID] = len(r.items)
 		r.items = append(r.items, item)
@@ -119,14 +140,71 @@ func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replaye
 // neverDue is the nextScan value of an empty matrix.
 const neverDue = bus.BitTime(math.MaxInt64)
 
+// itemIdx returns the items index scheduled for id, or -1.
+func (r *Replayer) itemIdx(id can.ID) int {
+	if int(id) < len(r.idIdx) {
+		return int(r.idIdx[id])
+	}
+	if i, ok := r.byID[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// plannedFor returns the pre-serialized enqueue handle for the item's given
+// rolling-counter value, building it on first sight. Matrix messages are
+// classical base frames, so planning cannot fail; the zero handle is returned
+// only for a malformed message, which the enqueue path then skips exactly as
+// Enqueue would have rejected it.
+func (r *Replayer) plannedFor(item *schedItem, seq byte) controller.Planned {
+	if pl := item.planned[seq]; pl.Valid() {
+		return pl
+	}
+	pl, err := r.ctl.Plan(can.Frame{ID: item.msg.ID, Data: item.bufs[seq]})
+	if err != nil {
+		return controller.Planned{}
+	}
+	item.planned[seq] = pl
+	return pl
+}
+
+// seqBufs pre-builds one payload per rolling-counter value, sliced out of a
+// single allocation with full capacity caps so no later append can alias.
+func seqBufs(dlc int) [][]byte {
+	bufs := make([][]byte, 256)
+	base := make([]byte, 256*dlc)
+	for s := range bufs {
+		buf := base[s*dlc : (s+1)*dlc : (s+1)*dlc]
+		if dlc > 0 {
+			buf[0] = byte(s)
+		}
+		bufs[s] = buf
+	}
+	return bufs
+}
+
 // Controller exposes the replayer's protocol controller.
 func (r *Replayer) Controller() *controller.Controller { return r.ctl }
 
 // SetTelemetry wires the replayer's controller to a telemetry hub.
 func (r *Replayer) SetTelemetry(hub *telemetry.Hub) { r.ctl.SetTelemetry(hub) }
 
-// Stats returns a copy of the delivery statistics.
-func (r *Replayer) Stats() ReplayStats { return r.stats }
+// Stats returns a copy of the delivery statistics, materializing the per-ID
+// latency map from the per-item accumulators.
+func (r *Replayer) Stats() ReplayStats {
+	st := r.stats
+	for i := range r.items {
+		item := &r.items[i]
+		if item.maxLat == 0 {
+			continue
+		}
+		if st.MaxLatencyBits == nil {
+			st.MaxLatencyBits = make(map[can.ID]int64, len(r.items))
+		}
+		st.MaxLatencyBits[item.msg.ID] = item.maxLat
+	}
+	return st
+}
 
 // Drive implements bus.Node.
 func (r *Replayer) Drive(t bus.BitTime) can.Level { return r.ctl.Drive(t) }
@@ -160,14 +238,12 @@ func (r *Replayer) scanDue(t bus.BitTime) {
 				r.stats.MissByID[item.msg.ID]++
 			} else {
 				item.seq++
-				data := make([]byte, item.msg.DLC)
-				if item.msg.DLC > 0 {
-					data[0] = item.seq
-				}
-				if err := r.ctl.Enqueue(can.Frame{ID: item.msg.ID, Data: data}); err == nil {
-					r.stats.Enqueued++
-					item.outstanding = true
-					item.enqueuedAt = t
+				if pl := r.plannedFor(item, item.seq); pl.Valid() {
+					if err := r.ctl.EnqueuePlanned(pl); err == nil {
+						r.stats.Enqueued++
+						item.outstanding = true
+						item.enqueuedAt = t
+					}
 				}
 			}
 		}

@@ -1,0 +1,97 @@
+package restbus
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+)
+
+var _ bus.Splicing = (*Replayer)(nil)
+
+// SpliceOffer implements bus.Splicing: the controller's offer, declined when
+// a schedule deadline is due at this very bit — the enqueue could reorder a
+// priority-sorted mailbox's head out from under the offered window, exactly
+// as ContendBits declines a due-at-SOF commitment. Deadlines due strictly
+// inside the resolved span are fine: Enqueue is a pure mailbox push (the
+// in-flight plan is latched and txSuccess removes that specific frame, not
+// the head), so SpliceCommit replays them at their recorded bit times before
+// the completion callbacks run, matching the exact path's
+// scanDue-before-Observe order at every bit including the last.
+//
+// The one exception is the offered message's own deadline landing in the
+// intermission tail: exact stepping clears its outstanding flag at the frame
+// end, before such a due fires, while the commit-time drain runs before
+// OnTransmit — so the drain would record a deadline miss the exact path does
+// not. Those windows are declined.
+func (r *Replayer) SpliceOffer(now bus.BitTime) (bus.SpliceWindow, bool) {
+	if r.nextScan <= now {
+		return bus.SpliceWindow{}, false
+	}
+	win, ok := r.ctl.SpliceOffer(now)
+	if !ok {
+		return bus.SpliceWindow{}, false
+	}
+	if i := r.itemIdx(win.RxView.ID); i >= 0 {
+		to := now + bus.BitTime(len(win.Bits)+can.IntermissionBits)
+		if r.items[i].nextDue < to {
+			return bus.SpliceWindow{}, false
+		}
+	}
+	return win, true
+}
+
+// SpliceQuery implements bus.Splicing: the controller's promise alone. A
+// deadline due at or inside the window is safe on the receiving side — no
+// transmission can complete, so the outstanding flags scanDue reads are
+// constant across the window and the enqueues only touch the dormant queue,
+// which no windowed bit observes (the same argument ObserveRun's whole-span
+// branch rests on).
+func (r *Replayer) SpliceQuery(now bus.BitTime, resolved []can.Level, ackIdx int, slot *any) (bool, bool) {
+	return r.ctl.SpliceQuery(now, resolved, ackIdx, slot)
+}
+
+// SpliceApply implements bus.Splicing: process every deadline the window
+// covered at its recorded due time, then fold the controller — identical
+// period arithmetic and miss/enqueue stamps to the exact path, in the same
+// order. Draining first matters at the window's edge: the controller's
+// end-of-intermission transition reads the queue, so a deadline enqueued
+// anywhere in the span must already be there — exactly as the exact path's
+// scanDue-before-Observe order guarantees bit by bit.
+func (r *Replayer) SpliceApply(now bus.BitTime, resolved []can.Level, ackIdx int, rx can.Frame, slot *any) {
+	to := now + bus.BitTime(len(resolved))
+	for r.nextScan < to {
+		r.scanDue(r.nextScan)
+	}
+	r.ctl.SpliceApply(now, resolved, ackIdx, rx, slot)
+}
+
+// SpliceCommit implements bus.Splicing: process every deadline the window
+// covered at its recorded due time, then fold the controller. Exact stepping
+// runs scanDue before ctl.Observe within each bit, so every in-window due —
+// including one at the final bit — lands before txSuccess fires OnTransmit
+// there; draining first preserves that order, and with it the deadline-miss
+// check against the still-outstanding in-flight message.
+func (r *Replayer) SpliceCommit(now bus.BitTime, resolved []can.Level, slot *any) {
+	to := now + bus.BitTime(len(resolved))
+	for r.nextScan < to {
+		r.scanDue(r.nextScan)
+	}
+	r.ctl.SpliceCommit(now, resolved, slot)
+}
+
+// WarmSplice precompiles the transmit plans for the next rounds instances of
+// every scheduled message — the frames the rolling sequence counter will
+// produce — so steady-state splicing starts on plan-cache hits instead of
+// paying a serialization on each first sight. The warm set is what the
+// splice tier keys every memo on (window identity = the plan's backing
+// array), making this the schedule-driven warm half of the cache story; the
+// invalidate half is content ageing through the bounded plan cache.
+func (r *Replayer) WarmSplice(rounds int) {
+	for i := range r.items {
+		item := &r.items[i]
+		seq := item.seq
+		for k := 0; k < rounds; k++ {
+			seq++
+			r.plannedFor(item, seq)
+		}
+	}
+}

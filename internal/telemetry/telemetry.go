@@ -67,7 +67,8 @@ const (
 	EvRecover
 	// EvFFSpan: the bus committed a fast-path span. A = the span length in
 	// bits, B = 0 for the idle quiescence path, 1 for the sole-transmitter
-	// frame path, 2 for the contested-window (multi-driver) path.
+	// frame path, 2 for the contested-window (multi-driver) path, 3 for the
+	// compiled-splice (whole-frame cache) path.
 	EvFFSpan
 	// EvTxStart: a controller began a transmission attempt — the SOF bit of
 	// a frame it is driving. A = the pending frame's CAN ID. The event time
@@ -152,8 +153,8 @@ type nodeInstruments struct {
 	framesDestroyed            *Counter
 	busOff, recovered          *Counter
 	tec, rec                   *Gauge
-	ffIdle, ffFrame, ffContend *Counter
-	txStarts, txSuccess        *Counter
+	ffIdle, ffFrame, ffContend, ffSplice *Counter
+	txStarts, txSuccess                  *Counter
 }
 
 // Hub is the telemetry collector: a registry of named nodes, an append-only
@@ -247,6 +248,7 @@ func (h *Hub) instrumentsFor(name string) *nodeInstruments {
 		ffIdle:          r.Counter("michican_ff_idle_bits_total", "node", name),
 		ffFrame:         r.Counter("michican_ff_frame_bits_total", "node", name),
 		ffContend:       r.Counter("michican_ff_contend_bits_total", "node", name),
+		ffSplice:        r.Counter("michican_ff_splice_bits_total", "node", name),
 		txStarts:        r.Counter("michican_tx_attempts_total", "node", name),
 		txSuccess:       r.Counter("michican_tx_success_total", "node", name),
 	}
@@ -372,6 +374,8 @@ func (h *Hub) emit(ev Event) {
 			ni.ffIdle.Add(ev.A)
 		case 1:
 			ni.ffFrame.Add(ev.A)
+		case 3:
+			ni.ffSplice.Add(ev.A)
 		default:
 			ni.ffContend.Add(ev.A)
 		}

@@ -112,6 +112,61 @@ func TestBitRunAfterSkipIdle(t *testing.T) {
 	}
 }
 
+// TestBitRunZeroLength: an empty span is a no-op — no bits recorded, and in
+// particular a zero-length run before the first real delivery must not latch
+// the stream start time (splice boundaries can propose empty clamps).
+func TestBitRunZeroLength(t *testing.T) {
+	r := NewRecorder()
+	r.BitRun(500, nil)
+	r.BitRun(700, []can.Level{})
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after zero-length runs, want 0", r.Len())
+	}
+	r.BitRun(900, []can.Level{can.Dominant})
+	if r.Start() != 900 {
+		t.Errorf("Start = %d, want 900 (zero-length run must not latch start)", r.Start())
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+
+	// Zero-length runs interleaved with real spans leave the stream identical.
+	run, ref := NewRecorder(), NewRecorder()
+	a, b := pattern(3, 37), pattern(4, 91)
+	run.BitRun(0, a)
+	run.BitRun(bus.BitTime(len(a)), nil)
+	run.BitRun(bus.BitTime(len(a)), b)
+	feedPerBit(ref, 0, a)
+	feedPerBit(ref, bus.BitTime(len(a)), b)
+	requireSameBits(t, run, ref)
+}
+
+// TestBitRunBackToBackSplices: consecutive full-frame splice deliveries with
+// no exact bits between them — every combination of span end offset and next
+// span start offset within a storage word must pack identically to per-bit
+// recording.
+func TestBitRunBackToBackSplices(t *testing.T) {
+	// Frame-ish span lengths that cover mid-word starts and ends (a classical
+	// CAN frame window is 47..111+ bits, never word-aligned in general).
+	lens := []int{47, 55, 64, 65, 95, 111, 128, 63}
+	for shift := 0; shift < 3; shift++ {
+		run, ref := NewRecorder(), NewRecorder()
+		at := bus.BitTime(shift * 17)
+		if shift > 0 {
+			pre := pattern(int64(shift), shift*17)
+			feedPerBit(run, 0, pre)
+			feedPerBit(ref, 0, pre)
+		}
+		for i, n := range lens {
+			span := pattern(int64(100*shift+i), n)
+			run.BitRun(at, span)
+			feedPerBit(ref, at, span)
+			at += bus.BitTime(n)
+		}
+		requireSameBits(t, run, ref)
+	}
+}
+
 // TestBitRunSetsStart: a BitRun as the first delivery must latch the stream
 // start time, exactly like the first Bit() call.
 func TestBitRunSetsStart(t *testing.T) {

@@ -51,7 +51,12 @@ func (r *Recorder) Bit(t bus.BitTime, level can.Level) {
 
 // BitRun implements bus.TapRunObserver: record a resolved span in one call,
 // word-packed via the same routine the bus's contested-window path uses.
+// A zero-length run is a no-op: it must not latch the stream start time,
+// so an empty delivery before the first real bit leaves Start() untouched.
 func (r *Recorder) BitRun(from bus.BitTime, levels []can.Level) {
+	if len(levels) == 0 {
+		return
+	}
 	if !r.began {
 		r.start = from
 		r.began = true
