@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-short race repro examples cover clean
+.PHONY: all build test vet bench bench-short race repro examples cover clean \
+	fleet fleet-bench fleet-guard
 
 all: build vet test
 
@@ -31,6 +32,20 @@ race:
 # studies) in one run.
 repro:
 	$(GO) run ./cmd/michican-bench -all
+
+# A small fleet with the control plane up for poking at /fleet/*.
+fleet:
+	$(GO) run ./cmd/michican-fleet -vehicles 16 -http 127.0.0.1:6180 -linger 5m
+
+# The churn benchmark behind BENCH_PR7.json (vehicles joining/leaving
+# mid-run, query load, worker scaling sweep).
+fleet-bench:
+	$(GO) run ./cmd/michican-fleet -bench -vehicles 16 -bench-json BENCH_PR7.json
+
+# The fleet-aggregation overhead guard (sharding + net commits vs the same
+# vehicles standalone, ≤5%).
+fleet-guard:
+	$(GO) run ./cmd/michican-fleet -agg-overhead -vehicles 8
 
 examples:
 	$(GO) run ./examples/quickstart

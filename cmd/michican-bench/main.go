@@ -134,18 +134,24 @@ func runOverheadGuard(simBits int64, thresholdPct float64) error {
 	return nil
 }
 
-// writeThroughputJSON measures the load × stepping-mode throughput grid and
-// writes it as JSON (the repo's BENCH_*.json perf trajectory), echoing each
-// row to stdout as it lands.
+// writeThroughputJSON measures the load × stepping-mode throughput grid plus
+// a workers scaling sweep and writes both as JSON (the repo's BENCH_*.json
+// perf trajectory), echoing each row to stdout as it lands. NumCPU and the
+// pinning policy ride in the header so scaling curves from different
+// machines stay interpretable — a flat curve on a 1-core runner is physics,
+// not a regression.
 func writeThroughputJSON(path string, simBits int64, workers int) error {
 	type report struct {
 		GeneratedAt string                     `json:"generated_at"`
 		GoVersion   string                     `json:"go_version"`
 		GOMAXPROCS  int                        `json:"gomaxprocs"`
+		NumCPU      int                        `json:"num_cpu"`
+		PinPolicy   string                     `json:"pin_policy"`
 		Workers     int                        `json:"workers"`
 		Modes       []experiment.SteppingMode  `json:"fast_path_modes"`
 		SimBitsPer  int64                      `json:"simulated_bits_per_cell"`
 		Rows        []experiment.ThroughputRow `json:"rows"`
+		Scaling     []experiment.ScalingRow    `json:"scaling"`
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -167,14 +173,26 @@ func writeThroughputJSON(path string, simBits int64, workers int) error {
 			rows = append(rows, row)
 		}
 	}
+	workersList := experiment.ScalingWorkersList()
+	header("Workers scaling sweep — independent scenario instances per pool size")
+	scaling, err := experiment.MeasureScalingSweep(0.30, experiment.ModeSpliceFF, simBits, 4, workersList)
+	if err != nil {
+		return err
+	}
+	for _, row := range scaling {
+		fmt.Println(row.String())
+	}
 	out, err := json.MarshalIndent(report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		PinPolicy:   "work-stealing goroutine pool (experiment.Map), unpinned",
 		Workers:     workers,
 		Modes:       modes,
 		SimBitsPer:  simBits,
 		Rows:        rows,
+		Scaling:     scaling,
 	}, "", "  ")
 	if err != nil {
 		return err

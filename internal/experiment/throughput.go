@@ -90,6 +90,13 @@ func ThroughputScenario(target float64, mode SteppingMode) (*bus.Bus, error) {
 // attached nodes so callers (the telemetry-overhead guard) can wire them into
 // a hub after construction.
 func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node, error) {
+	return throughputScenarioSeeded(target, mode, 1)
+}
+
+// throughputScenarioSeeded varies the restbus phase seed: the workers
+// scaling sweep builds several independent instances of the same grid cell,
+// each with its own derived seed.
+func throughputScenarioSeeded(target float64, mode SteppingMode, seed int64) (*bus.Bus, []bus.Node, error) {
 	src := restbus.Buses(restbus.VehD)[0]
 	matrix := &restbus.Matrix{Vehicle: src.Vehicle, Bus: src.Bus}
 	factor := src.Load(bus.Rate50k) / target
@@ -104,10 +111,7 @@ func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node
 	}
 
 	bb := bus.New(bus.Rate50k)
-	bb.SetFastForward(mode != ModeExact)
-	bb.SetFrameFastForward(mode == ModeFrameFF || mode == ModeContendFF || mode == ModeSpliceFF)
-	bb.SetContendFastForward(mode == ModeContendFF || mode == ModeSpliceFF)
-	bb.SetSpliceFastForward(mode == ModeSpliceFF)
+	applyMode(bb, mode)
 	v, err := fsm.NewIVN(append(matrix.IDs(), DefenderID))
 	if err != nil {
 		return nil, nil, err
@@ -120,7 +124,7 @@ func throughputScenario(target float64, mode SteppingMode) (*bus.Bus, []bus.Node
 	if err != nil {
 		return nil, nil, err
 	}
-	rp := restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(1)))
+	rp := restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(seed)))
 	nodes := []bus.Node{
 		core.NewECU(controller.New(controller.Config{Name: "defender", AutoRecover: true}), def),
 		rp,
@@ -193,6 +197,99 @@ func MeasureThroughput(target float64, mode SteppingMode, simBits int64) (Throug
 		ContendHitRate: float64(bb.ContendForwardedBits()-contend0) / float64(simBits),
 		SpliceHitRate:  float64(bb.SpliceForwardedBits()-splice0) / float64(simBits),
 	}, nil
+}
+
+// ScalingRow is one cell of the workers scaling sweep: several independent
+// instances of the same grid cell run concurrently over the trial runner,
+// and the row reports the aggregate simulation throughput at that worker
+// count.
+type ScalingRow struct {
+	// Workers is the Map pool size the instances ran under.
+	Workers int `json:"workers"`
+	// Scenarios is how many independent scenario instances were run.
+	Scenarios int `json:"scenarios"`
+	// Load and Mode identify the grid cell every instance simulated.
+	Load float64      `json:"load"`
+	Mode SteppingMode `json:"mode"`
+	// SimulatedBits is the total bus time simulated across all instances
+	// (warm-up included — every worker count runs the identical mix, so the
+	// ratios are apples-to-apples).
+	SimulatedBits int64 `json:"simulated_bits"`
+	// WallSeconds is the wall-clock for the whole batch.
+	WallSeconds float64 `json:"wall_seconds"`
+	// AggregateBitsPerSecond is SimulatedBits / WallSeconds.
+	AggregateBitsPerSecond float64 `json:"aggregate_bits_per_second"`
+	// SpeedupVs1 is this row's aggregate throughput over the workers=1 row
+	// of the same sweep (1.0 for the first row).
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// String renders the row for terminal output.
+func (r ScalingRow) String() string {
+	return fmt.Sprintf("workers=%2d  scenarios=%d  load=%2.0f%%  %-10s  %8.2f Mbit/s aggregate  speedup=%.2fx",
+		r.Workers, r.Scenarios, r.Load*100, r.Mode, r.AggregateBitsPerSecond/1e6, r.SpeedupVs1)
+}
+
+// MeasureScalingSweep runs the workers scaling sweep on one grid cell:
+// `scenarios` independent instances (each with a DeriveSeed-derived restbus
+// phase seed) fan out over the trial runner at each worker count, and every
+// row reports aggregate simulated bits per wall-clock second. Near-linear
+// scaling up to the core count is the expectation for shared-nothing
+// instances; the recorded NumCPU in the bench header is what makes a flat
+// curve on a small machine interpretable.
+func MeasureScalingSweep(load float64, mode SteppingMode, simBits int64, scenarios int, workersList []int) ([]ScalingRow, error) {
+	if scenarios <= 0 {
+		scenarios = 4
+	}
+	warmup := simBits / 5
+	if warmup < 100_000 {
+		warmup = 100_000
+	}
+	var rows []ScalingRow
+	for _, workers := range workersList {
+		start := time.Now()
+		_, err := Map(scenarios, workers, func(i int) (struct{}, error) {
+			bb, _, err := throughputScenarioSeeded(load, mode, DeriveSeed(1, i))
+			if err != nil {
+				return struct{}{}, err
+			}
+			bb.Run(warmup)
+			bb.Run(simBits)
+			return struct{}{}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		if wall <= 0 {
+			wall = 1e-9
+		}
+		row := ScalingRow{
+			Workers:                workers,
+			Scenarios:              scenarios,
+			Load:                   load,
+			Mode:                   mode,
+			SimulatedBits:          int64(scenarios) * (warmup + simBits),
+			WallSeconds:            wall,
+			AggregateBitsPerSecond: float64(int64(scenarios)*(warmup+simBits)) / wall,
+			SpeedupVs1:             1,
+		}
+		if len(rows) > 0 && rows[0].AggregateBitsPerSecond > 0 {
+			row.SpeedupVs1 = row.AggregateBitsPerSecond / rows[0].AggregateBitsPerSecond
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScalingWorkersList is the default sweep: 1, 2, 4, then GOMAXPROCS when it
+// extends the curve.
+func ScalingWorkersList() []int {
+	list := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		list = append(list, p)
+	}
+	return list
 }
 
 // ThroughputGrid measures the full load × mode grid (EXPERIMENTS.md's

@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"michican/internal/forensics"
+	"michican/internal/telemetry"
+)
+
+// maxRecentIncidents bounds the fleet-wide recent-incident ring: the newest
+// incidents stay inspectable over HTTP while a soak run's full history stays
+// out of memory (per-ID totals keep counting past the ring).
+const maxRecentIncidents = 256
+
+// Aggregate is the fleet-wide snapshot every worker commits into: an
+// aggregated counter registry (summed across vehicles via per-vehicle
+// NetCommitters), operational counters for the commit economy, and the
+// incident hand-off store.
+//
+// Writers (worker commits) and readers (the observability server) are
+// decoupled by a seqlock: a commit batch bumps the sequence odd, applies its
+// atomic adds, and bumps it even; a reader retries its copy until it lands
+// between commits. Workers therefore never block on a query — the hot path
+// cost of a concurrent reader is zero — and a reader gets a view no commit
+// batch tore through the middle of.
+type Aggregate struct {
+	reg *telemetry.Registry
+
+	// seq is the seqlock generation: odd while a commit batch is applying.
+	// writeMu serializes writers (commits are rare by construction — that is
+	// the whole point of thresholding — so this lock is never hot).
+	seq     atomic.Int64
+	writeMu sync.Mutex
+
+	commitCalls    atomic.Int64 // Commit batches that wrote something
+	logicalUpdates atomic.Int64 // hub events represented by those batches
+	committedDelta atomic.Int64 // total counter delta folded in
+	simBits        atomic.Int64 // simulated bit times across all vehicles
+
+	incMu     sync.Mutex
+	incTotals IncidentTotals
+	incByID   map[string]*IncidentTotals
+	recent    []VehicleIncident
+}
+
+// newAggregate creates an empty fleet aggregate.
+func newAggregate() *Aggregate {
+	return &Aggregate{
+		reg:     telemetry.NewRegistry(),
+		incByID: make(map[string]*IncidentTotals),
+	}
+}
+
+// Registry returns the aggregated counter registry. Values in it are only
+// as fresh as the last commits; consistent multi-counter reads should go
+// through MetricsView.
+func (a *Aggregate) Registry() *telemetry.Registry { return a.reg }
+
+// commitBatch runs fn inside one seqlock write section. Everything fn adds
+// (registry deltas, operational counters) becomes visible to readers as one
+// atomic batch.
+func (a *Aggregate) commitBatch(fn func()) {
+	a.writeMu.Lock()
+	a.seq.Add(1)
+	fn()
+	a.seq.Add(1)
+	a.writeMu.Unlock()
+}
+
+// read runs fn under the seqlock read protocol: it retries while a commit
+// batch is in flight or completed mid-copy, and falls back to excluding
+// writers outright if the commit rate is so high that eight optimistic
+// attempts all tore (which stalls commits briefly, never the simulation
+// slices themselves).
+func (a *Aggregate) read(fn func()) {
+	for attempt := 0; attempt < 8; attempt++ {
+		s1 := a.seq.Load()
+		if s1%2 != 0 {
+			continue
+		}
+		fn()
+		if a.seq.Load() == s1 {
+			return
+		}
+	}
+	a.writeMu.Lock()
+	fn()
+	a.writeMu.Unlock()
+}
+
+// IncidentTotals aggregates handed-off incidents.
+type IncidentTotals struct {
+	Incidents      int64 `json:"incidents"`
+	Attempts       int64 `json:"attempts"`
+	Detections     int64 `json:"detections"`
+	Counterattacks int64 `json:"counterattacks"`
+	FramesLeaked   int64 `json:"frames_leaked"`
+	Eradicated     int64 `json:"eradicated"`
+}
+
+// VehicleIncident is one handed-off incident tagged with its vehicle.
+type VehicleIncident struct {
+	VehicleID int `json:"vehicle_id"`
+	forensics.Incident
+}
+
+// handOff folds a retiring (or finalized) vehicle's incidents into the
+// fleet store. Incident hand-off happens once per vehicle lifecycle, not per
+// event, so a mutex is fine here.
+func (a *Aggregate) handOff(vehicleID int, incs []forensics.Incident) {
+	if len(incs) == 0 {
+		return
+	}
+	a.incMu.Lock()
+	defer a.incMu.Unlock()
+	for _, inc := range incs {
+		fold := func(t *IncidentTotals) {
+			t.Incidents++
+			t.Attempts += int64(inc.Attempts)
+			t.Detections += int64(inc.Detections)
+			t.Counterattacks += int64(inc.Counterattacks)
+			t.FramesLeaked += int64(inc.FramesLeaked)
+			if inc.Eradicated {
+				t.Eradicated++
+			}
+		}
+		fold(&a.incTotals)
+		byID, ok := a.incByID[inc.IDHex]
+		if !ok {
+			byID = &IncidentTotals{}
+			a.incByID[inc.IDHex] = byID
+		}
+		fold(byID)
+		a.recent = append(a.recent, VehicleIncident{VehicleID: vehicleID, Incident: inc})
+	}
+	if n := len(a.recent) - maxRecentIncidents; n > 0 {
+		a.recent = append(a.recent[:0], a.recent[n:]...)
+	}
+}
+
+// MetricsView is one consistent point-in-time copy of the fleet aggregate
+// (the /fleet/metrics payload's data half).
+type MetricsView struct {
+	// Counters is the aggregated registry: per-series sums across every
+	// vehicle that has committed.
+	Counters telemetry.CounterSnapshot `json:"counters"`
+	// SimBits is the total simulated bus time across the fleet, in bits.
+	SimBits int64 `json:"sim_bits"`
+	// LogicalUpdates counts the hub events the committed batches represent;
+	// CommitCalls counts the batches. Their ratio is the net-commit
+	// amortization (events folded per shared-state write).
+	LogicalUpdates int64 `json:"logical_updates"`
+	CommitCalls    int64 `json:"commit_calls"`
+	// CommittedDelta is the cumulative counter delta folded into Counters.
+	CommittedDelta int64 `json:"committed_delta"`
+	// CommitSeq is the seqlock generation the view was taken at (even;
+	// monotonically increasing two per commit batch).
+	CommitSeq int64 `json:"commit_seq"`
+}
+
+// MetricsView copies the aggregate under the seqlock read protocol.
+func (a *Aggregate) MetricsView() MetricsView {
+	var v MetricsView
+	a.read(func() {
+		v = MetricsView{
+			Counters:       a.reg.SnapshotCounters(),
+			SimBits:        a.simBits.Load(),
+			LogicalUpdates: a.logicalUpdates.Load(),
+			CommitCalls:    a.commitCalls.Load(),
+			CommittedDelta: a.committedDelta.Load(),
+			CommitSeq:      a.seq.Load(),
+		}
+	})
+	return v
+}
+
+// WriteMetricsText renders the view in the Prometheus-style exposition the
+// /fleet/metrics endpoint serves: the aggregated per-series counters plus
+// the fleet's own operational series.
+func (v MetricsView) WriteMetricsText(w io.Writer) error {
+	keys := make([]string, 0, len(v.Counters))
+	for k := range v.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, v.Counters[k]); err != nil {
+			return err
+		}
+	}
+	ops := []struct {
+		name string
+		val  int64
+	}{
+		{"michican_fleet_sim_bits_total", v.SimBits},
+		{"michican_fleet_logical_updates_total", v.LogicalUpdates},
+		{"michican_fleet_commit_calls_total", v.CommitCalls},
+		{"michican_fleet_committed_delta_total", v.CommittedDelta},
+		{"michican_fleet_commit_seq", v.CommitSeq},
+	}
+	for _, o := range ops {
+		if _, err := fmt.Fprintf(w, "%s %d\n", o.name, o.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IncidentsView is the /fleet/incidents payload: fleet-wide totals, per-ID
+// totals, and the bounded ring of most recent handed-off incidents.
+type IncidentsView struct {
+	Totals IncidentTotals            `json:"totals"`
+	ByID   map[string]IncidentTotals `json:"by_id"`
+	Recent []VehicleIncident         `json:"recent"`
+}
+
+// IncidentsView snapshots the incident store.
+func (a *Aggregate) IncidentsView() IncidentsView {
+	a.incMu.Lock()
+	defer a.incMu.Unlock()
+	v := IncidentsView{
+		Totals: a.incTotals,
+		ByID:   make(map[string]IncidentTotals, len(a.incByID)),
+		Recent: make([]VehicleIncident, len(a.recent)),
+	}
+	for id, t := range a.incByID {
+		v.ByID[id] = *t
+	}
+	copy(v.Recent, a.recent)
+	return v
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"michican/internal/fleet"
+)
+
+// This file is the fleet control plane's HTTP surface (DESIGN.md §6). The
+// consistency story differs from the single-simulation endpoints: fleet
+// queries read the Aggregate through its seqlock (a point-in-time view no
+// commit batch tore through), per-vehicle snapshots read atomic mirrors and
+// internally-locked engines, and no handler ever takes a lock a simulation
+// worker holds while advancing — sustained query load costs the workers
+// nothing.
+//
+// Endpoints:
+//
+//	/fleet/healthz                  liveness + worker/vehicle census (JSON)
+//	/fleet/metrics                  Prometheus-style text: aggregated
+//	                                per-series counters (summed across
+//	                                vehicles via net commits) + fleet
+//	                                operational series
+//	/fleet/incidents                fleet-wide incident totals, per-ID
+//	                                totals, recent handed-off incidents
+//	/fleet/vehicles                 vehicle census (active + retired)
+//	/fleet/vehicles/{id}/snapshot   one vehicle's live registry + incidents
+//	/debug/pprof                    standard Go profiling surface
+type queryStats struct {
+	mu      sync.Mutex
+	queries int64
+	samples []float64 // seconds, bounded ring
+	next    int
+}
+
+// maxLatencySamples bounds the server-side latency ring the /fleet/healthz
+// census reports percentiles over.
+const maxLatencySamples = 4096
+
+func (q *queryStats) observe(d time.Duration) {
+	q.mu.Lock()
+	q.queries++
+	s := d.Seconds()
+	if len(q.samples) < maxLatencySamples {
+		q.samples = append(q.samples, s)
+	} else {
+		q.samples[q.next] = s
+		q.next = (q.next + 1) % maxLatencySamples
+	}
+	q.mu.Unlock()
+}
+
+// Snapshot returns the query count and a copy of the latency sample ring.
+func (q *queryStats) snapshot() (int64, []float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]float64, len(q.samples))
+	copy(out, q.samples)
+	return q.queries, out
+}
+
+// FleetHealth is the /fleet/healthz payload: fleet liveness plus the
+// server's own query accounting.
+type FleetHealth struct {
+	fleet.Health
+	Queries int64 `json:"queries"`
+}
+
+// ServeFleet binds addr and serves the fleet observability surface in a
+// background goroutine, exactly like Serve does for a single simulation.
+func ServeFleet(addr string, f *fleet.Fleet) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	qs := &queryStats{}
+	timed := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			qs.observe(time.Since(start))
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, FleetHealth{Health: f.Health(), Queries: func() int64 { n, _ := qs.snapshot(); return n }()})
+	})
+	mux.HandleFunc("/fleet/metrics", timed(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		v := f.Aggregate().MetricsView()
+		_ = v.WriteMetricsText(w)
+		n, _ := qs.snapshot()
+		fmt.Fprintf(w, "michican_fleet_queries_total %d\n", n)
+	}))
+	mux.HandleFunc("/fleet/incidents", timed(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.Aggregate().IncidentsView())
+	}))
+	mux.HandleFunc("/fleet/vehicles", timed(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.Vehicles())
+	}))
+	mux.HandleFunc("/fleet/vehicles/{id}/snapshot", timed(func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, "bad vehicle id", http.StatusBadRequest)
+			return
+		}
+		snap, ok := f.VehicleSnapshot(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, snap)
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "michican fleet control plane")
+		fmt.Fprintln(w, "  /fleet/healthz   /fleet/metrics   /fleet/incidents")
+		fmt.Fprintln(w, "  /fleet/vehicles  /fleet/vehicles/{id}/snapshot  /debug/pprof/")
+	})
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import "sync"
+
+// This file is the net-commit half of the fleet aggregation story (DESIGN.md
+// §6): per-vehicle registries accumulate counter increments through the
+// ordinary atomic emit path, and a NetCommitter periodically folds the *net
+// delta since its last commit* into a shared destination registry. The
+// pattern is the VSA thresholded net-commit accumulator: the hot path never
+// touches the shared aggregate, and the aggregation cost is proportional to
+// the number of metric series and the commit rate — not to the event rate.
+//
+// Contrast with the two designs it replaces:
+//
+//   - persist-every-op: every emit also updates the aggregate (one extra
+//     atomic RMW on a cache line shared across all workers — the ~20% class
+//     of overhead the hotstuff-cursor persistence benchmarks measure);
+//   - end-of-run merge: cheap, but the aggregate is blind until a vehicle
+//     retires, which defeats a live fleet control plane.
+
+// CounterSnapshot is a point-in-time copy of a registry's counter values,
+// keyed by the rendered series key (name{labels}).
+type CounterSnapshot map[string]int64
+
+// GaugeSnapshot is a point-in-time copy of a registry's gauge values.
+type GaugeSnapshot map[string]float64
+
+// SnapshotCounters copies the registry's counter values. The copy is made
+// under the registry lock, so no series is missed, but each value is an
+// independent atomic load — series mutated concurrently land at whatever
+// value they held during the scan.
+func (r *Registry) SnapshotCounters() CounterSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(CounterSnapshot, len(r.counters))
+	for k, c := range r.counters {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// SnapshotGauges copies the registry's gauge values.
+func (r *Registry) SnapshotGauges() GaugeSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(GaugeSnapshot, len(r.gauges))
+	for k, g := range r.gauges {
+		out[k] = g.Value()
+	}
+	return out
+}
+
+// committedSeries is one source counter paired with its destination
+// instrument and the last value committed.
+type committedSeries struct {
+	src, dst *Counter
+	last     int64
+}
+
+// NetCommitter folds net counter deltas from a source registry into a
+// destination registry. Each source series maps to the destination series
+// with the same name and labels, so many sources committing into one
+// destination produce a sum across sources (the fleet aggregate).
+//
+// Commit is idempotent-safe in the only sense that matters: a delta is
+// committed exactly once, however many times Commit runs, because the
+// committer remembers the last value it pushed per series. Concurrent
+// Commits from *different* committers into the same destination are safe
+// (destination counters are atomic); a single committer must not be invoked
+// concurrently with itself — in the fleet each vehicle's committer is owned
+// by exactly one worker.
+//
+// Gauges and histograms are deliberately not committed: a gauge is a
+// point-in-time per-vehicle reading (TEC of *this* defender) with no
+// meaningful cross-vehicle sum, and histogram accumulators cannot be
+// net-delta'd without subtraction error. Both stay readable per vehicle
+// through the fleet's per-vehicle snapshot endpoint.
+type NetCommitter struct {
+	mu       sync.Mutex
+	src, dst *Registry
+	series   []committedSeries
+	known    int // len(src.counters) at last refresh
+	commits  int64
+	pushed   int64
+}
+
+// NewNetCommitter creates a committer from src into dst. Nothing is
+// committed until the first Commit call.
+func NewNetCommitter(src, dst *Registry) *NetCommitter {
+	return &NetCommitter{src: src, dst: dst}
+}
+
+// refresh picks up source series created since the last refresh, resolving
+// their destination instruments once so a steady-state Commit is pure atomic
+// loads and adds. Called with nc.mu held.
+func (nc *NetCommitter) refresh() {
+	nc.src.mu.Lock()
+	n := len(nc.src.counters)
+	if n == nc.known {
+		nc.src.mu.Unlock()
+		return
+	}
+	have := make(map[*Counter]bool, len(nc.series))
+	for _, s := range nc.series {
+		have[s.src] = true
+	}
+	type pending struct {
+		key string
+		src *Counter
+	}
+	var fresh []pending
+	for k, c := range nc.src.counters {
+		if !have[c] {
+			fresh = append(fresh, pending{k, c})
+		}
+	}
+	nc.known = n
+	nc.src.mu.Unlock()
+
+	// Resolve destination handles outside the source lock (dst has its own).
+	for _, p := range fresh {
+		nc.dst.mu.Lock()
+		d, ok := nc.dst.counters[p.key]
+		if !ok {
+			d = &Counter{}
+			nc.dst.counters[p.key] = d
+		}
+		nc.dst.mu.Unlock()
+		nc.series = append(nc.series, committedSeries{src: p.src, dst: d})
+	}
+}
+
+// Commit folds every source series' net delta since the last commit into the
+// destination and returns the total delta pushed. A zero return means the
+// source was quiet — nothing was written to the destination at all.
+func (nc *NetCommitter) Commit() int64 {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	nc.refresh()
+	var total int64
+	for i := range nc.series {
+		s := &nc.series[i]
+		cur := s.src.Value()
+		if d := cur - s.last; d > 0 {
+			s.dst.Add(d)
+			s.last = cur
+			total += d
+		}
+	}
+	if total > 0 {
+		nc.commits++
+		nc.pushed += total
+	}
+	return total
+}
+
+// Commits returns how many Commit calls actually wrote to the destination.
+func (nc *NetCommitter) Commits() int64 {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.commits
+}
+
+// Pushed returns the cumulative counter delta committed to the destination.
+func (nc *NetCommitter) Pushed() int64 {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.pushed
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNetCommitterFoldsNetDeltas(t *testing.T) {
+	src, dst := NewRegistry(), NewRegistry()
+	nc := NewNetCommitter(src, dst)
+
+	src.Counter("frames_total", "node", "bus").Add(10)
+	if got := nc.Commit(); got != 10 {
+		t.Fatalf("first commit pushed %d, want 10", got)
+	}
+	if v := dst.Counter("frames_total", "node", "bus").Value(); v != 10 {
+		t.Fatalf("dst = %d after first commit, want 10", v)
+	}
+	// A quiet source commits nothing — not a re-push of the old value.
+	if got := nc.Commit(); got != 0 {
+		t.Fatalf("idle commit pushed %d, want 0", got)
+	}
+	if v := dst.Counter("frames_total", "node", "bus").Value(); v != 10 {
+		t.Fatalf("dst = %d after idle commit, want 10 (double count)", v)
+	}
+	// Series created after the committer exists are picked up on the next
+	// commit, and only the net delta of existing series moves.
+	src.Counter("frames_total", "node", "bus").Add(5)
+	src.Counter("detects_total").Inc()
+	if got := nc.Commit(); got != 6 {
+		t.Fatalf("commit pushed %d, want 6", got)
+	}
+	if v := dst.Counter("detects_total").Value(); v != 1 {
+		t.Fatalf("late series dst = %d, want 1", v)
+	}
+	if nc.Commits() != 2 || nc.Pushed() != 16 {
+		t.Fatalf("commits=%d pushed=%d, want 2 and 16", nc.Commits(), nc.Pushed())
+	}
+}
+
+func TestNetCommitterGaugesStayLocal(t *testing.T) {
+	src, dst := NewRegistry(), NewRegistry()
+	nc := NewNetCommitter(src, dst)
+	src.Gauge("tec").Set(96)
+	src.Counter("c").Inc()
+	nc.Commit()
+	if g := dst.FindGauge("tec"); g != nil {
+		t.Fatalf("gauge leaked into the destination registry: %v", g.Value())
+	}
+}
+
+// TestNetCommitterConcurrentShards is the satellite's merge-correctness
+// contract: many shards, each a private source registry hammered by its own
+// publisher goroutine and folded by its own committer into one shared
+// destination, with commits racing the publishers. After a final drain
+// commit per shard the destination must equal the exact sum of the sources —
+// no lost deltas, no double counts.
+func TestNetCommitterConcurrentShards(t *testing.T) {
+	const shards = 8
+	const perShard = 20_000
+	dst := NewRegistry()
+
+	srcs := make([]*Registry, shards)
+	ncs := make([]*NetCommitter, shards)
+	for i := range srcs {
+		srcs[i] = NewRegistry()
+		ncs[i] = NewNetCommitter(srcs[i], dst)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, nc := srcs[i], ncs[i]
+			// Two series per shard, one shared across shards and one
+			// shard-unique, created mid-stream to exercise refresh under load.
+			shared := r.Counter("events_total", "node", "bus")
+			for n := 0; n < perShard; n++ {
+				shared.Inc()
+				if n == perShard/2 {
+					r.Counter("late_total", "shard", fmt.Sprint(i)).Add(3)
+				}
+				if n%1024 == 0 {
+					nc.Commit() // interleave commits with publishing
+				}
+			}
+			nc.Commit() // drain
+		}(i)
+	}
+	wg.Wait()
+
+	if v := dst.Counter("events_total", "node", "bus").Value(); v != shards*perShard {
+		t.Fatalf("shared series = %d, want %d (lost or double-counted deltas)", v, shards*perShard)
+	}
+	for i := 0; i < shards; i++ {
+		if v := dst.Counter("late_total", "shard", fmt.Sprint(i)).Value(); v != 3 {
+			t.Fatalf("shard %d late series = %d, want 3", i, v)
+		}
+	}
+	var pushed int64
+	for _, nc := range ncs {
+		pushed += nc.Pushed()
+	}
+	want := int64(shards*perShard + shards*3)
+	if pushed != want {
+		t.Fatalf("total pushed = %d, want %d", pushed, want)
+	}
+}
+
+// TestHubEmitCountTracksEmits pins the O(1) pending-events proxy the fleet's
+// commit threshold reads every slice.
+func TestHubEmitCountTracksEmits(t *testing.T) {
+	h := NewHub()
+	h.RetainEvents(false)
+	p := h.Probe("n")
+	if h.EmitCount() != 0 {
+		t.Fatalf("fresh hub EmitCount = %d", h.EmitCount())
+	}
+	for i := 0; i < 7; i++ {
+		p.Emit(int64(i), EvDetect, 0, 0)
+	}
+	if got := h.EmitCount(); got != 7 {
+		t.Fatalf("EmitCount = %d, want 7", got)
+	}
+}
+
+// TestHubSubscribeUnderMultiShardPublish runs the observability shapes the
+// fleet control plane relies on concurrently against one hub: multiple
+// publisher goroutines emitting, subscribers attaching and detaching, a
+// committer folding the hub's registry into an aggregate, and snapshot
+// readers. Run under -race this is the fleet's no-torn-reads contract.
+func TestHubSubscribeUnderMultiShardPublish(t *testing.T) {
+	h := NewHub()
+	h.RetainEvents(false)
+	agg := NewRegistry()
+	nc := NewNetCommitter(h.Registry(), agg)
+
+	const publishers = 4
+	const perPub = 5_000
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Subscriber churn: attach, observe a little, detach, repeat.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cancel := h.Subscribe(func(Event) { delivered.Add(1) })
+			for i := 0; i < 64; i++ {
+				_ = h.EmitCount()
+			}
+			cancel()
+		}
+	}()
+	// Aggregation + snapshot readers racing the publishers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nc.Commit()
+			_ = h.Registry().SnapshotCounters()
+			_ = h.Registry().SnapshotGauges()
+		}
+	}()
+
+	var pubs sync.WaitGroup
+	for g := 0; g < publishers; g++ {
+		pubs.Add(1)
+		go func(g int) {
+			defer pubs.Done()
+			p := h.Probe(fmt.Sprintf("node%d", g))
+			c := h.Registry().Counter("pub_total", "g", fmt.Sprint(g))
+			for i := 0; i < perPub; i++ {
+				p.Emit(int64(i), EvTEC, int64(i), 0)
+				c.Inc()
+			}
+		}(g)
+	}
+	pubs.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := h.EmitCount(); got != publishers*perPub {
+		t.Fatalf("EmitCount = %d, want %d", got, publishers*perPub)
+	}
+	nc.Commit()
+	var total int64
+	for g := 0; g < publishers; g++ {
+		total += agg.Counter("pub_total", "g", fmt.Sprint(g)).Value()
+	}
+	if total != publishers*perPub {
+		t.Fatalf("aggregate = %d, want %d", total, publishers*perPub)
+	}
+}

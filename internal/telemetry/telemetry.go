@@ -24,6 +24,7 @@ package telemetry
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind identifies an event type on the telemetry bus.
@@ -144,15 +145,15 @@ type NodeID int32
 // folding an event into the registry is a few atomic operations — no map
 // lookups, no label formatting, no allocation on the emit path.
 type nodeInstruments struct {
-	arbWon, arbLost            *Counter
-	detections                 *Counter
-	detectionBits              *Histogram
-	pulls                      *Counter
-	pullBits                   *Counter
-	errors                     *Counter
-	framesDestroyed            *Counter
-	busOff, recovered          *Counter
-	tec, rec                   *Gauge
+	arbWon, arbLost                      *Counter
+	detections                           *Counter
+	detectionBits                        *Histogram
+	pulls                                *Counter
+	pullBits                             *Counter
+	errors                               *Counter
+	framesDestroyed                      *Counter
+	busOff, recovered                    *Counter
+	tec, rec                             *Gauge
 	ffIdle, ffFrame, ffContend, ffSplice *Counter
 	txStarts, txSuccess                  *Counter
 }
@@ -174,6 +175,12 @@ type Hub struct {
 	// and subscribers may call back into the hub without deadlocking.
 	subs      []subscriber
 	nextSubID int
+	// emits counts every event ever emitted through this hub, retained or
+	// not. It is the O(1) "logical updates" proxy the fleet's thresholded
+	// net-commit policy checks per scheduling slice: comparing two EmitCount
+	// readings tells a worker how much telemetry a vehicle produced without
+	// scanning its registry.
+	emits atomic.Int64
 }
 
 // subscriber is one registered streaming consumer.
@@ -332,9 +339,19 @@ func (h *Hub) Subscribe(fn func(Event)) (unsubscribe func()) {
 	}
 }
 
+// EmitCount returns the number of events emitted through the hub so far
+// (independent of retention).
+func (h *Hub) EmitCount() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.emits.Load()
+}
+
 // emit appends the event, folds it into the metrics registry, and fans it
 // out to subscribers.
 func (h *Hub) emit(ev Event) {
+	h.emits.Add(1)
 	h.mu.Lock()
 	if h.retain {
 		h.events = append(h.events, ev)
