@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test vet bench bench-short race repro examples cover clean \
-	fleet fleet-bench fleet-guard
+	fleet fleet-bench fleet-guard store-bench store-guard crash-resume-smoke
 
 all: build vet test
 
@@ -46,6 +46,22 @@ fleet-bench:
 # vehicles standalone, ≤5%).
 fleet-guard:
 	$(GO) run ./cmd/michican-fleet -agg-overhead -vehicles 8
+
+# The persistence-overhead grid behind BENCH_PR8.json (in-memory vs
+# +segment store vs +checkpoints, 3 loads × 4 stepping modes).
+store-bench:
+	$(GO) run ./cmd/michican-bench -store-overhead BENCH_PR8.json
+
+# The idle-persistence budget guard (exact stepping at 2% load must stay
+# within 2% of the in-memory baseline).
+store-guard:
+	$(GO) run ./cmd/michican-bench -store-overhead /tmp/store-overhead.json -gridbits 500000
+
+# Kill a durable fleet run mid-flight, resume it from the last checkpoints,
+# and assert the segment files come out byte-identical to an uninterrupted
+# run of the same spec (SHA-256 store digests).
+crash-resume-smoke:
+	./scripts/crash_resume_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,9 +6,16 @@
 // detection bit, the counterattack span, and bus-off — so spoof fights are
 // visible inline in the dump.
 //
+// With -from-store it skips the bit trace entirely and reconstructs a
+// historical window straight out of a durable store directory (michican-sim
+// -store / michican-fleet -store): the stored telemetry stream replays through
+// the same forensics pipeline, and the dump shows completed frames, destroyed
+// attempts, and incident annotations for any bit-time window of a past run.
+//
 //	michican-sim -attack dos -trace t.txt && candump t.txt
 //	michican-sim -attack spoof -trace t.txt -events e.jsonl
 //	candump -events e.jsonl t.txt
+//	candump -from-store rundir -window 50000:120000
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"os"
 	"strings"
 
+	"michican/internal/can"
 	"michican/internal/forensics"
+	"michican/internal/store"
 	"michican/internal/telemetry"
 	"michican/internal/trace"
 )
@@ -32,11 +41,18 @@ func main() {
 
 func run() error {
 	eventsIn := flag.String("events", "", "telemetry event stream (JSONL) from the same run; adds incident markers to destroyed attempts")
+	fromStore := flag.String("from-store", "", "reconstruct the dump from a durable store directory instead of a bit trace")
+	window := flag.String("window", "", "with -from-store: bit-time window from:to (either side open; default the whole recording)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: candump [-events e.jsonl] [file]   (reads stdin without a file)")
+		fmt.Fprintln(os.Stderr, "       candump -from-store <dir> [-window from:to]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *fromStore != "" {
+		return runFromStore(*fromStore, *window)
+	}
 
 	var (
 		data []byte
@@ -126,9 +142,7 @@ type nodeMark struct {
 	node string
 }
 
-// loadMarkers replays the JSONL event stream through a hub with a forensics
-// engine subscribed — the same pipeline a live run uses — and collects the
-// per-instant marks for inline annotation.
+// loadMarkers reads a JSONL event stream and builds its markers.
 func loadMarkers(path string, recordingEnd int64) (*markers, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -139,7 +153,13 @@ func loadMarkers(path string, recordingEnd int64) (*markers, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildMarkers(named, recordingEnd), nil
+}
 
+// buildMarkers replays an event stream through a hub with a forensics engine
+// subscribed — the same pipeline a live run uses — and collects the
+// per-instant marks for inline annotation.
+func buildMarkers(named []telemetry.NamedEvent, recordingEnd int64) *markers {
 	hub := telemetry.NewHub()
 	hub.RetainEvents(false)
 	eng := forensics.NewEngine(hub)
@@ -167,7 +187,94 @@ func loadMarkers(path string, recordingEnd int64) (*markers, error) {
 		}
 	}
 	eng.Finalize(recordingEnd)
-	return m, nil
+	return m
+}
+
+// runFromStore reconstructs a historical window out of a durable store: the
+// stored telemetry stream replays through the forensics pipeline (buildMarkers)
+// and the dump lists completed frames, detections, destroyed attempts, and
+// bus-off transitions, closing with the window's reconstructed incidents and
+// the stored incident log entries that intersect it.
+func runFromStore(dir, window string) error {
+	from, to, err := store.ParseWindow(window)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	var events []telemetry.NamedEvent
+	last := int64(0)
+	if err := st.EventsInWindow(from, to, func(ev telemetry.NamedEvent) error {
+		events = append(events, ev)
+		if ev.Time > last {
+			last = ev.Time
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	end := last + 1
+	if to < int64(1)<<62 {
+		end = to
+	}
+	marks := buildMarkers(events, end)
+
+	frames, destroyed := 0, 0
+	var pending []int64 // open counterattack starts
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.EvTxSuccess:
+			frames++
+			fmt.Printf("(%08d) %s  frame completed by %s\n", ev.Time, can.ID(ev.A), ev.Node)
+		case telemetry.EvDetect:
+			fmt.Printf("(%08d) %s  DETECT at ID bit %d\n", ev.Time, ev.Node, ev.A)
+		case telemetry.EvPullStart:
+			pending = append(pending, ev.Time)
+		case telemetry.EvPullEnd:
+			destroyed++
+			start := ev.Time
+			if n := len(pending); n > 0 {
+				start, pending = pending[n-1], pending[:n-1]
+			}
+			fmt.Printf("(%08d) %s  DESTROYED attempt (counterattack %d bits t=%d–%d)\n",
+				start, ev.Node, ev.A, start, ev.Time)
+		case telemetry.EvBusOff:
+			fmt.Printf("(%08d) %s  BUS-OFF\n", ev.Time, ev.Node)
+		case telemetry.EvRecover:
+			fmt.Printf("(%08d) %s  recovered\n", ev.Time, ev.Node)
+		}
+	}
+	win := window
+	if win == "" {
+		win = "full recording"
+	}
+	fmt.Printf("-- store %s (%s): %d events, %d frames completed, %d destroyed attempts\n",
+		dir, win, len(events), frames, destroyed)
+	marks.printIncidents()
+
+	// The durable incident log is the run's own verdict; list the entries
+	// whose span intersects the window so a partial-window reconstruction can
+	// be checked against what the full run recorded.
+	stored := 0
+	err = st.IncidentPayloads(func(p []byte) error {
+		inc, err := forensics.DecodeIncident(p)
+		if err != nil {
+			return err
+		}
+		if inc.End >= from && inc.Start <= to {
+			stored++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- %d stored incidents intersect the window (full log: candump is read-only; see /store/incidents)\n", stored)
+	return nil
 }
 
 // annotate renders the markers that fall inside one destroyed attempt's wire

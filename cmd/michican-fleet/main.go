@@ -10,21 +10,28 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"michican/internal/experiment"
 	"michican/internal/fleet"
+	"michican/internal/forensics"
 	"michican/internal/obs"
 	"michican/internal/stats"
+	"michican/internal/store"
 )
 
 func main() {
@@ -48,6 +55,10 @@ func main() {
 		noScaling   = flag.Bool("no-scaling", false, "benchmark: skip the worker scaling sweep")
 		aggOverhead = flag.Bool("agg-overhead", false, "measure fleet aggregation overhead vs the same vehicles run standalone and exit nonzero over -agg-budget")
 		aggBudget   = flag.Float64("agg-budget", 5.0, "aggregation overhead budget in percent for -agg-overhead")
+		storeDir    = flag.String("store", "", "persist every vehicle into a durable store rooted at this directory (one subdirectory per vehicle, DESIGN.md §8)")
+		resume      = flag.Bool("resume", false, "resume the roster recorded in -store from each vehicle's last checkpoint instead of minting fresh vehicles")
+		storeDigest = flag.Bool("store-digest", false, "print per-vehicle digests of the -store directory's segment files (CI byte-comparison) and exit")
+		cpInterval  = flag.Int64("checkpoint-interval", 1<<20, "bits of sim progress between automatic checkpoints under -store")
 	)
 	flag.Parse()
 
@@ -60,6 +71,8 @@ func main() {
 	}
 	var err error
 	switch {
+	case *storeDigest:
+		err = runStoreDigest(*storeDir)
 	case *aggOverhead:
 		err = runAggOverhead(cfg, *vehicles, *horizon, *seed, *aggBudget)
 	case *bench || *benchJSON != "":
@@ -70,7 +83,8 @@ func main() {
 			jsonPath: *benchJSON,
 		})
 	default:
-		err = runFleet(cfg, *vehicles, *horizon, *seed, *httpAddr, *linger)
+		err = runFleet(cfg, *vehicles, *horizon, *seed, *httpAddr, *linger,
+			durableParams{dir: *storeDir, resume: *resume, checkpointBits: *cpInterval})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "michican-fleet:", err)
@@ -95,12 +109,71 @@ func buildAndAdd(f *fleet.Fleet, fleetSeed int64, i int, horizon int64) error {
 	return f.Add(v)
 }
 
-// runFleet is the daemon mode: build the fleet, serve it, drain it.
-func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr string, linger time.Duration) error {
+// durableParams bundles the daemon's persistence knobs.
+type durableParams struct {
+	dir            string
+	resume         bool
+	checkpointBits int64
+}
+
+// vehicleDir names one vehicle's store subdirectory: the roster IS the
+// directory listing, so a crashed daemon resumes by re-reading it.
+func vehicleDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("v%05d", i))
+}
+
+// runFleet is the daemon mode: build the fleet, serve it, drain it. With a
+// store directory every vehicle persists (events stream through a skip-capable
+// sink, retirement appends the incident log and a final Completed checkpoint
+// via OnFinalize), and -resume rebuilds the roster from the directory listing,
+// continuing each vehicle from its newest checkpoint.
+func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr string, linger time.Duration, dp durableParams) error {
+	var finErr atomic.Value
+	if dp.dir != "" {
+		cfg.OnFinalize = func(v fleet.Vehicle, incs []forensics.Incident) {
+			dv, ok := v.(*experiment.DurableVehicle)
+			if !ok {
+				return
+			}
+			if err := dv.FinalizeDurable(incs); err != nil {
+				finErr.Store(fmt.Errorf("finalize vehicle %d: %w", v.ID(), err))
+				return
+			}
+			if err := dv.Store.Close(); err != nil {
+				finErr.Store(err)
+			}
+		}
+	}
 	f := fleet.New(cfg)
-	for i := 0; i < vehicles; i++ {
-		if err := buildAndAdd(f, seed, i, horizon); err != nil {
+	opts := store.SinkOptions{CheckpointIntervalBits: dp.checkpointBits}
+	switch {
+	case dp.dir != "" && dp.resume:
+		resumed, completed, err := resumeRoster(f, dp.dir, opts)
+		if err != nil {
 			return err
+		}
+		fmt.Printf("resumed roster from %s: %d vehicles continuing, %d already complete\n",
+			dp.dir, resumed, completed)
+		if resumed == 0 {
+			return nil
+		}
+		vehicles = resumed
+	case dp.dir != "":
+		for i := 0; i < vehicles; i++ {
+			dv, err := experiment.StartDurableVehicle(vehicleDir(dp.dir, i),
+				experiment.FleetSpecAt(seed, i, horizon, false), 0, "", opts)
+			if err != nil {
+				return err
+			}
+			if err := f.Add(dv); err != nil {
+				return err
+			}
+		}
+	default:
+		for i := 0; i < vehicles; i++ {
+			if err := buildAndAdd(f, seed, i, horizon); err != nil {
+				return err
+			}
 		}
 	}
 	var server *obs.Server
@@ -124,11 +197,96 @@ func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr stri
 		select {} // run until killed; the HTTP surface is the interface
 	}
 	f.Stop()
+	if e := finErr.Load(); e != nil {
+		return e.(error)
+	}
 	wall := time.Since(start)
 	printSummary(f, wall)
 	if server != nil && linger > 0 {
 		fmt.Printf("lingering %v for inspection...\n", linger)
 		time.Sleep(linger)
+	}
+	return nil
+}
+
+// resumeRoster re-adds every unfinished vehicle recorded under root. Each
+// subdirectory is one vehicle store; ResumeDurableVehicle rewinds it to its
+// newest checkpoint and rebuilds the vehicle from the stored spec, so the
+// re-advanced run lands byte-identical to an uninterrupted one. Vehicles whose
+// final checkpoint is Completed are left alone.
+func resumeRoster(f *fleet.Fleet, root string, opts store.SinkOptions) (resumed, completed int, err error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return 0, 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "v") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, 0, fmt.Errorf("no vehicle stores under %s", root)
+	}
+	for _, name := range names {
+		dv, err := experiment.ResumeDurableVehicle(filepath.Join(root, name), opts)
+		if errors.Is(err, experiment.ErrRunComplete) {
+			completed++
+			continue
+		}
+		if err != nil {
+			return resumed, completed, fmt.Errorf("resume %s: %w", name, err)
+		}
+		if err := f.Add(dv); err != nil {
+			return resumed, completed, err
+		}
+		resumed++
+	}
+	return resumed, completed, nil
+}
+
+// runStoreDigest prints one line per vehicle store: a SHA-256 over the
+// segment files (name, size, payload — checkpoints excluded, since a resumed
+// run legitimately checkpoints at different cursors). Two runs of the same
+// fleet are byte-identical exactly when their digest outputs match; the CI
+// crash-resume smoke diffs them.
+func runStoreDigest(root string) error {
+	if root == "" {
+		return fmt.Errorf("-store-digest needs -store <dir>")
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		dirs = []string{"."} // a flat (single-run) store: digest the root itself
+	}
+	for _, d := range dirs {
+		segs, err := filepath.Glob(filepath.Join(root, d, "*.seg"))
+		if err != nil {
+			return err
+		}
+		sort.Strings(segs)
+		h := sha256.New()
+		var bytes int64
+		for _, seg := range segs {
+			b, err := os.ReadFile(seg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(h, "%s %d\n", filepath.Base(seg), len(b))
+			h.Write(b)
+			bytes += int64(len(b))
+		}
+		fmt.Printf("%s  %x  segments=%d bytes=%d\n", d, h.Sum(nil), len(segs), bytes)
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"michican/internal/fsm"
 	"michican/internal/obs"
 	"michican/internal/restbus"
+	"michican/internal/store"
 	"michican/internal/telemetry"
 	"michican/internal/trace"
 )
@@ -56,9 +57,58 @@ func run() error {
 		httpAddr   = flag.String("http", "", "serve live observability (/metrics /incidents /snapshot /debug/pprof) on this address (use :0 for an ephemeral port)")
 		linger     = flag.Duration("linger", 0, "keep the -http server up this long after the run (so probes and profilers can attach)")
 		incOut     = flag.String("incidents", "", "write the forensics incident log (JSON, same shape as /incidents) to this file")
+		storeDir   = flag.String("store", "", "persist the run into a durable store at this directory (segments + checkpoints, DESIGN.md §8)")
+		resumeDir  = flag.String("resume", "", "resume an interrupted -store run from its last checkpoint (scenario flags come from the store)")
+		replayWin  = flag.String("replay-window", "", "time-travel replay: re-open this bit-time window (from:to, either side open) from the -store directory instead of simulating")
+		cpInterval = flag.Int64("checkpoint-interval", 1<<20, "bits of sim progress between automatic checkpoints under -store/-resume")
 		verbose    = flag.Bool("v", false, "print every decoded bus event")
 	)
 	flag.Parse()
+
+	if *replayWin != "" {
+		dir := *storeDir
+		if dir == "" {
+			dir = *resumeDir
+		}
+		if dir == "" {
+			return fmt.Errorf("-replay-window needs -store <dir> pointing at an existing store")
+		}
+		return runReplay(dir, *replayWin, *eventsOut, *chromeOut, *incOut, *jsonOut, *verbose)
+	}
+	if *storeDir != "" && *resumeDir != "" {
+		return fmt.Errorf("-store creates a fresh run and -resume continues one; pick one")
+	}
+
+	// Resume rewinds the store to its newest checkpoint and replaces the
+	// scenario flags with the parameters recorded at -store time, so the
+	// regenerated run is bit-identical to the interrupted one.
+	var (
+		st       *store.Store
+		sinkOpts store.SinkOptions
+	)
+	if *resumeDir != "" {
+		var err error
+		if st, err = store.Open(*resumeDir); err != nil {
+			return err
+		}
+		defer st.Close()
+		var params simParams
+		if err := json.Unmarshal(st.Meta().Config, &params); err != nil {
+			return fmt.Errorf("resume %s: bad sim parameters in meta.json: %w", *resumeDir, err)
+		}
+		var completed bool
+		if sinkOpts, completed, err = st.ResumePoint(); err != nil {
+			return err
+		}
+		if completed {
+			return fmt.Errorf("resume %s: stored run already complete (replay it with -replay-window)", *resumeDir)
+		}
+		params.apply(rateFlag, defender, attackKind, attackID, noDefense, withRest, matrixFile, duration)
+		if !*jsonOut {
+			fmt.Printf("resuming from %s: %d events durable through bit %d\n",
+				*resumeDir, sinkOpts.SkipEvents, sinkOpts.ResumeFromBits)
+		}
+	}
 
 	rate := bus.Rate(*rateFlag)
 	defID, err := cli.ParseID(*defender)
@@ -80,24 +130,55 @@ func run() error {
 
 	// The telemetry hub collects typed events from every participant; it is
 	// only created when an exporter asked for it, so the default run pays
-	// nothing beyond the disabled-probe nil checks.
+	// nothing beyond the disabled-probe nil checks. A durable store is such
+	// an exporter: the sink streams the hub to disk.
 	var hub *telemetry.Hub
-	if *eventsOut != "" || *chromeOut != "" || *httpAddr != "" || *incOut != "" {
+	if *eventsOut != "" || *chromeOut != "" || *httpAddr != "" || *incOut != "" ||
+		*storeDir != "" || st != nil {
 		hub = telemetry.NewHub()
 		b.SetTelemetry(hub, "bus")
 	}
 
+	// Fresh -store runs record the scenario parameters as the store's
+	// generator config — that is what -resume reads back to rebuild this
+	// exact run.
+	if *storeDir != "" {
+		params := simParams{
+			Rate: *rateFlag, Defender: *defender, Attack: *attackKind,
+			AttackID: *attackID, NoDefense: *noDefense, Restbus: *withRest,
+			MatrixFile: *matrixFile, DurationNS: int64(*duration),
+		}
+		cfg, err := json.Marshal(params)
+		if err != nil {
+			return err
+		}
+		if st, err = store.Create(*storeDir, store.Meta{Kind: "sim", Config: cfg}); err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	var sink *store.Sink
+	if st != nil {
+		sinkOpts.CheckpointIntervalBits = *cpInterval
+		sink = store.NewSink(st, hub, sinkOpts)
+	}
+
 	// The forensics engine streams off the hub (no retained-log copies) and
 	// reconstructs per-attack incidents; the observability server exposes it
-	// live alongside the metrics registry.
+	// live alongside the metrics registry, and a durable run persists its
+	// incident log at finalize.
 	var eng *forensics.Engine
-	if *httpAddr != "" || *incOut != "" {
+	if *httpAddr != "" || *incOut != "" || sink != nil {
 		eng = forensics.NewEngine(hub)
 		defer eng.Close()
 	}
 	var server *obs.Server
 	if *httpAddr != "" {
-		server, err = obs.Serve(*httpAddr, hub, eng)
+		var obsOpts []obs.Option
+		if st != nil {
+			obsOpts = append(obsOpts, obs.WithStore(st))
+		}
+		server, err = obs.Serve(*httpAddr, hub, eng, obsOpts...)
 		if err != nil {
 			return err
 		}
@@ -204,6 +285,25 @@ func run() error {
 	if eng != nil {
 		eng.Finalize(int64(b.Now()))
 	}
+	if sink != nil {
+		// Finalize durability: the incident log lands in the store, then the
+		// final Completed checkpoint seals the run as resumable-no-more.
+		payloads, err := forensics.EncodeIncidents(eng.Incidents())
+		if err != nil {
+			return err
+		}
+		if err := sink.AppendIncidents(payloads); err != nil {
+			return err
+		}
+		if err := sink.Close(int64(b.Now()), true); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			stats := st.Stats()
+			fmt.Printf("durable store finalized at %s: %d events, %d incidents, %d KiB on disk\n",
+				st.Dir(), st.EventCount(), st.IncidentCount(), stats.DiskBytes/1024)
+		}
+	}
 
 	events := trace.Decode(rec.Bits(), rec.Start())
 	frames, errors := 0, 0
@@ -272,6 +372,120 @@ func run() error {
 			fmt.Printf("lingering %v for probes on %s (Ctrl-C to stop)\n", *linger, server.URL())
 		}
 		time.Sleep(*linger)
+	}
+	return nil
+}
+
+// simParams is the scenario's generator config, recorded into the store's
+// meta.json at -store time and read back by -resume so the regenerated run is
+// bit-identical to the interrupted one. A matrix file is referenced by path:
+// resume requires it unchanged at the same location.
+type simParams struct {
+	Rate       int    `json:"rate"`
+	Defender   string `json:"defender"`
+	Attack     string `json:"attack"`
+	AttackID   string `json:"attack_id,omitempty"`
+	NoDefense  bool   `json:"no_defense,omitempty"`
+	Restbus    bool   `json:"restbus,omitempty"`
+	MatrixFile string `json:"matrix_file,omitempty"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// apply overwrites the scenario flag values with the stored parameters.
+func (p simParams) apply(rate *int, defender, attackKind, attackID *string,
+	noDefense, withRest *bool, matrixFile *string, duration *time.Duration) {
+	*rate = p.Rate
+	*defender = p.Defender
+	*attackKind = p.Attack
+	*attackID = p.AttackID
+	*noDefense = p.NoDefense
+	*withRest = p.Restbus
+	*matrixFile = p.MatrixFile
+	*duration = time.Duration(p.DurationNS)
+}
+
+// runReplay is the time-travel path: no simulation runs. The stored event
+// window streams through a fresh hub — the same pipeline a live run uses — so
+// every exporter (JSONL, Chrome trace, incident log) works on historical data,
+// and a fresh forensics engine reconstructs the window's incidents.
+func runReplay(dir, window, eventsOut, chromeOut, incOut string, jsonOut, verbose bool) error {
+	from, to, err := store.ParseWindow(window)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	// The recorded parameters carry the bus rate the Chrome trace needs to
+	// convert bit times into wall time.
+	rate := bus.Rate(50_000)
+	var params simParams
+	if len(st.Meta().Config) > 0 && json.Unmarshal(st.Meta().Config, &params) == nil && params.Rate > 0 {
+		rate = bus.Rate(params.Rate)
+	}
+
+	hub := telemetry.NewHub()
+	eng := forensics.NewEngine(hub)
+	defer eng.Close()
+	replayed, last := 0, int64(0)
+	err = st.EventsInWindow(from, to, func(ev telemetry.NamedEvent) error {
+		hub.Probe(ev.Node).Emit(ev.Time, ev.Kind, ev.A, ev.B)
+		if verbose && !jsonOut {
+			fmt.Printf("t=%-8d %-10s %s a=%d b=%d\n", ev.Time, ev.Kind, ev.Node, ev.A, ev.B)
+		}
+		replayed++
+		if ev.Time > last {
+			last = ev.Time
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	end := last + 1
+	if to < int64(1)<<62 {
+		end = to
+	}
+	eng.Finalize(end)
+
+	if !jsonOut {
+		fmt.Printf("replayed %d stored events from %s (window %s, %d on record)\n",
+			replayed, dir, window, st.EventCount())
+	}
+	if err := writeExporters(hub, rate, eventsOut, chromeOut, !jsonOut); err != nil {
+		return err
+	}
+	view := obs.Incidents(eng)
+	if incOut != "" {
+		doc, err := json.MarshalIndent(view, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(incOut, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		if !jsonOut {
+			fmt.Printf("forensics incident log written to %s\n", incOut)
+		}
+	}
+	if jsonOut {
+		report := struct {
+			Dir       string               `json:"dir"`
+			Window    string               `json:"window"`
+			Replayed  int                  `json:"replayed_events"`
+			OnRecord  int64                `json:"events_on_record"`
+			Incidents []forensics.Incident `json:"incidents"`
+		}{dir, window, replayed, st.EventCount(), view.Incidents}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	for _, inc := range view.Incidents {
+		fmt.Printf("incident %s  start=%d end=%d attempts=%d eradicated=%v\n",
+			inc.IDHex, inc.Start, inc.End, inc.Attempts, inc.Eradicated)
 	}
 	return nil
 }

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"michican/internal/store"
+)
+
+// sameSegments compares the .seg files of two store dirs byte for byte —
+// the on-disk witness that a resumed run converged with an uninterrupted
+// one. Checkpoint and meta files are deliberately excluded: checkpoint
+// counts legitimately differ (the resumed run skips re-checkpointing the
+// regenerated prefix).
+func sameSegments(t *testing.T, dirA, dirB string) {
+	t.Helper()
+	segsA, _ := filepath.Glob(filepath.Join(dirA, "*.seg"))
+	segsB, _ := filepath.Glob(filepath.Join(dirB, "*.seg"))
+	if len(segsA) != len(segsB) {
+		t.Fatalf("segment count differs: %d vs %d", len(segsA), len(segsB))
+	}
+	for i := range segsA {
+		da, err := os.ReadFile(segsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(segsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Fatalf("%s differs from %s (%d vs %d bytes)",
+				filepath.Base(segsA[i]), filepath.Base(segsB[i]), len(da), len(db))
+		}
+	}
+}
+
+// errorGauges reads the defender/attacker TEC and REC gauges — the error
+// counters the paper's bus-off timelines are built from.
+func errorGauges(d *DurableVehicle) map[string]float64 {
+	out := make(map[string]float64)
+	reg := d.Hub().Registry()
+	for _, node := range []string{"defender", "attacker"} {
+		for _, name := range []string{"michican_tec", "michican_rec"} {
+			if g := reg.FindGauge(name, "node", node); g != nil {
+				out[name+"/"+node] = g.Value()
+			}
+		}
+	}
+	return out
+}
+
+// TestResumeDeterminismAcrossModes is the PR's acceptance gate: in every
+// stepping mode, a run SIGKILLed mid-flight (modelled as dropping the store
+// with no finalize) and resumed from its last checkpoint must produce
+// bit-identical wire traces, TEC/REC counters, incident logs, and byte-
+// identical store segments versus the same run left uninterrupted.
+func TestResumeDeterminismAcrossModes(t *testing.T) {
+	const horizon = 300_000
+	sinkOpts := store.SinkOptions{FlushEvents: 512, CheckpointIntervalBits: 40_000}
+	for _, mode := range []SteppingMode{ModeExact, ModeIdleFF, ModeFrameFF, ModeContendFF, ModeSpliceFF} {
+		t.Run(string(mode), func(t *testing.T) {
+			spec := FleetVehicleSpec{
+				Index: 0, Seed: 12345, Load: 0.30, Mode: mode,
+				Attack: FleetAttackSpoof, HorizonBits: horizon, Record: true,
+			}
+
+			// Uninterrupted reference, fully durable.
+			refDir := t.TempDir()
+			ref, err := StartDurableVehicle(refDir, spec, 0, "", sinkOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Advance(horizon)
+			if err := ref.FinalizeDurable(ref.Finalize()); err != nil {
+				t.Fatal(err)
+			}
+			ref.Close()
+
+			// Interrupted run: same spec, killed at ~60% with no finalize.
+			dir := t.TempDir()
+			d1, err := StartDurableVehicle(dir, spec, 0, "", sinkOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d1.Advance(horizon * 6 / 10)
+			if err := d1.Sink.Err(); err != nil {
+				t.Fatal(err)
+			}
+			d1.Close() // crash: no incident handoff, no final checkpoint
+
+			// Resume from the last checkpoint and run to the horizon.
+			d2, err := ResumeDurableVehicle(dir, store.SinkOptions{FlushEvents: 512, CheckpointIntervalBits: 40_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := d2.Store.LatestCheckpoint()
+			if err != nil || cp.Events == 0 {
+				t.Fatalf("expected a mid-run checkpoint to resume from, got %+v (%v)", cp, err)
+			}
+			d2.Advance(horizon)
+			incs2 := d2.Finalize()
+			if err := d2.FinalizeDurable(incs2); err != nil {
+				t.Fatal(err)
+			}
+
+			// Wire traces bit-identical.
+			if !reflect.DeepEqual(ref.Recorder().Bits(), d2.Recorder().Bits()) {
+				t.Fatal("resumed wire trace differs from uninterrupted run")
+			}
+			// TEC/REC counters identical.
+			if g1, g2 := errorGauges(ref), errorGauges(d2); !reflect.DeepEqual(g1, g2) {
+				t.Fatalf("TEC/REC diverged: %v vs %v", g1, g2)
+			}
+			// Incident logs identical.
+			if !reflect.DeepEqual(ref.Finalize(), incs2) {
+				t.Fatal("resumed incident log differs from uninterrupted run")
+			}
+			d2.Close()
+			// On-disk segments byte-identical (events and incidents).
+			sameSegments(t, refDir, dir)
+		})
+	}
+}
+
+// TestResumeCompletedRun verifies the roster path: resuming a store whose
+// run already finished reports ErrRunComplete instead of re-simulating.
+func TestResumeCompletedRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := FleetVehicleSpec{Index: 3, Seed: 99, Load: 0.02, Mode: ModeSpliceFF, Attack: FleetAttackNone, HorizonBits: 50_000}
+	d, err := StartDurableVehicle(dir, spec, 0, "", store.SinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(50_000)
+	if err := d.FinalizeDurable(d.Finalize()); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	if _, err := ResumeDurableVehicle(dir, store.SinkOptions{}); err != ErrRunComplete {
+		t.Fatalf("resume of completed run = %v, want ErrRunComplete", err)
+	}
+	spec2, err := StoredSpec(dir)
+	if err != nil || spec2 != spec {
+		t.Fatalf("StoredSpec = %+v (%v), want %+v", spec2, err, spec)
+	}
+}

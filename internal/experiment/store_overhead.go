@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"michican/internal/telemetry"
+)
+
+// StoreArm selects how much persistence rides on the wired hub in one
+// measurement arm of the store-overhead grid.
+type StoreArm int
+
+const (
+	// StoreOff is the in-memory baseline: hub wired, retention off, no
+	// persistence — the configuration every pre-PR8 throughput number used.
+	StoreOff StoreArm = iota
+	// StoreOn attaches a store.Sink draining to disk on the default
+	// NetCommitter-style thresholds with group fsync. This is the arm the
+	// ≤2% idle-persistence budget gates (at the idle cell: exact stepping,
+	// 2% offered load — fast-forward cells are event-rate-bound and only
+	// reported).
+	StoreOn
+	// StoreCheckpoint additionally writes periodic checkpoints, measuring
+	// the full durable configuration a resumable fleet run uses.
+	StoreCheckpoint
+)
+
+// StoreOverheadRow compares one load × stepping-mode cell's throughput
+// across the three persistence arms. PersistOverheadPct (sink vs baseline)
+// is what the ≤2% budget gates at the idle cell; CheckpointOverheadPct
+// documents what periodic checkpoints add on top. DiskBytes reports the
+// persisted size so BENCH_PR8.json ties the overhead to what was actually
+// written.
+type StoreOverheadRow struct {
+	Load          float64      `json:"load"`
+	Mode          SteppingMode `json:"mode"`
+	SimulatedBits int64        `json:"simulated_bits"`
+	// BaselineBitsPerSecond is the best-of-reps throughput with no
+	// persistence attached.
+	BaselineBitsPerSecond float64 `json:"baseline_bits_per_second"`
+	// PersistBitsPerSecond adds the segment-store sink.
+	PersistBitsPerSecond float64 `json:"persist_bits_per_second"`
+	// CheckpointBitsPerSecond additionally writes periodic checkpoints.
+	CheckpointBitsPerSecond float64 `json:"checkpoint_bits_per_second"`
+	// PersistOverheadPct is the median across measurement rounds of the
+	// paired per-round slowdown (baseline − persist) / baseline × 100, the
+	// same estimator the PR5/PR7 guards use; negative values (noise) are
+	// reported as measured.
+	PersistOverheadPct float64 `json:"persist_overhead_pct"`
+	// CheckpointOverheadPct is the same paired median for the checkpointing
+	// arm.
+	CheckpointOverheadPct float64 `json:"checkpoint_overhead_pct"`
+	// DiskBytes is the store directory's segment payload size after one
+	// repetition of the persist arm.
+	DiskBytes int64 `json:"disk_bytes"`
+	// EventsAppended is the event count behind DiskBytes, for rate context.
+	EventsAppended int64 `json:"events_appended"`
+}
+
+// String renders the row for terminal output.
+func (r StoreOverheadRow) String() string {
+	return fmt.Sprintf("load=%2.0f%%  %-10s  mem=%7.2f Mbit/s  +store=%7.2f (%+.2f%%)  +checkpoints=%7.2f (%+.2f%%)  disk=%dKiB",
+		r.Load*100, r.Mode, r.BaselineBitsPerSecond/1e6,
+		r.PersistBitsPerSecond/1e6, r.PersistOverheadPct,
+		r.CheckpointBitsPerSecond/1e6, r.CheckpointOverheadPct,
+		r.DiskBytes/1024)
+}
+
+// StoreStackStats is what a persistence arm's teardown reports back so the
+// row can include on-disk size (zero for StoreOff).
+type StoreStackStats struct {
+	DiskBytes      int64
+	EventsAppended int64
+}
+
+// MeasureStoreOverhead measures one cell of the persistence-overhead grid
+// with the same discipline as MeasureObsOverhead: interleaved arms, a fresh
+// stack and a fresh store directory per repetition, per-rep GC, paired
+// per-round medians. newStack builds one arm's hub plus sink (and store
+// directory) and returns a teardown that finalizes persistence and reports
+// what landed on disk; the caller owns the store wiring so this package's
+// measurement loop stays identical across PRs.
+func MeasureStoreOverhead(load float64, mode SteppingMode, simBits int64,
+	newStack func(arm StoreArm) (*telemetry.Hub, func() (StoreStackStats, error), error)) (StoreOverheadRow, error) {
+	const reps = 11
+	const minWallSecondsPerRep = 0.4
+	row := StoreOverheadRow{Load: load, Mode: mode, SimulatedBits: simBits}
+	cal, err := runScenarioOnce(load, mode, simBits, nil)
+	if err != nil {
+		return row, err
+	}
+	if wall := float64(simBits) / cal; wall < minWallSecondsPerRep {
+		row.SimulatedBits = int64(cal * minWallSecondsPerRep)
+	}
+
+	arms := []StoreArm{StoreOff, StoreOn, StoreCheckpoint}
+	best := make([]float64, len(arms))
+	rounds := make([][]float64, len(arms))
+	for rep := 0; rep < reps; rep++ {
+		for i, arm := range arms {
+			hub, teardown, err := newStack(arm)
+			if err != nil {
+				return row, err
+			}
+			runtime.GC()
+			bps, err := runScenarioOnce(load, mode, row.SimulatedBits, hub)
+			stats, terr := teardown()
+			if err != nil {
+				return row, err
+			}
+			if terr != nil {
+				return row, terr
+			}
+			if arm == StoreOn && stats.DiskBytes > row.DiskBytes {
+				row.DiskBytes = stats.DiskBytes
+				row.EventsAppended = stats.EventsAppended
+			}
+			if bps > best[i] {
+				best[i] = bps
+			}
+			rounds[i] = append(rounds[i], bps)
+		}
+	}
+	row.BaselineBitsPerSecond = best[StoreOff]
+	row.PersistBitsPerSecond = best[StoreOn]
+	row.CheckpointBitsPerSecond = best[StoreCheckpoint]
+	pairedMedianPct := func(arm StoreArm) float64 {
+		pcts := make([]float64, reps)
+		for r := 0; r < reps; r++ {
+			base, other := rounds[StoreOff][r], rounds[arm][r]
+			pcts[r] = (base - other) / base * 100
+		}
+		sort.Float64s(pcts)
+		if reps%2 == 1 {
+			return pcts[reps/2]
+		}
+		return (pcts[reps/2-1] + pcts[reps/2]) / 2
+	}
+	row.PersistOverheadPct = pairedMedianPct(StoreOn)
+	row.CheckpointOverheadPct = pairedMedianPct(StoreCheckpoint)
+	return row, nil
+}

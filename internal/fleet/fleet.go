@@ -89,6 +89,13 @@ type Config struct {
 	// must not block; calling Add from it is allowed — that is how churn
 	// drivers backfill departures.
 	OnRetire func(VehicleResult)
+	// OnFinalize, when set, receives each retiring vehicle and its complete
+	// incident log on the worker goroutine, immediately after Finalize and
+	// before the aggregate hand-off. This is the durable store's hook: the
+	// vehicle's hub and store sink are still alive here, so the retirement
+	// persists (incidents appended, final checkpoint written) before the
+	// fleet releases the vehicle.
+	OnFinalize func(v Vehicle, incs []forensics.Incident)
 }
 
 // Defaults fills unset fields.
@@ -429,6 +436,9 @@ func (w *worker) retire(s *shard) {
 		return
 	}
 	incs := s.v.Finalize()
+	if cb := w.f.cfg.OnFinalize; cb != nil {
+		cb(s.v, incs)
+	}
 	w.f.agg.handOff(s.v.ID(), incs)
 	res := VehicleResult{
 		ID:        s.v.ID(),

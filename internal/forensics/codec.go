@@ -1,0 +1,57 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"michican/internal/can"
+)
+
+// EncodeIncident marshals one incident into its canonical single-line JSON
+// form, used by the durable store as the incident record payload.
+// encoding/json's stable struct-field ordering makes the bytes
+// deterministic, which the store's resume protocol relies on (incident
+// prefix hashes must match across a resumed and an uninterrupted run).
+func EncodeIncident(inc Incident) ([]byte, error) {
+	return json.Marshal(inc)
+}
+
+// EncodeIncidents marshals a batch in order.
+func EncodeIncidents(incs []Incident) ([][]byte, error) {
+	out := make([][]byte, len(incs))
+	for i, inc := range incs {
+		p, err := EncodeIncident(inc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// DecodeIncident rehydrates a stored incident payload. The binary ID field
+// carries `json:"-"` (IDHex is the serialized form), so it is re-parsed here;
+// everything else round-trips through the struct tags.
+func DecodeIncident(payload []byte) (Incident, error) {
+	var inc Incident
+	if err := json.Unmarshal(payload, &inc); err != nil {
+		return Incident{}, err
+	}
+	id, err := parseHexID(inc.IDHex)
+	if err != nil {
+		return Incident{}, fmt.Errorf("incident %q: %w", inc.IDHex, err)
+	}
+	inc.ID = id
+	return inc, nil
+}
+
+// parseHexID parses the 0xNNN form EncodeIncident writes into IDHex.
+func parseHexID(s string) (can.ID, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad incident id: %w", err)
+	}
+	return can.ID(v), nil
+}

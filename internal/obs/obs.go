@@ -31,6 +31,7 @@ import (
 	"michican/internal/bus"
 	"michican/internal/controller"
 	"michican/internal/forensics"
+	"michican/internal/store"
 	"michican/internal/telemetry"
 )
 
@@ -40,12 +41,24 @@ type Server struct {
 	srv *http.Server
 }
 
+// Option customizes a Server beyond the hub + engine pair (see WithStore).
+type Option func(*serverConfig)
+
+// serverConfig collects optional server wiring.
+type serverConfig struct {
+	store *store.Store
+}
+
 // Serve binds addr (host:port; use ":0" or "127.0.0.1:0" for an ephemeral
 // port) and serves the observability surface for the given hub and engine in
 // a background goroutine. Either may be nil: a nil engine serves an empty
 // incident log, a nil hub an empty metrics page. Close shuts the listener
 // down.
-func Serve(addr string, hub *telemetry.Hub, eng *forensics.Engine) (*Server, error) {
+func Serve(addr string, hub *telemetry.Hub, eng *forensics.Engine, opts ...Option) (*Server, error) {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -65,8 +78,16 @@ func Serve(addr string, hub *telemetry.Hub, eng *forensics.Engine) (*Server, err
 		writeJSON(w, Incidents(eng))
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, snapshotView(hub))
+		v := snapshotView(hub)
+		if cfg.store != nil {
+			ss := storeStatus(cfg.store)
+			v.Store = &ss
+		}
+		writeJSON(w, v)
 	})
+	if cfg.store != nil {
+		registerStoreHandlers(mux, cfg.store)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -80,6 +101,9 @@ func Serve(addr string, hub *telemetry.Hub, eng *forensics.Engine) (*Server, err
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "michican observability server")
 		fmt.Fprintln(w, "  /healthz   /metrics   /incidents   /snapshot   /debug/pprof/")
+		if cfg.store != nil {
+			fmt.Fprintln(w, "  /store   /store/window?from=&to=   /store/incidents")
+		}
 	})
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
@@ -181,6 +205,9 @@ type FastPathSnapshot struct {
 type SnapshotView struct {
 	Nodes     []NodeSnapshot   `json:"nodes"`
 	FastPaths FastPathSnapshot `json:"fast_paths"`
+	// Store reports the durable store's status when one is attached
+	// (WithStore); omitted for in-memory runs.
+	Store *StoreStatus `json:"store,omitempty"`
 }
 
 // snapshotView assembles the live state page. Metric lookups use the

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"michican/internal/forensics"
+	"michican/internal/store"
+	"michican/internal/telemetry"
+)
+
+// WithStore attaches a durable store to the server: /snapshot grows a store
+// block and three endpoints open the historical record —
+//
+//	/store                     status: meta, persistence counters, latest checkpoint
+//	/store/window?from=&to=    the stored event stream for a bit-time window, as JSONL
+//	/store/incidents           every persisted incident, rehydrated
+//
+// All three read segments and checkpoint files already on disk; the
+// simulation datapath is untouched.
+func WithStore(st *store.Store) Option {
+	return func(cfg *serverConfig) { cfg.store = st }
+}
+
+// StoreStatus is the /store payload (and the /snapshot store block).
+type StoreStatus struct {
+	Dir          string      `json:"dir"`
+	Kind         string      `json:"kind"`
+	SegmentBytes int64       `json:"segment_bytes"`
+	Fsync        string      `json:"fsync"`
+	Events       int64       `json:"events"`
+	Incidents    int64       `json:"incidents"`
+	Stats        store.Stats `json:"stats"`
+	// LatestCheckpoint is the newest usable resume point; omitted when the
+	// run has not checkpointed yet.
+	LatestCheckpoint *store.Checkpoint `json:"latest_checkpoint,omitempty"`
+}
+
+// storeStatus assembles the status payload.
+func storeStatus(st *store.Store) StoreStatus {
+	meta := st.Meta()
+	v := StoreStatus{
+		Dir:          st.Dir(),
+		Kind:         meta.Kind,
+		SegmentBytes: meta.SegmentBytes,
+		Fsync:        meta.Fsync,
+		Events:       st.EventCount(),
+		Incidents:    st.IncidentCount(),
+		Stats:        st.Stats(),
+	}
+	if cp, err := st.LatestCheckpoint(); err == nil {
+		v.LatestCheckpoint = &cp
+	}
+	return v
+}
+
+// registerStoreHandlers mounts the /store endpoints.
+func registerStoreHandlers(mux *http.ServeMux, st *store.Store) {
+	mux.HandleFunc("/store", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, storeStatus(st))
+	})
+	mux.HandleFunc("/store/window", func(w http.ResponseWriter, r *http.Request) {
+		from, to, err := windowBounds(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		var buf []byte
+		werr := st.EventsInWindow(from, to, func(ev telemetry.NamedEvent) error {
+			buf = telemetry.AppendEventJSON(buf[:0], ev.Node, telemetry.Event{
+				Time: ev.Time, Kind: ev.Kind, A: ev.A, B: ev.B,
+			})
+			buf = append(buf, '\n')
+			_, err := w.Write(buf)
+			return err
+		})
+		if werr != nil {
+			// Headers are gone; the truncated stream is the best signal left.
+			return
+		}
+	})
+	mux.HandleFunc("/store/incidents", func(w http.ResponseWriter, _ *http.Request) {
+		incs := []forensics.Incident{}
+		err := st.IncidentPayloads(func(p []byte) error {
+			inc, err := forensics.DecodeIncident(p)
+			if err != nil {
+				return err
+			}
+			incs = append(incs, inc)
+			return nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, incs)
+	})
+}
+
+// windowBounds parses from/to query params (bit times; both optional —
+// missing bounds open that side of the window).
+func windowBounds(r *http.Request) (int64, int64, error) {
+	from, to := int64(0), int64(1)<<62
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad from=%q", s)
+		}
+		from = v
+	}
+	if s := r.URL.Query().Get("to"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad to=%q", s)
+		}
+		to = v
+	}
+	if to < from {
+		return 0, 0, fmt.Errorf("empty window: from=%d > to=%d", from, to)
+	}
+	return from, to, nil
+}

@@ -1,0 +1,106 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"michican/internal/forensics"
+	"michican/internal/obs"
+	"michican/internal/store"
+	"michican/internal/telemetry"
+)
+
+func TestStoreEndpoints(t *testing.T) {
+	st, err := store.Create(t.TempDir(), store.Meta{Kind: "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	hub := telemetry.NewHub()
+	hub.RetainEvents(false)
+	sink := store.NewSink(st, hub, store.SinkOptions{})
+	emitFight(hub)
+	inc := forensics.Incident{IDHex: "0x173", Start: 100, End: 131, Attempts: 1}
+	payloads, err := forensics.EncodeIncidents([]forensics.Incident{inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.AppendIncidents(payloads); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(2000, true); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := obs.Serve("127.0.0.1:0", hub, nil, obs.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// /store: status with counts and the final checkpoint.
+	code, body := get(t, srv.URL()+"/store")
+	if code != 200 {
+		t.Fatalf("/store status %d: %s", code, body)
+	}
+	var status obs.StoreStatus
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/store JSON: %v", err)
+	}
+	if status.Events != 7 || status.Incidents != 1 {
+		t.Fatalf("/store counts = %d events %d incidents, want 7/1", status.Events, status.Incidents)
+	}
+	if status.LatestCheckpoint == nil || !status.LatestCheckpoint.Completed {
+		t.Fatalf("/store latest checkpoint = %+v, want a completed one", status.LatestCheckpoint)
+	}
+
+	// /store/window: a sub-window of the stored stream as JSONL.
+	code, body = get(t, srv.URL()+"/store/window?from=110&to=120")
+	if code != 200 {
+		t.Fatalf("/store/window status %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("/store/window [110,120] = %d lines, want 5:\n%s", len(lines), body)
+	}
+	if !strings.Contains(lines[0], `"event":"detect"`) {
+		t.Fatalf("window should open with the detect event, got %s", lines[0])
+	}
+	if code, _ := get(t, srv.URL()+"/store/window?from=x"); code != 400 {
+		t.Fatalf("bad window bound should 400, got %d", code)
+	}
+
+	// /store/incidents: rehydrated incident log.
+	code, body = get(t, srv.URL()+"/store/incidents")
+	if code != 200 {
+		t.Fatalf("/store/incidents status %d", code)
+	}
+	var incs []forensics.Incident
+	if err := json.Unmarshal([]byte(body), &incs); err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 || incs[0].IDHex != "0x173" || incs[0].Start != 100 {
+		t.Fatalf("/store/incidents = %+v", incs)
+	}
+
+	// /snapshot: grows the store block, including the sink's counters.
+	code, body = get(t, srv.URL()+"/snapshot")
+	if code != 200 || !strings.Contains(body, `"store"`) {
+		t.Fatalf("/snapshot should include a store block: %d %s", code, body)
+	}
+
+	// /metrics: the sink's persistence counters are on the hub registry.
+	_, body = get(t, srv.URL()+"/metrics")
+	for _, name := range []string{
+		"michican_store_events_appended_total",
+		"michican_store_bytes_appended_total",
+		"michican_store_fsyncs_total",
+		"michican_store_checkpoints_total",
+		"michican_store_drain_backlog",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ResumePoint rewinds an opened store to its newest usable checkpoint and
+// returns SinkOptions prefilled with the skip cursor a resuming sink needs
+// (DESIGN.md §8.3). A store with no checkpoint rewinds to empty — the whole
+// run regenerates. completed reports a store whose final checkpoint says the
+// run already reached its horizon; the returned options are then zero and the
+// store is left untouched.
+func (s *Store) ResumePoint() (opts SinkOptions, completed bool, err error) {
+	cp, err := s.LatestCheckpoint()
+	switch {
+	case errors.Is(err, ErrNoCheckpoint):
+		cp = Checkpoint{}
+	case err != nil:
+		return SinkOptions{}, false, err
+	case cp.Completed:
+		return SinkOptions{}, true, nil
+	}
+	if err := s.TruncateTo(cp); err != nil {
+		return SinkOptions{}, false, err
+	}
+	return SinkOptions{
+		SkipEvents:         cp.Events,
+		SkipIncidents:      cp.Incidents,
+		ExpectPrefixHash:   cp.PrefixHash,
+		ExpectIncidentHash: cp.IncidentHash,
+		ResumeFromBits:     cp.TimeBits,
+	}, false, nil
+}
+
+// ParseWindow parses a bit-time window written as "from:to". Either side may
+// be empty to leave that side open ("5000:" is everything from bit 5000 on;
+// ":" or "" is the whole recording); a bare "N" means from=N with an open
+// end. The returned to is exclusive-ish in the EventsInWindow sense (events
+// with Time in [from, to] are included) and defaults to a practically
+// unbounded value when open.
+func ParseWindow(s string) (from, to int64, err error) {
+	const open = int64(1) << 62
+	from, to = 0, open
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return from, to, nil
+	}
+	lo, hi, found := strings.Cut(s, ":")
+	if lo = strings.TrimSpace(lo); lo != "" {
+		if from, err = strconv.ParseInt(lo, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad window start %q", lo)
+		}
+	}
+	if hi = strings.TrimSpace(hi); found && hi != "" {
+		if to, err = strconv.ParseInt(hi, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad window end %q", hi)
+		}
+	}
+	if to < from {
+		return 0, 0, fmt.Errorf("empty window %q: start %d past end %d", s, from, to)
+	}
+	return from, to, nil
+}

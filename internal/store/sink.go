@@ -1,0 +1,448 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"michican/internal/telemetry"
+)
+
+// Sink drain thresholds when SinkOptions leaves them zero. They mirror the
+// fleet's net-commit discipline (CommitThreshold / CommitIntervalBits): drain
+// when enough events have accumulated or when the simulation has advanced far
+// enough that even a quiet store should make its tail durable.
+const (
+	DefaultFlushEvents       = 4096
+	DefaultFlushIntervalBits = 1 << 20
+	// sinkBatchEvents is the hand-off granularity between the emitting
+	// goroutine and the writer goroutine: the hot path buffers this many
+	// events before shipping them off the simulation thread.
+	sinkBatchEvents = 1024
+	// sinkQueueBatches bounds the in-flight hand-off queue. A full queue
+	// blocks the emitter (backpressure) so memory stays bounded when the
+	// disk cannot keep up.
+	sinkQueueBatches = 8
+	// sinkSyncInterval is the group-commit fsync cadence under FsyncGroup:
+	// drains flush to the OS at the event threshold, but the fsync itself
+	// fires at most once per interval of wall time. A crash therefore loses
+	// at most this much freshly-flushed tail — which checkpoint-resume
+	// regenerates bit-identically anyway, so the window trades nothing but
+	// a few hundred milliseconds of re-simulation. Keeping it long also
+	// keeps an idle bus from paying a steady fsync tax, and fast-forwarded
+	// cells, whose simulated-bit clock runs thousands of times faster than
+	// the wall clock, stop paying one fsync per 4096 events.
+	sinkSyncInterval = 250 * time.Millisecond
+)
+
+// SinkOptions tunes a Sink. The zero value persists every event with
+// group-commit fsyncs per the store's meta policy and no automatic
+// checkpoints.
+type SinkOptions struct {
+	// FlushEvents drains after this many appended-but-unflushed events
+	// (DefaultFlushEvents when zero).
+	FlushEvents int64
+	// FlushIntervalBits drains when the event stream has advanced this many
+	// bit times since the last drain (DefaultFlushIntervalBits when zero).
+	FlushIntervalBits int64
+	// CheckpointIntervalBits writes a checkpoint every so many bit times of
+	// stream progress. Zero disables automatic checkpoints (explicit
+	// Checkpoint calls still work).
+	CheckpointIntervalBits int64
+	// SkipEvents puts the sink in resume mode: the first SkipEvents canonical
+	// events are hashed and discarded instead of appended, because they are
+	// already durable from the interrupted run. SkipIncidents does the same
+	// for incident handoffs.
+	SkipEvents    int64
+	SkipIncidents int64
+	// ExpectPrefixHash / ExpectIncidentHash, when non-empty, are compared
+	// against the running hash once the skip cursor is reached; a mismatch
+	// poisons the sink (Err reports it) because the regenerated prefix
+	// diverged from the durable one and appending the tail would corrupt the
+	// log.
+	ExpectPrefixHash   string
+	ExpectIncidentHash string
+	// ResumeFromBits seeds the flush/checkpoint interval clocks at resume so
+	// the first post-resume checkpoint does not fire immediately.
+	ResumeFromBits int64
+}
+
+// Sink subscribes to a telemetry hub and persists the canonical event stream
+// into a Store. Events pass through a Sequencer (the same reorder machinery
+// JSONLStreamer uses) so they land on disk in canonical (Time, Node, arrival)
+// order, are encoded with telemetry.AppendEventJSON — the store holds the
+// exact bytes WriteJSONL would have produced — and drain to disk on
+// NetCommitter-style thresholds with one group fsync per drain.
+//
+// The hub callback only buffers: events batch on the emitting goroutine and
+// hand off to a dedicated writer goroutine that does everything expensive
+// (canonical ordering, JSON encoding, CRC framing, disk writes, group
+// fsyncs). The on-disk layout is unaffected by the hand-off — segment rolls
+// are a pure function of the record stream — so persistence costs the
+// simulation thread a buffered append, not a write. Persistence errors are
+// sticky and surface from Err, Checkpoint, and Close rather than panicking
+// the datapath.
+//
+// Close requires that emission has stopped (detach order: stop the sim, then
+// Close the sink) — events still in flight on other goroutines at Close time
+// are not guaranteed to persist, exactly as a crash would drop them.
+type Sink struct {
+	st   *Store
+	hub  *telemetry.Hub
+	opts SinkOptions
+
+	cancel func()
+
+	// Hot path: the hub callback appends into inBuf under inMu; full batches
+	// ship through work to the writer goroutine, which recycles their backing
+	// arrays through free.
+	inMu  sync.Mutex
+	inBuf []telemetry.Event
+	added atomic.Int64 // events received from the hub
+	work  chan sinkBatch
+	free  chan []telemetry.Event
+	done  chan struct{}
+
+	// mu guards the writer-side state below plus the incident cursor. The
+	// writer holds it while processing a batch; control calls (Checkpoint,
+	// AppendIncidents, Close, Err) take it between batches.
+	mu    sync.Mutex
+	seq   telemetry.Sequencer
+	names map[telemetry.NodeID]string
+	enc   []byte
+
+	evHash     uint64 // FNV-1a over appended (or skipped) event payloads, canonical order
+	incHash    uint64 // same, over incident payloads
+	skippedEv  int64
+	skippedInc int64
+
+	pendEvents   int64 // appended since last drain
+	lastFlushT   int64
+	lastCpT      int64
+	lastSyncWall time.Time
+	err          error
+
+	// Registry instruments (on the hub's registry, so the counters surface on
+	// /metrics, the obs snapshot, and — via the fleet NetCommitter fold —
+	// /fleet/metrics). Reconciled from Store.Stats deltas at drain points to
+	// keep the per-event path free of extra atomics.
+	cEvents, cIncidents, cBytes, cSealed, cFsyncs, cCheckpoints *telemetry.Counter
+	gBacklog, gCheckpointMs                                     *telemetry.Gauge
+	lastStats                                                   Stats
+}
+
+// sinkBatch is one hand-off unit. A non-nil done channel is a barrier: the
+// writer closes it once every event received before the hand-off is
+// processed.
+type sinkBatch struct {
+	evs  []telemetry.Event
+	done chan struct{}
+}
+
+const fnvOffset64 = 14695981039346656037
+
+// NewSink attaches a persistence sink to hub, writing into st. Detach with
+// Close.
+func NewSink(st *Store, hub *telemetry.Hub, opts SinkOptions) *Sink {
+	if opts.FlushEvents == 0 {
+		opts.FlushEvents = DefaultFlushEvents
+	}
+	if opts.FlushIntervalBits == 0 {
+		opts.FlushIntervalBits = DefaultFlushIntervalBits
+	}
+	s := &Sink{
+		st:           st,
+		hub:          hub,
+		opts:         opts,
+		inBuf:        make([]telemetry.Event, 0, sinkBatchEvents),
+		work:         make(chan sinkBatch, sinkQueueBatches),
+		free:         make(chan []telemetry.Event, sinkQueueBatches+1),
+		done:         make(chan struct{}),
+		names:        make(map[telemetry.NodeID]string),
+		evHash:       fnvOffset64,
+		incHash:      fnvOffset64,
+		lastFlushT:   opts.ResumeFromBits,
+		lastCpT:      opts.ResumeFromBits,
+		lastSyncWall: time.Now(),
+	}
+	reg := hub.Registry()
+	s.cEvents = reg.Counter("michican_store_events_appended_total")
+	s.cIncidents = reg.Counter("michican_store_incidents_appended_total")
+	s.cBytes = reg.Counter("michican_store_bytes_appended_total")
+	s.cSealed = reg.Counter("michican_store_segments_sealed_total")
+	s.cFsyncs = reg.Counter("michican_store_fsyncs_total")
+	s.cCheckpoints = reg.Counter("michican_store_checkpoints_total")
+	s.gBacklog = reg.Gauge("michican_store_drain_backlog")
+	s.gCheckpointMs = reg.Gauge("michican_store_checkpoint_ms")
+	s.seq.Emit = s.release
+	go s.writer()
+	s.cancel = hub.Subscribe(func(ev telemetry.Event) {
+		s.inMu.Lock()
+		s.inBuf = append(s.inBuf, ev)
+		n := len(s.inBuf)
+		s.inMu.Unlock()
+		s.added.Add(1)
+		if n >= sinkBatchEvents {
+			s.handOff(nil)
+		}
+	})
+	return s
+}
+
+// handOff ships the hot-path buffer to the writer, optionally with a barrier
+// the writer closes once the batch is processed. Empty buffers still ship
+// when a barrier rides along.
+func (s *Sink) handOff(barrier chan struct{}) {
+	s.inMu.Lock()
+	evs := s.inBuf
+	var next []telemetry.Event
+	select {
+	case next = <-s.free:
+	default:
+		next = make([]telemetry.Event, 0, sinkBatchEvents)
+	}
+	s.inBuf = next
+	s.inMu.Unlock()
+	if len(evs) == 0 && barrier == nil {
+		// Nothing to ship; put the swapped-in buffer's predecessor back.
+		select {
+		case s.free <- evs:
+		default:
+		}
+		return
+	}
+	s.work <- sinkBatch{evs: evs, done: barrier}
+}
+
+// barrier flushes the hot-path buffer and waits until the writer has
+// processed every event received so far.
+func (s *Sink) barrier() {
+	ch := make(chan struct{})
+	s.handOff(ch)
+	<-ch
+}
+
+// writer is the persistence goroutine: it owns the sequencer and the store
+// appends, so the emitting thread never waits on the disk.
+func (s *Sink) writer() {
+	defer close(s.done)
+	for b := range s.work {
+		s.mu.Lock()
+		for _, ev := range b.evs {
+			s.seq.Add(ev)
+		}
+		s.mu.Unlock()
+		if b.evs != nil {
+			select {
+			case s.free <- b.evs[:0]:
+			default:
+			}
+		}
+		if b.done != nil {
+			close(b.done)
+		}
+	}
+}
+
+// hashPayload folds one framed payload into a running FNV-1a hash, with a
+// newline as the record separator (so the hash equals FNV-1a of the JSONL
+// text of the prefix).
+func hashPayload(h uint64, payload []byte) uint64 {
+	const prime = 1099511628211
+	for _, b := range payload {
+		h ^= uint64(b)
+		h *= prime
+	}
+	h ^= '\n'
+	h *= prime
+	return h
+}
+
+func hashString(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// release receives one canonically-ordered event from the sequencer. Called
+// with s.mu held, on the writer goroutine.
+func (s *Sink) release(ev telemetry.Event) {
+	if s.err != nil {
+		return
+	}
+	name, ok := s.names[ev.Node]
+	if !ok {
+		name = s.hub.NodeName(ev.Node)
+		s.names[ev.Node] = name
+	}
+	s.enc = telemetry.AppendEventJSON(s.enc[:0], name, ev)
+	s.evHash = hashPayload(s.evHash, s.enc)
+	if s.skippedEv < s.opts.SkipEvents {
+		// Resume: this event is already durable from the interrupted run.
+		// Hash it for the boundary check instead of re-appending.
+		s.skippedEv++
+		if s.skippedEv == s.opts.SkipEvents && s.opts.ExpectPrefixHash != "" {
+			if got := hashString(s.evHash); got != s.opts.ExpectPrefixHash {
+				s.err = fmt.Errorf("store: resume prefix diverged: regenerated %d events hash %s, checkpoint recorded %s",
+					s.skippedEv, got, s.opts.ExpectPrefixHash)
+			}
+		}
+		return
+	}
+	if err := s.st.AppendEvent(s.enc, ev.Time); err != nil {
+		s.err = err
+		return
+	}
+	s.pendEvents++
+	if s.pendEvents >= s.opts.FlushEvents || ev.Time-s.lastFlushT >= s.opts.FlushIntervalBits {
+		s.drainLocked(ev.Time)
+	}
+	if s.opts.CheckpointIntervalBits > 0 && ev.Time-s.lastCpT >= s.opts.CheckpointIntervalBits {
+		s.checkpointLocked(ev.Time, false)
+	}
+}
+
+// drainLocked flushes the appended tail to the OS, group-commits it with an
+// fsync when the policy and wall-clock cadence call for one, and reconciles
+// the registry instruments.
+func (s *Sink) drainLocked(t int64) {
+	var err error
+	if s.st.Meta().Fsync == FsyncGroup && time.Since(s.lastSyncWall) >= sinkSyncInterval {
+		err = s.st.Sync()
+		s.lastSyncWall = time.Now()
+	} else {
+		err = s.st.Flush()
+	}
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	s.pendEvents = 0
+	s.lastFlushT = t
+	s.reconcileLocked()
+}
+
+// reconcileLocked folds Store.Stats deltas into the hub registry instruments.
+func (s *Sink) reconcileLocked() {
+	st := s.st.Stats()
+	s.cEvents.Add(st.EventsAppended - s.lastStats.EventsAppended)
+	s.cIncidents.Add(st.IncidentsAppended - s.lastStats.IncidentsAppended)
+	s.cBytes.Add(st.BytesAppended - s.lastStats.BytesAppended)
+	s.cSealed.Add(st.SegmentsSealed - s.lastStats.SegmentsSealed)
+	s.cFsyncs.Add(st.Fsyncs - s.lastStats.Fsyncs)
+	s.cCheckpoints.Add(st.Checkpoints - s.lastStats.Checkpoints)
+	s.gCheckpointMs.Set(st.LastCheckpointMs)
+	s.lastStats = st
+	// Backlog: events received from the hub but not yet durable — the
+	// hand-off queue plus the sequencer's reorder window plus anything
+	// buffered between drains. Stats counters restart at zero per process,
+	// so at resume the skipped prefix is subtracted rather than the prior
+	// run's appends.
+	s.gBacklog.Set(float64(s.added.Load() - s.skippedEv - st.EventsAppended))
+}
+
+// checkpointLocked writes a checkpoint at bit time t. Suppressed while the
+// skip cursor has not been reached (the interrupted run's checkpoints
+// already cover that prefix).
+func (s *Sink) checkpointLocked(t int64, completed bool) {
+	if s.err != nil {
+		return
+	}
+	if s.skippedEv < s.opts.SkipEvents {
+		return
+	}
+	start := time.Now()
+	cp := Checkpoint{
+		TimeBits:     t,
+		Events:       s.st.EventCount(),
+		Incidents:    s.st.IncidentCount(),
+		PrefixHash:   hashString(s.evHash),
+		IncidentHash: hashString(s.incHash),
+		Completed:    completed,
+	}
+	if _, err := s.st.WriteCheckpoint(cp); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.st.noteCheckpointMs(float64(time.Since(start).Nanoseconds()) / 1e6)
+	s.lastCpT = t
+	s.pendEvents = 0
+	s.lastFlushT = t
+	s.reconcileLocked()
+}
+
+// AppendIncidents persists a batch of marshalled incident payloads (the
+// forensics package's canonical encoding), honouring the resume skip cursor.
+func (s *Sink) AppendIncidents(payloads [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range payloads {
+		s.incHash = hashPayload(s.incHash, p)
+		if s.skippedInc < s.opts.SkipIncidents {
+			s.skippedInc++
+			if s.skippedInc == s.opts.SkipIncidents && s.opts.ExpectIncidentHash != "" {
+				if got := hashString(s.incHash); got != s.opts.ExpectIncidentHash {
+					s.err = fmt.Errorf("store: resume incident prefix diverged: hash %s, checkpoint recorded %s",
+						got, s.opts.ExpectIncidentHash)
+				}
+			}
+			continue
+		}
+		if err := s.st.AppendIncident(p); err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			return err
+		}
+	}
+	return s.err
+}
+
+// Checkpoint waits for the writer to catch up with everything received so
+// far, flushes the reorder window's released tail, and durably records a
+// resume point at bit time t.
+func (s *Sink) Checkpoint(t int64) error {
+	s.barrier()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkpointLocked(t, false)
+	return s.err
+}
+
+// Skipping reports whether the sink is still discarding the regenerated
+// prefix of a resumed run.
+func (s *Sink) Skipping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skippedEv < s.opts.SkipEvents
+}
+
+// Err returns the first persistence or resume-validation error, if any.
+func (s *Sink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close detaches from the hub, joins the writer goroutine, flushes the
+// reorder window, makes everything durable, and — when completed is true —
+// writes a final checkpoint marked Completed at bit time t. Returns the
+// first error encountered.
+func (s *Sink) Close(t int64, completed bool) error {
+	s.cancel()
+	s.barrier()
+	close(s.work)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq.Flush()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.st.Sync(); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return s.err
+	}
+	if completed {
+		s.checkpointLocked(t, true)
+	}
+	s.reconcileLocked()
+	return s.err
+}

@@ -1,0 +1,237 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"michican/internal/telemetry"
+)
+
+// emitScripted drives a deterministic cross-node event script through a
+// hub: two nodes whose emissions interleave out of global time order (as
+// batch fast-path delivery does), exercising the sink's sequencer. Returns
+// the final bit time.
+func emitScripted(h *telemetry.Hub, n int) int64 {
+	return emitScriptedFrom(h, 0, n)
+}
+
+// emitScriptedFrom is emitScripted starting at bit time start, so a run can
+// be split around an explicit checkpoint.
+func emitScriptedFrom(h *telemetry.Hub, start int64, n int) int64 {
+	a := h.Probe("alice")
+	b := h.Probe("bob")
+	t := start
+	for i := 0; i < n; i++ {
+		t += 50
+		// bob's span is delivered first even though alice's events in it are
+		// earlier — the sequencer must restore (Time, Node) order.
+		b.Emit(t+20, telemetry.EvTxStart, int64(0x123), 0)
+		b.Emit(t+40, telemetry.EvTxSuccess, int64(0x123), 0)
+		a.Emit(t+10, telemetry.EvArbLost, 3, 0)
+		a.Emit(t+30, telemetry.EvREC, int64(i%16), int64((i-1)%16))
+		t += 100
+	}
+	return t
+}
+
+// durableJSONL reads every stored event back as JSONL text.
+func durableJSONL(t *testing.T, dir string) []byte {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var buf bytes.Buffer
+	err = s.Events(func(ev telemetry.NamedEvent) error {
+		line := telemetry.AppendEventJSON(nil, ev.Node, telemetry.Event{Time: ev.Time, Kind: ev.Kind, A: ev.A, B: ev.B})
+		buf.Write(line)
+		buf.WriteByte('\n')
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSinkMatchesWriteJSONL(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, Meta{Kind: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := telemetry.NewHub()
+	sink := NewSink(st, h, SinkOptions{FlushEvents: 7})
+	end := emitScripted(h, 500)
+	if err := sink.Close(end, true); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	var want bytes.Buffer
+	if err := h.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	got := durableJSONL(t, dir)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("durable stream diverges from WriteJSONL: %d vs %d bytes", len(got), want.Len())
+	}
+
+	// The completed run left a final checkpoint covering everything.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cp, err := st2.LatestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Completed || cp.Events != st2.EventCount() {
+		t.Fatalf("final checkpoint = %+v, events on disk %d", cp, st2.EventCount())
+	}
+}
+
+func TestSinkCountersOnHubRegistry(t *testing.T) {
+	st, err := Create(t.TempDir(), Meta{Kind: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := telemetry.NewHub()
+	sink := NewSink(st, h, SinkOptions{FlushEvents: 16})
+	end := emitScripted(h, 100)
+	if err := sink.Close(end, true); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	reg := h.Registry()
+	if c := reg.FindCounter("michican_store_events_appended_total"); c == nil || c.Value() != 400 {
+		t.Fatalf("events_appended counter = %v", c)
+	}
+	if c := reg.FindCounter("michican_store_bytes_appended_total"); c == nil || c.Value() == 0 {
+		t.Fatal("bytes_appended counter missing or zero")
+	}
+	if c := reg.FindCounter("michican_store_fsyncs_total"); c == nil || c.Value() == 0 {
+		t.Fatal("fsyncs counter missing or zero")
+	}
+	if c := reg.FindCounter("michican_store_checkpoints_total"); c == nil || c.Value() != 1 {
+		t.Fatalf("checkpoints counter = %v", c)
+	}
+	if g := reg.FindGauge("michican_store_drain_backlog"); g == nil || g.Value() != 0 {
+		t.Fatalf("drain backlog gauge should be 0 after Close, got %v", g)
+	}
+}
+
+func TestSinkResumeConvergesByteIdentical(t *testing.T) {
+	// Reference: an uninterrupted run with periodic checkpoints.
+	refDir := t.TempDir()
+	refStore, err := Create(refDir, Meta{Kind: "test", SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHub := telemetry.NewHub()
+	refSink := NewSink(refStore, refHub, SinkOptions{FlushEvents: 64, CheckpointIntervalBits: 10_000})
+	refEnd := emitScripted(refHub, 2000)
+	refIncs := [][]byte{[]byte(`{"id":"0x123","start":100,"end":900}`)}
+	if err := refSink.AppendIncidents(refIncs); err != nil {
+		t.Fatal(err)
+	}
+	if err := refSink.Close(refEnd, true); err != nil {
+		t.Fatal(err)
+	}
+	refStore.Close()
+
+	// Interrupted run: same stream, killed mid-way with no clean close. The
+	// run reaches a durable checkpoint at 50%, emits a further 10% whose
+	// records are buffered or appended but never checkpointed, then
+	// "crashes": everything past the checkpoint — writer-queue backlog and
+	// post-checkpoint appends alike — is simply abandoned, as after SIGKILL.
+	dir := t.TempDir()
+	st1, err := Create(dir, Meta{Kind: "test", SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := telemetry.NewHub()
+	s1 := NewSink(st1, h1, SinkOptions{FlushEvents: 64, CheckpointIntervalBits: 10_000})
+	mid := emitScriptedFrom(h1, 0, 1000)
+	if err := s1.Checkpoint(mid); err != nil {
+		t.Fatal(err)
+	}
+	emitScriptedFrom(h1, mid, 200) // the doomed tail
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close() // release file handles only; no Close(), no final checkpoint
+
+	// Recovery: open, rewind to the newest checkpoint, re-run the generator
+	// with the sink skipping the durable prefix.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := st2.LatestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Events == 0 || cp.Completed {
+		t.Fatalf("unexpected checkpoint %+v", cp)
+	}
+	if err := st2.TruncateTo(cp); err != nil {
+		t.Fatal(err)
+	}
+	h2 := telemetry.NewHub()
+	s2 := NewSink(st2, h2, SinkOptions{
+		FlushEvents:            64,
+		CheckpointIntervalBits: 10_000,
+		SkipEvents:             cp.Events,
+		SkipIncidents:          cp.Incidents,
+		ExpectPrefixHash:       cp.PrefixHash,
+		ExpectIncidentHash:     cp.IncidentHash,
+		ResumeFromBits:         cp.TimeBits,
+	})
+	end2 := emitScripted(h2, 2000) // the full deterministic run, regenerated
+	if err := s2.AppendIncidents(refIncs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(end2, true); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	assertSameSegments(t, dir, refDir)
+	if got, want := durableJSONL(t, dir), durableJSONL(t, refDir); !bytes.Equal(got, want) {
+		t.Fatal("resumed event stream differs from uninterrupted run")
+	}
+}
+
+func TestSinkResumeDetectsDivergedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, Meta{Kind: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := telemetry.NewHub()
+	s := NewSink(st, h, SinkOptions{})
+	emitScripted(h, 50)
+	if err := s.Close(100000, false); err != nil {
+		t.Fatal(err)
+	}
+	n := st.EventCount()
+	st.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	h2 := telemetry.NewHub()
+	s2 := NewSink(st2, h2, SinkOptions{
+		SkipEvents:       n,
+		ExpectPrefixHash: "0000000000000000", // wrong on purpose
+	})
+	end := emitScripted(h2, 50)
+	if err := s2.Close(end, false); err == nil {
+		t.Fatal("diverged prefix hash must poison the sink")
+	}
+}

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -41,57 +40,102 @@ func (h *Hub) WriteJSONL(w io.Writer) error {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
+	var buf []byte
 	for _, ev := range h.sortedEvents() {
-		if err := writeEventJSON(bw, h.NodeName(ev.Node), ev); err != nil {
+		buf = AppendEventJSON(buf[:0], h.NodeName(ev.Node), ev)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// writeEventJSON renders one event. Hand-rolled rather than encoding/json:
-// the field set depends on the kind, and the stable field order keeps the
-// stream diffable across runs.
+// writeEventJSON renders one event plus its newline. Kept as the internal
+// convenience the streaming exporters use; AppendEventJSON is the canonical
+// encoder.
 func writeEventJSON(w *bufio.Writer, node string, ev Event) error {
-	if _, err := fmt.Fprintf(w, `{"t":%d,"node":%s,"event":%q`,
-		ev.Time, strconv.Quote(node), ev.Kind.String()); err != nil {
-		return err
+	buf := AppendEventJSON(make([]byte, 0, 96), node, ev)
+	buf = append(buf, '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+// ffPathName names an EvFFSpan B-argument path code as it appears in the
+// JSONL stream.
+func ffPathName(code int64) string {
+	switch code {
+	case 1:
+		return "frame"
+	case 2:
+		return "contend"
+	case 3:
+		return "splice"
+	default:
+		return "idle"
 	}
-	var err error
+}
+
+// AppendEventJSON appends one event's JSONL record (without the trailing
+// newline) to dst and returns the grown slice. The encoding is hand-rolled
+// rather than encoding/json: the field set depends on the kind, and the
+// stable field order keeps the stream diffable across runs. Exported so the
+// durable store can frame the exact bytes WriteJSONL would produce, and so
+// the two stay one encoder.
+func AppendEventJSON(dst []byte, node string, ev Event) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendInt(dst, ev.Time, 10)
+	dst = append(dst, `,"node":`...)
+	dst = strconv.AppendQuote(dst, node)
+	dst = append(dst, `,"event":`...)
+	dst = strconv.AppendQuote(dst, ev.Kind.String())
+	appendHexID := func(dst []byte, id int64) []byte {
+		dst = append(dst, `,"id":"0x`...)
+		hex := strconv.FormatInt(id, 16)
+		for i := len(hex); i < 3; i++ {
+			dst = append(dst, '0')
+		}
+		for _, c := range hex {
+			if c >= 'a' && c <= 'f' {
+				c -= 'a' - 'A'
+			}
+			dst = append(dst, byte(c))
+		}
+		return append(dst, '"')
+	}
 	switch ev.Kind {
-	case EvArbWon:
-		_, err = fmt.Fprintf(w, `,"id":"0x%03X"`, ev.A)
+	case EvArbWon, EvTxStart, EvTxSuccess:
+		dst = appendHexID(dst, ev.A)
 	case EvArbLost:
-		_, err = fmt.Fprintf(w, `,"at_wire_bit":%d`, ev.A)
+		dst = append(dst, `,"at_wire_bit":`...)
+		dst = strconv.AppendInt(dst, ev.A, 10)
 	case EvDetect:
-		_, err = fmt.Fprintf(w, `,"bit":%d`, ev.A)
+		dst = append(dst, `,"bit":`...)
+		dst = strconv.AppendInt(dst, ev.A, 10)
 	case EvPullStart, EvPullEnd:
-		_, err = fmt.Fprintf(w, `,"bits":%d`, ev.A)
+		dst = append(dst, `,"bits":`...)
+		dst = strconv.AppendInt(dst, ev.A, 10)
 	case EvError:
-		role := "rx"
+		dst = append(dst, `,"kind":`...)
+		dst = strconv.AppendQuote(dst, ErrorKindName(ev.A))
+		dst = append(dst, `,"role":`...)
 		if ev.B != 0 {
-			role = "tx"
+			dst = append(dst, `"tx"`...)
+		} else {
+			dst = append(dst, `"rx"`...)
 		}
-		_, err = fmt.Fprintf(w, `,"kind":%q,"role":%q`, ErrorKindName(ev.A), role)
 	case EvTEC, EvREC:
-		_, err = fmt.Fprintf(w, `,"value":%d,"prev":%d`, ev.A, ev.B)
+		dst = append(dst, `,"value":`...)
+		dst = strconv.AppendInt(dst, ev.A, 10)
+		dst = append(dst, `,"prev":`...)
+		dst = strconv.AppendInt(dst, ev.B, 10)
 	case EvFFSpan:
-		path := "idle"
-		switch ev.B {
-		case 1:
-			path = "frame"
-		case 2:
-			path = "contend"
-		}
-		_, err = fmt.Fprintf(w, `,"bits":%d,"path":%q`, ev.A, path)
-	case EvTxStart, EvTxSuccess:
-		_, err = fmt.Fprintf(w, `,"id":"0x%03X"`, ev.A)
+		dst = append(dst, `,"bits":`...)
+		dst = strconv.AppendInt(dst, ev.A, 10)
+		dst = append(dst, `,"path":`...)
+		dst = strconv.AppendQuote(dst, ffPathName(ev.B))
 	case EvErrorEnd, EvBusOff, EvRecover:
 		// No arguments.
 	}
-	if err != nil {
-		return err
-	}
-	_, err = w.WriteString("}\n")
-	return err
+	return append(dst, '}')
 }

@@ -39,7 +39,21 @@ func errorKindCode(name string) int64 {
 	return code
 }
 
-// jsonlRecord is the union of every kind-specific field writeEventJSON emits.
+// ffPathCode is the inverse of ffPathName.
+func ffPathCode(name string) int64 {
+	switch name {
+	case "frame":
+		return 1
+	case "contend":
+		return 2
+	case "splice":
+		return 3
+	default:
+		return 0
+	}
+}
+
+// jsonlRecord is the union of every kind-specific field AppendEventJSON emits.
 type jsonlRecord struct {
 	T         int64  `json:"t"`
 	Node      string `json:"node"`
@@ -55,6 +69,47 @@ type jsonlRecord struct {
 	Path      string `json:"path"`
 }
 
+// ParseEventJSON decodes one JSONL record previously produced by
+// AppendEventJSON (one line, without or with surrounding whitespace) back
+// into a named event. Exported so the durable store's replay path decodes
+// segment payloads through the same inverse WriteJSONL readers use.
+func ParseEventJSON(line []byte) (NamedEvent, error) {
+	var rec jsonlRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return NamedEvent{}, err
+	}
+	kind, ok := kindByName[rec.Event]
+	if !ok {
+		return NamedEvent{}, fmt.Errorf("unknown event %q", rec.Event)
+	}
+	ev := NamedEvent{Time: rec.T, Node: rec.Node, Kind: kind}
+	switch kind {
+	case EvArbWon, EvTxStart, EvTxSuccess:
+		id, err := strconv.ParseInt(strings.TrimPrefix(rec.ID, "0x"), 16, 64)
+		if err != nil {
+			return NamedEvent{}, fmt.Errorf("bad id %q", rec.ID)
+		}
+		ev.A = id
+	case EvArbLost:
+		ev.A = rec.AtWireBit
+	case EvDetect:
+		ev.A = rec.Bit
+	case EvPullStart, EvPullEnd:
+		ev.A = rec.Bits
+	case EvError:
+		ev.A = errorKindCode(rec.Kind)
+		if rec.Role == "tx" {
+			ev.B = 1
+		}
+	case EvTEC, EvREC:
+		ev.A, ev.B = rec.Value, rec.Prev
+	case EvFFSpan:
+		ev.A = rec.Bits
+		ev.B = ffPathCode(rec.Path)
+	}
+	return ev, nil
+}
+
 // ReadJSONL parses a stream previously produced by WriteJSONL or a
 // JSONLStreamer back into named events, preserving stream order.
 func ReadJSONL(r io.Reader) ([]NamedEvent, error) {
@@ -68,43 +123,9 @@ func ReadJSONL(r io.Reader) ([]NamedEvent, error) {
 		if text == "" {
 			continue
 		}
-		var rec jsonlRecord
-		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+		ev, err := ParseEventJSON([]byte(text))
+		if err != nil {
 			return nil, fmt.Errorf("events line %d: %w", line, err)
-		}
-		kind, ok := kindByName[rec.Event]
-		if !ok {
-			return nil, fmt.Errorf("events line %d: unknown event %q", line, rec.Event)
-		}
-		ev := NamedEvent{Time: rec.T, Node: rec.Node, Kind: kind}
-		switch kind {
-		case EvArbWon, EvTxStart, EvTxSuccess:
-			id, err := strconv.ParseInt(strings.TrimPrefix(rec.ID, "0x"), 16, 64)
-			if err != nil {
-				return nil, fmt.Errorf("events line %d: bad id %q", line, rec.ID)
-			}
-			ev.A = id
-		case EvArbLost:
-			ev.A = rec.AtWireBit
-		case EvDetect:
-			ev.A = rec.Bit
-		case EvPullStart, EvPullEnd:
-			ev.A = rec.Bits
-		case EvError:
-			ev.A = errorKindCode(rec.Kind)
-			if rec.Role == "tx" {
-				ev.B = 1
-			}
-		case EvTEC, EvREC:
-			ev.A, ev.B = rec.Value, rec.Prev
-		case EvFFSpan:
-			ev.A = rec.Bits
-			switch rec.Path {
-			case "frame":
-				ev.B = 1
-			case "contend":
-				ev.B = 2
-			}
 		}
 		out = append(out, ev)
 	}

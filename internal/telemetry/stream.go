@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -29,6 +30,13 @@ const sequencerDrainLen = 1024
 //
 // Sequencer is not safe for concurrent use; callers that feed it from
 // concurrent emitters must serialize Add.
+//
+// The buffer tracks whether it is already in canonical order: exact-stepped
+// simulations emit in global (Time, Node) order bit by bit, so the common
+// case drains with a binary search and a copy, no sort at all. Only when a
+// fast-forward span lands displaced does a drain pay for sorting — and the
+// buffer is then a handful of concatenated per-node runs, which the
+// pattern-defeating quicksort behind slices.SortFunc handles near-linearly.
 type Sequencer struct {
 	// Slack is the reorder horizon in bit times (DefaultSequencerSlack when
 	// zero). Events can be released as soon as they are Slack older than the
@@ -37,18 +45,41 @@ type Sequencer struct {
 	// Emit receives released events in canonical order.
 	Emit func(Event)
 
-	buf  []Event
-	seq  []int64 // arrival index per buffered event, the final tie-break
-	next int64
-	maxT int64
+	buf    []seqEntry
+	next   int64
+	maxT   int64
+	sorted bool // buf is in canonical order as it stands
+}
+
+// seqEntry pairs a buffered event with its arrival index, the final
+// tie-break of the canonical order.
+type seqEntry struct {
+	ev  Event
+	seq int64
+}
+
+// seqLess is the canonical (Time, Node, arrival) order.
+func seqLess(a, b seqEntry) bool {
+	if a.ev.Time != b.ev.Time {
+		return a.ev.Time < b.ev.Time
+	}
+	if a.ev.Node != b.ev.Node {
+		return a.ev.Node < b.ev.Node
+	}
+	return a.seq < b.seq
 }
 
 // Add accepts one event and releases any events that have fallen behind the
 // reorder horizon.
 func (s *Sequencer) Add(ev Event) {
-	s.buf = append(s.buf, ev)
-	s.seq = append(s.seq, s.next)
+	e := seqEntry{ev: ev, seq: s.next}
 	s.next++
+	if n := len(s.buf); n == 0 {
+		s.sorted = true
+	} else if s.sorted && seqLess(e, s.buf[n-1]) {
+		s.sorted = false
+	}
+	s.buf = append(s.buf, e)
 	if ev.Time > s.maxT {
 		s.maxT = ev.Time
 	}
@@ -64,42 +95,30 @@ func (s *Sequencer) Add(ev Event) {
 // Flush releases every buffered event. Call at end of run.
 func (s *Sequencer) Flush() {
 	s.drain(s.maxT + 1)
-	s.buf, s.seq = s.buf[:0], s.seq[:0]
+	s.buf = s.buf[:0]
+	s.sorted = true
 }
 
 // drain emits all buffered events with Time < cutoff in canonical order and
 // compacts the rest.
 func (s *Sequencer) drain(cutoff int64) {
-	sort.Sort(seqByKey{s})
-	kept := 0
-	for i, ev := range s.buf {
-		if ev.Time < cutoff {
-			s.Emit(ev)
-			continue
-		}
-		s.buf[kept], s.seq[kept] = s.buf[i], s.seq[i]
-		kept++
+	if !s.sorted {
+		slices.SortFunc(s.buf, func(a, b seqEntry) int {
+			if seqLess(a, b) {
+				return -1
+			}
+			return 1
+		})
+		s.sorted = true
 	}
-	s.buf, s.seq = s.buf[:kept], s.seq[:kept]
-}
-
-// seqByKey sorts a Sequencer's buffer by (Time, Node, arrival).
-type seqByKey struct{ s *Sequencer }
-
-func (o seqByKey) Len() int { return len(o.s.buf) }
-func (o seqByKey) Less(i, j int) bool {
-	a, b := o.s.buf[i], o.s.buf[j]
-	if a.Time != b.Time {
-		return a.Time < b.Time
+	// Canonical order is by Time first, so the releasable prefix is
+	// contiguous.
+	i := sort.Search(len(s.buf), func(i int) bool { return s.buf[i].ev.Time >= cutoff })
+	for _, e := range s.buf[:i] {
+		s.Emit(e.ev)
 	}
-	if a.Node != b.Node {
-		return a.Node < b.Node
-	}
-	return o.s.seq[i] < o.s.seq[j]
-}
-func (o seqByKey) Swap(i, j int) {
-	o.s.buf[i], o.s.buf[j] = o.s.buf[j], o.s.buf[i]
-	o.s.seq[i], o.s.seq[j] = o.s.seq[j], o.s.seq[i]
+	n := copy(s.buf, s.buf[i:])
+	s.buf = s.buf[:n]
 }
 
 // JSONLStreamer writes the JSONL event stream incrementally from a hub
