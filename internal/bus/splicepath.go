@@ -19,11 +19,18 @@ import (
 // the window's cross-offer cache (see SpliceMemo); offers without one still
 // splice, they just rebuild the resolved span and per-node summaries each
 // time.
+//
+// Resolved, when non-nil, is the pre-resolved span (dominant ACK, recessive
+// intermission tail) shared by a fleet-wide plan cache; the bus adopts it
+// into the memo instead of rebuilding it, so N vehicles stamped from the
+// same matrix share one immutable copy. It must be exactly the window plus
+// intermission and is never mutated.
 type SpliceWindow struct {
-	Bits   []can.Level
-	AckIdx int
-	RxView can.Frame
-	Memo   *SpliceMemo
+	Bits     []can.Level
+	AckIdx   int
+	RxView   can.Frame
+	Memo     *SpliceMemo
+	Resolved []can.Level
 }
 
 // SpliceMemo is the per-window cache an offerer's transmit plan carries
@@ -112,11 +119,14 @@ func (b *Bus) resolveMemo(memo *SpliceMemo, win SpliceWindow, n int) {
 		}
 	}
 	if len(memo.resolved) != n {
-		r := make([]can.Level, n)
-		copy(r, win.Bits)
-		r[win.AckIdx] = can.Dominant
-		for i := len(win.Bits); i < n; i++ {
-			r[i] = can.Recessive
+		r := win.Resolved
+		if len(r) != n {
+			r = make([]can.Level, n)
+			copy(r, win.Bits)
+			r[win.AckIdx] = can.Dominant
+			for i := len(win.Bits); i < n; i++ {
+				r[i] = can.Recessive
+			}
 		}
 		memo.resolved = r
 		// A full window never ends recessive-only from SOF, so the trailing
@@ -196,6 +206,8 @@ func (b *Bus) trySpliceForward(end BitTime) bool {
 	}
 	b.idleRun = memo.idleRun
 	b.tel.Emit(int64(b.now), telemetry.EvFFSpan, int64(n), 3)
+	b.hyperSpliceRecorded(resolved)
+	b.hyperArmed = true // a committed splice is a hyper-chain anchor
 	b.last = resolved[n-1]
 	b.now += BitTime(n)
 	b.ffSpliceBits += int64(n)

@@ -182,6 +182,10 @@ type Config struct {
 	// OnError, when set, is invoked whenever this controller detects a
 	// protocol error (before the error flag is sent).
 	OnError func(t bus.BitTime, kind ErrorKind, transmitting bool)
+	// Plans, when set, resolves frame serializations through a shared
+	// content-addressed plan cache instead of building them per controller;
+	// see PlanSource. Behavior is bit-identical either way.
+	Plans *PlanSource
 }
 
 // Controller is a simulated CAN protocol controller. Create with New.
@@ -205,6 +209,10 @@ type Controller struct {
 	// planCache memoizes serializations of recently transmitted frames
 	// (periodic traffic retransmits a small fixed message set); see planFor.
 	planCache map[planKey]*txPlan
+	// plans, when non-nil, is the fleet-shared plan cache consulted on
+	// planCache misses (see PlanSource); wired from Config.Plans or
+	// SetPlanSource.
+	plans *PlanSource
 	// planSlots is a direct-mapped front cache over planCache: the map probe
 	// hashes the full frame content on every lookup, which dominates the
 	// compiled-splice offer path, so hot frames are also indexed by a cheap
@@ -278,6 +286,10 @@ type Controller struct {
 	recoverSeqs int
 	recoverRun  int
 
+	// hyperCallbacksOK permits hyperperiod chains despite configured
+	// callbacks; see AllowHyperWithCallbacks (hyperpath.go).
+	hyperCallbacksOK bool
+
 	// Telemetry. tel's zero value is a no-op probe; lastTEC/lastREC track
 	// the last emitted counter values so EvTEC/EvREC events carry the
 	// previous value and fire only on change.
@@ -292,6 +304,7 @@ var _ bus.Node = (*Controller)(nil)
 func New(cfg Config) *Controller {
 	c := &Controller{
 		cfg:           cfg,
+		plans:         cfg.Plans,
 		state:         ErrorActive,
 		stats:         newStats(),
 		phase:         phaseIdle,

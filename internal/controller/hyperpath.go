@@ -1,0 +1,336 @@
+package controller
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/telemetry"
+)
+
+var _ bus.Hypering = (*Controller)(nil)
+
+// The controller's hyperperiod support follows the contract in
+// bus/hyperpath.go: HyperSnap/HyperMatch pin an exact entry state — exact in
+// every field a chain of splice windows, idle skips, and lone recessive
+// exact steps can read — and HyperSeal compiles the entry→exit difference,
+// which HyperApply replays in O(1).
+//
+// What the match may ignore is as load-bearing as what it compares:
+//
+//   - The receive pipeline (rxDestuf..rxWire) is dead outside phaseFrame —
+//     beginFrame calls resetRx before any rx field is read — and chains both
+//     start and end in idle/intermission/suspend/bus-off, so rx state needs
+//     neither matching nor restoring.
+//   - Error-signalling state (flagCount, delimCount, passiveLast,
+//     passiveBegun) is read only inside the flag/delimiter phases, which the
+//     anchor gate excludes and chain ops never enter.
+//   - framesSinceTx is read only as "< 2" (the suspend rule), so values are
+//     matched by the min(·,2) equivalence class; the seal records whether
+//     the chain completed an own transmission (which resets the counter,
+//     making the exit value absolute) or only counted foreign frames
+//     (additive over the class).
+//   - planCache/planSlots/rxSpanCache are content-addressed caches with no
+//     behavioral surface; queue plan POINTERS, by contrast, are matched
+//     identically so the recorded exit queue (restored wholesale) is exactly
+//     what the live run would have held.
+type hyperState struct {
+	phase        phase
+	state        State
+	tec, rec     int
+	lastTEC      int
+	lastREC      int
+	driveNext    can.Level
+	pendingSOF   bool
+	pendingPlan  *txPlan
+	interCount   int
+	suspendCount int
+	idleRun      int
+	fst          int // min(framesSinceTx, 2) equivalence class
+	recoverSeqs  int
+	recoverRun   int
+	queueFrames  []can.Frame
+	queuePlans   []*txPlan
+
+	// Seal-time decline stash: monotone counters a chain must not have
+	// moved for the delta vocabulary below to be exhaustive. Not matched.
+	txSuccess  int
+	txAttempts int
+	rxSuccess  int
+	txErrSum   int
+	rxErrSum   int
+	arbLosses  int
+	busOff     int
+	recoveries int
+}
+
+// hyperDelta is the controller's sealed entry→exit difference.
+type hyperDelta struct {
+	phase        phase
+	state        State
+	tec, rec     int
+	lastTEC      int
+	lastREC      int
+	driveNext    can.Level
+	pendingSOF   bool
+	pendingPlan  *txPlan
+	interCount   int
+	suspendCount int
+	idleRun      int
+	recoverSeqs  int
+	recoverRun   int
+	fstAbs       bool
+	fst          int
+	dTxSuccess   int
+	dTxAttempts  int
+	dRxSuccess   int
+	queueFrames  []can.Frame
+	queuePlans   []*txPlan
+}
+
+// AllowHyperWithCallbacks opts this controller into hyperperiod chains even
+// though completion/receive callbacks are configured. Only a wrapper that
+// folds every configured callback's effects into its own hyper delta may
+// call this (the restbus replayer does: its OnTransmit mutates replayer
+// state that the replayer's delta carries); otherwise replayed chains would
+// skip the callbacks' external effects.
+func (c *Controller) AllowHyperWithCallbacks() { c.hyperCallbacksOK = true }
+
+// hyperAnchorable reports whether the controller is at a state a chain may
+// start from: between frames with the transmit engine disarmed, so the
+// receive pipeline and error-signalling state are provably dead.
+func (c *Controller) hyperAnchorable() bool {
+	switch c.phase {
+	case phaseIdle, phaseIntermission, phaseSuspend, phaseBusOff:
+		return !c.transmitting && c.plan == nil
+	}
+	return false
+}
+
+// HyperFP implements bus.Hypering.
+func (c *Controller) HyperFP(now bus.BitTime, hub *telemetry.Hub) (uint64, bool) {
+	if !c.hyperAnchorable() {
+		return 0, false
+	}
+	if !c.hyperCallbacksOK &&
+		(c.cfg.OnReceive != nil || c.cfg.OnTransmit != nil ||
+			c.cfg.OnStateChange != nil || c.cfg.OnError != nil) {
+		return 0, false // callback effects are outside the delta vocabulary
+	}
+	if ph := c.tel.Hub(); ph != nil && ph != hub {
+		return 0, false // events would flow to a hub the bus cannot tape
+	}
+	h := uint64(14695981039346656037)
+	h = hyperMix(h, uint64(c.phase)<<8|uint64(c.state))
+	h = hyperMix(h, uint64(c.tec)<<32|uint64(uint32(c.rec)))
+	h = hyperMix(h, uint64(c.lastTEC)<<32|uint64(uint32(c.lastREC)))
+	fst := c.framesSinceTx
+	if fst > 2 {
+		fst = 2
+	}
+	h = hyperMix(h, uint64(c.driveNext)<<16|uint64(fst)<<8|uint64(b2u(c.pendingSOF)))
+	h = hyperMix(h, uint64(c.interCount)<<40|uint64(c.suspendCount)<<20|uint64(uint32(c.idleRun)))
+	h = hyperMix(h, uint64(c.recoverSeqs)<<20|uint64(c.recoverRun))
+	h = hyperMix(h, uint64(len(c.queue.frames)))
+	for i := range c.queue.frames {
+		f := &c.queue.frames[i]
+		h = hyperMix(h, uint64(f.ID)<<16|uint64(len(f.Data)))
+		if len(f.Data) > 0 {
+			h = hyperMix(h, uint64(f.Data[0]))
+		}
+	}
+	return h, true
+}
+
+func hyperMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// HyperSnap implements bus.Hypering.
+func (c *Controller) HyperSnap(_ bus.BitTime) any {
+	fst := c.framesSinceTx
+	if fst > 2 {
+		fst = 2
+	}
+	s := &hyperState{
+		phase:        c.phase,
+		state:        c.state,
+		tec:          c.tec,
+		rec:          c.rec,
+		lastTEC:      c.lastTEC,
+		lastREC:      c.lastREC,
+		driveNext:    c.driveNext,
+		pendingSOF:   c.pendingSOF,
+		pendingPlan:  c.pendingPlan,
+		interCount:   c.interCount,
+		suspendCount: c.suspendCount,
+		idleRun:      c.idleRun,
+		fst:          fst,
+		recoverSeqs:  c.recoverSeqs,
+		recoverRun:   c.recoverRun,
+		queueFrames:  append([]can.Frame(nil), c.queue.frames...),
+		queuePlans:   append([]*txPlan(nil), c.queue.plans...),
+		txSuccess:    c.stats.TxSuccess,
+		txAttempts:   c.stats.TxAttempts,
+		rxSuccess:    c.stats.RxSuccess,
+		txErrSum:     mapSum(c.stats.TxErrors),
+		rxErrSum:     mapSum(c.stats.RxErrors),
+		arbLosses:    c.stats.ArbitrationLosses,
+		busOff:       c.stats.BusOffEvents,
+		recoveries:   c.stats.Recoveries,
+	}
+	return s
+}
+
+func mapSum(m map[ErrorKind]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// HyperMatch implements bus.Hypering.
+func (c *Controller) HyperMatch(_ bus.BitTime, snap any) bool {
+	s, ok := snap.(*hyperState)
+	if !ok {
+		return false
+	}
+	return c.hyperMatch(s)
+}
+
+func (c *Controller) hyperMatch(s *hyperState) bool {
+	if !c.hyperAnchorable() {
+		return false
+	}
+	fst := c.framesSinceTx
+	if fst > 2 {
+		fst = 2
+	}
+	if c.phase != s.phase || c.state != s.state ||
+		c.tec != s.tec || c.rec != s.rec ||
+		c.lastTEC != s.lastTEC || c.lastREC != s.lastREC ||
+		c.driveNext != s.driveNext || c.pendingSOF != s.pendingSOF ||
+		c.pendingPlan != s.pendingPlan ||
+		c.interCount != s.interCount || c.suspendCount != s.suspendCount ||
+		c.idleRun != s.idleRun || fst != s.fst ||
+		c.recoverSeqs != s.recoverSeqs || c.recoverRun != s.recoverRun ||
+		len(c.queue.frames) != len(s.queueFrames) {
+		return false
+	}
+	for i := range s.queueFrames {
+		if !c.queue.frames[i].Equal(&s.queueFrames[i]) ||
+			c.queue.plans[i] != s.queuePlans[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HyperSeal implements bus.Hypering.
+func (c *Controller) HyperSeal(_ bus.BitTime, snap any, _ int) (any, bool) {
+	s, ok := snap.(*hyperState)
+	if !ok {
+		return nil, false
+	}
+	return c.hyperSeal(s)
+}
+
+func (c *Controller) hyperSeal(s *hyperState) (*hyperDelta, bool) {
+	if !c.hyperAnchorable() {
+		return nil, false // chain exited mid-episode; outside the vocabulary
+	}
+	if mapSum(c.stats.TxErrors) != s.txErrSum || mapSum(c.stats.RxErrors) != s.rxErrSum ||
+		c.stats.ArbitrationLosses != s.arbLosses ||
+		c.stats.BusOffEvents != s.busOff || c.stats.Recoveries != s.recoveries {
+		// Error episodes or arbitration fights inside a chain are impossible
+		// by construction (only splices, idle skips, and lone recessive exact
+		// steps extend one); decline rather than trust that proof.
+		return nil, false
+	}
+	d := &hyperDelta{
+		phase:        c.phase,
+		state:        c.state,
+		tec:          c.tec,
+		rec:          c.rec,
+		lastTEC:      c.lastTEC,
+		lastREC:      c.lastREC,
+		driveNext:    c.driveNext,
+		pendingSOF:   c.pendingSOF,
+		pendingPlan:  c.pendingPlan,
+		interCount:   c.interCount,
+		suspendCount: c.suspendCount,
+		idleRun:      c.idleRun,
+		recoverSeqs:  c.recoverSeqs,
+		recoverRun:   c.recoverRun,
+		dTxSuccess:   c.stats.TxSuccess - s.txSuccess,
+		dTxAttempts:  c.stats.TxAttempts - s.txAttempts,
+		dRxSuccess:   c.stats.RxSuccess - s.rxSuccess,
+		queueFrames:  append([]can.Frame(nil), c.queue.frames...),
+		queuePlans:   append([]*txPlan(nil), c.queue.plans...),
+	}
+	if d.dTxSuccess > 0 {
+		// An own transmission completed (within a chain that can only happen
+		// via SpliceCommit, which runs endAttempt(true)), resetting
+		// framesSinceTx; the exit value is absolute.
+		d.fstAbs = true
+		d.fst = c.framesSinceTx
+	} else {
+		// Only foreign frames: framesSinceTx grew by their count, and the
+		// entry was matched by the >=2 equivalence class, so fold additively.
+		d.fst = c.framesSinceTx - s.fst
+		if d.fst < 0 {
+			return nil, false
+		}
+	}
+	return d, true
+}
+
+// HyperApply implements bus.Hypering.
+func (c *Controller) HyperApply(_ bus.BitTime, delta any) {
+	c.hyperApply(delta.(*hyperDelta))
+}
+
+func (c *Controller) hyperApply(d *hyperDelta) {
+	c.phase = d.phase
+	c.state = d.state
+	c.tec = d.tec
+	c.rec = d.rec
+	c.lastTEC = d.lastTEC
+	c.lastREC = d.lastREC
+	c.driveNext = d.driveNext
+	c.pendingSOF = d.pendingSOF
+	c.pendingPlan = d.pendingPlan
+	c.interCount = d.interCount
+	c.suspendCount = d.suspendCount
+	c.idleRun = d.idleRun
+	c.recoverSeqs = d.recoverSeqs
+	c.recoverRun = d.recoverRun
+	if d.fstAbs {
+		c.framesSinceTx = d.fst
+	} else {
+		c.framesSinceTx += d.fst
+		if c.framesSinceTx > 1<<30 {
+			c.framesSinceTx = 1 << 30 // the exact path's increment cap
+		}
+	}
+	c.stats.TxSuccess += d.dTxSuccess
+	c.stats.TxAttempts += d.dTxAttempts
+	c.stats.RxSuccess += d.dRxSuccess
+	// Restore the exit mailbox wholesale into the queue's own backing (the
+	// delta's slices are immutable): frame values share their immutable
+	// payload buffers and plan pointers are content-stable, exactly as the
+	// live evolution would have left them.
+	c.queue.frames = append(c.queue.frames[:0], d.queueFrames...)
+	c.queue.plans = append(c.queue.plans[:0], d.queuePlans...)
+}

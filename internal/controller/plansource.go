@@ -1,0 +1,153 @@
+package controller
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"michican/internal/can"
+)
+
+// PlanSource is a content-addressed, concurrency-safe cache of compiled
+// transmission plans shared across controllers. A fleet of vehicles stamped
+// from the same communication matrix transmits the same frame population —
+// tens of IDs times a 256-value rolling-counter rotation — and without
+// sharing, every vehicle's controllers serialize and store their own copy of
+// every plan. A PlanSource wired into N controllers keeps exactly one
+// immutable copy of each plan's hot arrays (the wire bits, the stuff map,
+// and the pre-resolved splice span) and hands out thin per-controller
+// wrappers copy-on-write: the wrapper carries the controller's own mutable
+// header (frame value, splice memo) while the arrays are shared and never
+// written after publication.
+//
+// Sharing is purely a memory/compile-time optimization: a plan's content
+// depends only on the frame, so a controller behaves bit-identically with
+// and without a source — the fleet determinism tests pin exactly that.
+type PlanSource struct {
+	mu    sync.RWMutex
+	plans map[planKey]*sharedPlan
+	// hits/misses count resolve requests served from the table vs. built
+	// (first sight); bytes approximates the resident size of the shared
+	// arrays. All are read lock-free by Stats.
+	hits   atomic.Int64
+	misses atomic.Int64
+	bytes  atomic.Int64
+}
+
+// sharedPlan is the immutable, fleet-shared core of a compiled plan. All
+// fields are write-once before publication into the source's table.
+type sharedPlan struct {
+	bits     []can.Level
+	isStuff  []bool
+	arbEnd   int
+	ackIdx   int
+	resolved []can.Level // window + dominant ACK + recessive intermission
+}
+
+// planSourceMax bounds the shared table. It is sized an order of magnitude
+// above a realistic matrix's full rotation; past it new plans are served
+// unshared rather than resetting (a reset would re-serialize across the
+// whole fleet at once).
+const planSourceMax = 1 << 17
+
+// NewPlanSource creates an empty shared plan cache.
+func NewPlanSource() *PlanSource {
+	return &PlanSource{plans: make(map[planKey]*sharedPlan)}
+}
+
+// PlanSourceStats is a point-in-time snapshot of a source's counters.
+type PlanSourceStats struct {
+	// Hits counts plan resolutions served from the shared table; Misses
+	// counts first-sight builds. With N vehicles over one matrix the steady
+	// hit rate approaches (N-1)/N.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Plans is the number of distinct compiled plans resident.
+	Plans int `json:"plans"`
+	// ResidentBytes approximates the memory held by the shared plan arrays
+	// (one copy fleet-wide, however many controllers reference them).
+	ResidentBytes int64 `json:"resident_bytes"`
+}
+
+// Stats returns the source's counters.
+func (s *PlanSource) Stats() PlanSourceStats {
+	if s == nil {
+		return PlanSourceStats{}
+	}
+	s.mu.RLock()
+	n := len(s.plans)
+	s.mu.RUnlock()
+	return PlanSourceStats{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Plans:         n,
+		ResidentBytes: s.bytes.Load(),
+	}
+}
+
+// HitRate returns Hits / (Hits + Misses), or zero before any resolution.
+func (s *PlanSource) HitRate() float64 {
+	st := s.Stats()
+	if total := st.Hits + st.Misses; total > 0 {
+		return float64(st.Hits) / float64(total)
+	}
+	return 0
+}
+
+// planFor resolves the shared plan for a classical frame (the caller has
+// already excluded FD and oversize frames) and wraps it for one controller.
+// The first build of each key wins the publication race, so every controller
+// ends up referencing the same arrays.
+func (s *PlanSource) planFor(key planKey, f can.Frame) *txPlan {
+	s.mu.RLock()
+	sp := s.plans[key]
+	s.mu.RUnlock()
+	if sp == nil {
+		s.misses.Add(1)
+		base := newTxPlan(f)
+		n := len(base.bits) + IntermissionBits
+		resolved := make([]can.Level, n)
+		copy(resolved, base.bits)
+		resolved[base.ackIdx] = can.Dominant
+		for i := len(base.bits); i < n; i++ {
+			resolved[i] = can.Recessive
+		}
+		sp = &sharedPlan{
+			bits:     base.bits,
+			isStuff:  base.isStuff,
+			arbEnd:   base.arbEnd,
+			ackIdx:   base.ackIdx,
+			resolved: resolved,
+		}
+		s.mu.Lock()
+		if s.plans == nil {
+			s.plans = make(map[planKey]*sharedPlan) // zero-value source, e.g. decoded from a stored spec
+		}
+		if prev, ok := s.plans[key]; ok {
+			sp = prev
+		} else if len(s.plans) < planSourceMax {
+			s.plans[key] = sp
+			s.bytes.Add(int64(len(sp.bits)) + int64(len(sp.isStuff)) + int64(len(sp.resolved)))
+		}
+		s.mu.Unlock()
+	} else {
+		s.hits.Add(1)
+	}
+	return &txPlan{
+		frame:    f,
+		bits:     sp.bits,
+		isStuff:  sp.isStuff,
+		arbEnd:   sp.arbEnd,
+		ackIdx:   sp.ackIdx,
+		resolved: sp.resolved,
+	}
+}
+
+// SetPlanSource wires a shared plan cache into this controller: subsequent
+// serializations resolve through it, sharing the immutable plan arrays with
+// every other controller on the same source. Wiring (or rewiring) is safe at
+// any quiescent point — plans already cached locally stay valid, and shared
+// and locally built plans are bit-identical by construction.
+func (c *Controller) SetPlanSource(s *PlanSource) { c.plans = s }
+
+// PlanSource returns the wired shared plan cache, or nil.
+func (c *Controller) PlanSource() *PlanSource { return c.plans }

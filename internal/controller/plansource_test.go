@@ -1,0 +1,170 @@
+package controller
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"michican/internal/can"
+)
+
+// planSourceFrame derives a distinct classical frame per index, cycling IDs
+// and payload bytes the way a rolling-counter matrix does.
+func planSourceFrame(i int) can.Frame {
+	return can.Frame{
+		ID:   can.ID(0x100 + i%16),
+		Data: []byte{byte(i), byte(i >> 4), 0xA5},
+	}
+}
+
+// TestPlanSourceSharesArrays pins the sharing contract: two controllers on
+// one source resolve the same frame to distinct per-controller wrappers whose
+// hot arrays are the same allocations, bit-identical to a locally built plan,
+// with the pre-resolved splice span shaped as the splice tier expects.
+func TestPlanSourceSharesArrays(t *testing.T) {
+	src := NewPlanSource()
+	c1 := New(Config{Name: "c1"})
+	c1.SetPlanSource(src)
+	c2 := New(Config{Name: "c2"})
+	c2.SetPlanSource(src)
+	f := can.Frame{ID: 0x123, Data: []byte{1, 2, 3}}
+
+	p1 := c1.planFor(f.Clone())
+	p2 := c2.planFor(f.Clone())
+	if p1 == p2 {
+		t.Fatal("controllers share the wrapper itself; each needs its own mutable header")
+	}
+	if &p1.bits[0] != &p2.bits[0] || &p1.isStuff[0] != &p2.isStuff[0] || &p1.resolved[0] != &p2.resolved[0] {
+		t.Fatal("controllers on one source hold private copies of the plan arrays")
+	}
+
+	ref := newTxPlan(f.Clone())
+	if !reflect.DeepEqual(p1.bits, ref.bits) || !reflect.DeepEqual(p1.isStuff, ref.isStuff) ||
+		p1.arbEnd != ref.arbEnd || p1.ackIdx != ref.ackIdx {
+		t.Fatal("shared plan differs from a locally built serialization")
+	}
+	if len(p1.resolved) != len(ref.bits)+IntermissionBits {
+		t.Fatalf("resolved span is %d levels, want window+intermission = %d",
+			len(p1.resolved), len(ref.bits)+IntermissionBits)
+	}
+	if p1.resolved[ref.ackIdx] != can.Dominant {
+		t.Error("resolved span carries a recessive ACK slot")
+	}
+	for i := len(ref.bits); i < len(p1.resolved); i++ {
+		if p1.resolved[i] != can.Recessive {
+			t.Fatalf("resolved intermission level %d is dominant", i)
+		}
+	}
+
+	st := src.Stats()
+	wantBytes := int64(len(p1.bits)) + int64(len(p1.isStuff)) + int64(len(p1.resolved))
+	if st.Hits != 1 || st.Misses != 1 || st.Plans != 1 || st.ResidentBytes != wantBytes {
+		t.Fatalf("stats after one build and one hit: %+v (want 1/1/1/%d)", st, wantBytes)
+	}
+	if got := src.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+
+	// A repeat resolve on the same controller is served by its local caches
+	// and must not touch the source's counters.
+	if c1.planFor(f.Clone()) != p1 {
+		t.Fatal("repeat resolve rebuilt the wrapper instead of hitting the local cache")
+	}
+	if st2 := src.Stats(); st2 != st {
+		t.Fatalf("local-cache hit reached the source: %+v vs %+v", st2, st)
+	}
+}
+
+// TestPlanSourceDistinctKeys checks the content addressing covers every
+// identity field: frames differing only in format flags or request length
+// must not alias.
+func TestPlanSourceDistinctKeys(t *testing.T) {
+	src := NewPlanSource()
+	c := New(Config{Name: "c"})
+	c.SetPlanSource(src)
+	frames := []can.Frame{
+		{ID: 0x44, Data: []byte{9}},
+		{ID: 0x44, Data: []byte{9}, Extended: true},
+		{ID: 0x44, Remote: true, RequestLen: 1},
+		{ID: 0x44, Remote: true, RequestLen: 2},
+	}
+	for _, f := range frames {
+		c.planFor(f.Clone())
+	}
+	if st := src.Stats(); st.Plans != len(frames) || st.Misses != int64(len(frames)) {
+		t.Fatalf("distinct frames collapsed: %+v, want %d plans", st, len(frames))
+	}
+}
+
+// TestPlanSourceZeroValue covers the durable-store path: a zero-value source
+// (nil map, e.g. decoded from a stored spec) must lazily initialize instead
+// of panicking on first insert.
+func TestPlanSourceZeroValue(t *testing.T) {
+	var src PlanSource
+	c := New(Config{Name: "c"})
+	c.SetPlanSource(&src)
+	if p := c.planFor(planSourceFrame(0)); p == nil || len(p.bits) == 0 {
+		t.Fatal("zero-value source produced no plan")
+	}
+	if st := src.Stats(); st.Plans != 1 || st.Misses != 1 {
+		t.Fatalf("zero-value source stats: %+v", st)
+	}
+}
+
+// TestPlanSourceNilSafe: observability paths read stats off a possibly-nil
+// source (the -shared-cache=false ablation), which must be a clean zero.
+func TestPlanSourceNilSafe(t *testing.T) {
+	var src *PlanSource
+	if st := src.Stats(); st != (PlanSourceStats{}) {
+		t.Fatalf("nil source stats = %+v, want zero", st)
+	}
+	if r := src.HitRate(); r != 0 {
+		t.Fatalf("nil source hit rate = %v, want 0", r)
+	}
+}
+
+// TestPlanSourceConcurrentResolve races many controllers over one source the
+// way fleet workers do. Whatever the interleaving, every worker must end up
+// referencing the same shared arrays per frame (first build wins, losers
+// adopt), the table must hold exactly one plan per distinct frame, and the
+// counters must account for every resolve.
+func TestPlanSourceConcurrentResolve(t *testing.T) {
+	const workers, frames = 8, 64
+	src := NewPlanSource()
+	plans := make([][]*txPlan, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		plans[w] = make([]*txPlan, frames)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := New(Config{Name: fmt.Sprintf("c%d", w)})
+			c.SetPlanSource(src)
+			for i := 0; i < frames; i++ {
+				plans[w][i] = c.planFor(planSourceFrame(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i := 0; i < frames; i++ {
+		for w := 1; w < workers; w++ {
+			if &plans[w][i].bits[0] != &plans[0][i].bits[0] {
+				t.Fatalf("worker %d holds a private copy of frame %d's plan", w, i)
+			}
+		}
+	}
+	st := src.Stats()
+	if st.Plans != frames {
+		t.Fatalf("table holds %d plans, want %d", st.Plans, frames)
+	}
+	if st.Hits+st.Misses != workers*frames {
+		t.Fatalf("counters account for %d resolves, want %d", st.Hits+st.Misses, workers*frames)
+	}
+	// Publication races make the exact split nondeterministic, but at least
+	// one build per frame happened and hits must dominate with 8 workers.
+	if st.Misses < frames || st.Hits <= st.Misses {
+		t.Fatalf("implausible hit/miss split for %d workers: %+v", workers, st)
+	}
+}

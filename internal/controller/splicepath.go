@@ -43,7 +43,7 @@ func (c *Controller) SpliceOffer(now bus.BitTime) (bus.SpliceWindow, bool) {
 	} else {
 		rx.Data = f.Data // receivers clone per delivery
 	}
-	return bus.SpliceWindow{Bits: p.bits, AckIdx: p.ackIdx, RxView: rx, Memo: p.memo}, true
+	return bus.SpliceWindow{Bits: p.bits, AckIdx: p.ackIdx, RxView: rx, Memo: p.memo, Resolved: p.resolved}, true
 }
 
 // SpliceQuery implements bus.Splicing: promise, without mutating state, that

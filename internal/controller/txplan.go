@@ -35,6 +35,11 @@ type txPlan struct {
 	// on the plan so the splice tier's lookups are a pointer chase instead
 	// of a table probe, and dies with the plan's content-addressed entry.
 	memo *bus.SpliceMemo
+	// resolved, when non-nil, is the fleet-shared pre-resolved splice span
+	// (window + dominant ACK + recessive intermission) from a PlanSource;
+	// splice offers hand it to the bus so every vehicle's memo adopts the
+	// same immutable copy instead of rebuilding its own.
+	resolved []can.Level
 }
 
 // planKey is the value identity of a classical frame, used to memoize
@@ -87,7 +92,12 @@ func (c *Controller) planFor(f can.Frame) *txPlan {
 		}
 		return p
 	}
-	p := newTxPlan(f)
+	var p *txPlan
+	if c.plans != nil {
+		p = c.plans.planFor(key, f)
+	} else {
+		p = newTxPlan(f)
+	}
 	if c.planCache == nil || len(c.planCache) >= planCacheMax {
 		c.planCache = make(map[planKey]*txPlan)
 	}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/mcu"
+	"michican/internal/telemetry"
+)
+
+var (
+	_ bus.Hypering = (*Defense)(nil)
+	_ bus.Hypering = (*ECU)(nil)
+)
+
+// The defense's hyperperiod support: a chain is made of splice windows —
+// whose per-window summaries (splicepath.go) already fold the meter classes,
+// FSM walk, and detection verdict bit-identically — plus idle skips and lone
+// recessive exact steps, so the entry→exit difference is a handful of
+// counter folds and exit absolutes.
+//
+// Dead state the match may ignore, mirroring the controller's analysis: the
+// frame-tracking fields (cnt, destuf, idBits, postID, extFlag, detectedAt)
+// and the FSM's live cursor are all reset by beginFrame before any read, and
+// anchors exclude in-frame states, so they need neither matching nor
+// restoring. The meter's monotone accumulators fold through mcu.MeterState
+// diffs; its MaxPerBit and in-flight PerBit are entry-matched, which makes
+// the diff's absolute MaxPerBit exact.
+type defHyperState struct {
+	armed  bool
+	cntSOF int
+	rx     can.Level
+	perBit int64
+	maxPB  int64
+	detMax int
+	// Seal-time decline stash (not matched).
+	counterattacks int
+	aborted        int
+	frames         int
+	detections     int
+	detSum         int
+	meter          mcu.MeterState
+}
+
+type defHyperDelta struct {
+	dFrames     int
+	dDetections int
+	dDetSum     int
+	detMax      int // exit absolute (entry matched)
+	cntSOF      int // exit absolute
+	rx          can.Level
+	meter       mcu.MeterState // diff; MaxPerBit carries the exit absolute
+}
+
+func defMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+// hyperAnchorable reports whether the defense is at a chain-safe boundary:
+// hunting for SOF with no counterattack (or pending verdict) in flight, so
+// every frame-tracking field is provably dead.
+func (d *Defense) hyperAnchorable() bool {
+	return !d.inFrame && !d.counterattacking && !d.attackFlag && !d.mux.TXEnabled()
+}
+
+// HyperFP implements bus.Hypering.
+func (d *Defense) HyperFP(_ bus.BitTime, hub *telemetry.Hub) (uint64, bool) {
+	if !d.hyperAnchorable() {
+		return 0, false
+	}
+	if d.cfg.OnDetect != nil {
+		// Chains can contain detection verdicts (a detection-only defense
+		// splices flagged windows); the stats and EvDetect tape replay, but
+		// an external callback would not.
+		return 0, false
+	}
+	if ph := d.tel.Hub(); ph != nil && ph != hub {
+		return 0, false
+	}
+	st := d.meter.State()
+	h := uint64(14695981039346656037)
+	h = defMix(h, uint64(d.cntSOF)<<8|uint64(d.mux.ReadRX())<<1|b2uDef(d.armed))
+	h = defMix(h, uint64(st.PerBit))
+	h = defMix(h, uint64(st.MaxPerBit))
+	h = defMix(h, uint64(d.stats.DetectionBitsMax))
+	return h, true
+}
+
+func b2uDef(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// HyperSnap implements bus.Hypering.
+func (d *Defense) HyperSnap(_ bus.BitTime) any {
+	st := d.meter.State()
+	return &defHyperState{
+		armed:          d.armed,
+		cntSOF:         d.cntSOF,
+		rx:             d.mux.ReadRX(),
+		perBit:         st.PerBit,
+		maxPB:          st.MaxPerBit,
+		detMax:         d.stats.DetectionBitsMax,
+		counterattacks: d.stats.Counterattacks,
+		aborted:        d.stats.AbortedFrames,
+		frames:         d.stats.FramesObserved,
+		detections:     d.stats.Detections,
+		detSum:         d.stats.DetectionBitsSum,
+		meter:          st,
+	}
+}
+
+// HyperMatch implements bus.Hypering.
+func (d *Defense) HyperMatch(_ bus.BitTime, snap any) bool {
+	s, ok := snap.(*defHyperState)
+	if !ok {
+		return false
+	}
+	if !d.hyperAnchorable() {
+		return false
+	}
+	st := d.meter.State()
+	return d.armed == s.armed && d.cntSOF == s.cntSOF &&
+		d.mux.ReadRX() == s.rx &&
+		st.PerBit == s.perBit && st.MaxPerBit == s.maxPB &&
+		d.stats.DetectionBitsMax == s.detMax
+}
+
+// HyperSeal implements bus.Hypering.
+func (d *Defense) HyperSeal(_ bus.BitTime, snap any, _ int) (any, bool) {
+	s, ok := snap.(*defHyperState)
+	if !ok {
+		return nil, false
+	}
+	if !d.hyperAnchorable() {
+		return nil, false
+	}
+	if d.stats.Counterattacks != s.counterattacks || d.stats.AbortedFrames != s.aborted {
+		// Pulls and aborts only happen mid-frame, which chain ops never
+		// enter; decline rather than trust that proof.
+		return nil, false
+	}
+	return &defHyperDelta{
+		dFrames:     d.stats.FramesObserved - s.frames,
+		dDetections: d.stats.Detections - s.detections,
+		dDetSum:     d.stats.DetectionBitsSum - s.detSum,
+		detMax:      d.stats.DetectionBitsMax,
+		cntSOF:      d.cntSOF,
+		rx:          d.mux.ReadRX(),
+		meter:       d.meter.State().Diff(s.meter),
+	}, true
+}
+
+// HyperApply implements bus.Hypering.
+func (d *Defense) HyperApply(_ bus.BitTime, delta any) {
+	dd := delta.(*defHyperDelta)
+	d.stats.FramesObserved += dd.dFrames
+	d.stats.Detections += dd.dDetections
+	d.stats.DetectionBitsSum += dd.dDetSum
+	d.stats.DetectionBitsMax = dd.detMax
+	d.cntSOF = dd.cntSOF
+	d.mux.LatchRX(dd.rx)
+	d.meter.ApplyDelta(dd.meter)
+}
+
+// ecuHyperPair composes the ECU's two halves for snapshots and deltas.
+type ecuHyperPair struct {
+	ctl any
+	def any
+}
+
+// HyperFP implements bus.Hypering for the composed ECU node.
+func (e *ECU) HyperFP(now bus.BitTime, hub *telemetry.Hub) (uint64, bool) {
+	h, ok := e.Controller.HyperFP(now, hub)
+	if !ok {
+		return 0, false
+	}
+	if e.Defense == nil {
+		return h, true
+	}
+	hd, ok := e.Defense.HyperFP(now, hub)
+	if !ok {
+		return 0, false
+	}
+	return defMix(h, hd), true
+}
+
+// HyperSnap implements bus.Hypering.
+func (e *ECU) HyperSnap(now bus.BitTime) any {
+	p := &ecuHyperPair{ctl: e.Controller.HyperSnap(now)}
+	if e.Defense != nil {
+		p.def = e.Defense.HyperSnap(now)
+	}
+	return p
+}
+
+// HyperMatch implements bus.Hypering.
+func (e *ECU) HyperMatch(now bus.BitTime, snap any) bool {
+	p, ok := snap.(*ecuHyperPair)
+	if !ok {
+		return false
+	}
+	if !e.Controller.HyperMatch(now, p.ctl) {
+		return false
+	}
+	if e.Defense == nil {
+		return p.def == nil
+	}
+	return p.def != nil && e.Defense.HyperMatch(now, p.def)
+}
+
+// HyperSeal implements bus.Hypering.
+func (e *ECU) HyperSeal(now bus.BitTime, snap any, windows int) (any, bool) {
+	p, ok := snap.(*ecuHyperPair)
+	if !ok {
+		return nil, false
+	}
+	dc, ok := e.Controller.HyperSeal(now, p.ctl, windows)
+	if !ok {
+		return nil, false
+	}
+	out := &ecuHyperPair{ctl: dc}
+	if e.Defense != nil {
+		dd, ok := e.Defense.HyperSeal(now, p.def, windows)
+		if !ok {
+			return nil, false
+		}
+		out.def = dd
+	}
+	return out, true
+}
+
+// HyperApply implements bus.Hypering.
+func (e *ECU) HyperApply(now bus.BitTime, delta any) {
+	p := delta.(*ecuHyperPair)
+	e.Controller.HyperApply(now, p.ctl)
+	if e.Defense != nil {
+		e.Defense.HyperApply(now, p.def)
+	}
+}

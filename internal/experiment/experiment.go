@@ -9,6 +9,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"michican/internal/bus"
@@ -48,9 +49,15 @@ type Config struct {
 	NoFrameFF bool
 	// NoSpliceFF disables just the compiled-splice fast path, leaving the
 	// idle/frame/contend ladder on — the michican-bench -splice-ff ablation
-	// knob (its off position is exactly the contend-ff grid arm). Redundant
-	// when ExactStepping is set.
+	// knob (its off position is exactly the contend-ff grid arm). Disabling
+	// splice also ends the hyperperiod tier, which chains splice windows.
+	// Redundant when ExactStepping is set.
 	NoSpliceFF bool
+	// NoHyperFF disables just the hyperperiod super-splice tier, leaving the
+	// full idle/frame/contend/splice ladder on — the michican-bench -hyper-ff
+	// ablation knob (its off position is exactly the splice-ff grid arm).
+	// Redundant when ExactStepping or any lower ablation is set.
+	NoHyperFF bool
 	// Hub, when set, wires every testbed participant (bus, defender
 	// controller, defense, restbus, attackers) into the telemetry collector.
 	// The parallel trial runner may share one hub across trials: node names
@@ -104,6 +111,9 @@ func newTestbed(cfg Config, matrix *restbus.Matrix, exclude []can.ID) (*testbed,
 	}
 	if cfg.NoSpliceFF {
 		tb.bus.SetSpliceFastForward(false)
+	}
+	if cfg.NoHyperFF {
+		tb.bus.SetHyperFastForward(false)
 	}
 	tb.recorder = trace.NewRecorder()
 	tb.bus.AttachTap(tb.recorder)
@@ -160,9 +170,27 @@ func scaleMatrixToLoad(m *restbus.Matrix, rate bus.Rate, target float64) *restbu
 		return m
 	}
 	factor := load / target
+	// Source periods are whole multiples of the 10 ms scheduling base, so
+	// the matrix is harmonic: the lcm of the per-message period bits — the
+	// schedule hyperperiod the hyper-FF tier keys its compiled chains on —
+	// stays small. Stretching each period by a float factor and rounding
+	// per message would shatter that structure (near-coprime period bits,
+	// lcm in the billions), so the base itself is stretched and quantized
+	// to whole bit times once, and every period scales by its integer
+	// multiple of the base: the load lands within a bit-time rounding of
+	// the target and the harmony is exact.
+	const periodBase = 10 * time.Millisecond
+	stretch := int64(math.Round(factor * float64(rate.Bits(periodBase))))
+	if stretch < 1 {
+		stretch = 1
+	}
 	out := &restbus.Matrix{Vehicle: m.Vehicle, Bus: m.Bus}
 	for _, msg := range m.Messages {
-		msg.Period = time.Duration(float64(msg.Period) * factor)
+		k := int64((msg.Period + periodBase/2) / periodBase)
+		if k < 1 {
+			k = 1
+		}
+		msg.Period = time.Duration(k*stretch) * rate.BitDuration()
 		out.Messages = append(out.Messages, msg)
 	}
 	return out

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"michican/internal/controller"
+)
+
+// This file measures the fleet-shared compiled-plan cache's two wins —
+// warm-up compile time and resident plan memory — by building the same
+// vehicle population with and without a shared PlanSource. The vehicles are
+// built and warmed only (no simulation): the arm isolates the cost the fleet
+// pays before its first productive bit.
+
+// FleetCacheRow is one cell of the fleet compile-time/memory arm: n vehicles
+// minted from the FleetSpecAt distribution, every restbus plan pre-compiled
+// (the full 256-value rolling-counter rotation per message).
+type FleetCacheRow struct {
+	// Vehicles is the population size; SharedCache tells whether all of them
+	// resolved plans through one fleet-shared PlanSource.
+	Vehicles    int  `json:"vehicles"`
+	SharedCache bool `json:"shared_cache"`
+	// BuildSeconds is the wall time to construct and plan-warm the whole
+	// population (single-threaded, so cells compare like for like).
+	BuildSeconds float64 `json:"build_seconds"`
+	// HeapBytes is the post-GC heap growth attributable to the population —
+	// the resident-memory side of the comparison.
+	HeapBytes int64 `json:"heap_bytes"`
+	// Cache carries the shared source's counters (zero when unshared).
+	Cache controller.PlanSourceStats `json:"plan_cache"`
+}
+
+// String renders the row for bench logs.
+func (r FleetCacheRow) String() string {
+	shared := "private plans"
+	if r.SharedCache {
+		shared = fmt.Sprintf("shared cache (%d plans, %d hits / %d misses, %d resident bytes)",
+			r.Cache.Plans, r.Cache.Hits, r.Cache.Misses, r.Cache.ResidentBytes)
+	}
+	return fmt.Sprintf("fleet-cache: %5d vehicles  build %7.3fs  heap %8.1f MB  %s",
+		r.Vehicles, r.BuildSeconds, float64(r.HeapBytes)/1e6, shared)
+}
+
+// MeasureFleetPlanCache builds n fleet vehicles (attack/load mix per
+// FleetSpecAt) with WarmPlans forcing every schedule serialization up front,
+// and reports wall time plus post-GC heap growth. With shared on, one
+// PlanSource spans the population; the distinct-plan count it reports is the
+// whole fleet's working set, since period stretching never changes frame
+// content — vehicles at different loads share the same serializations.
+func MeasureFleetPlanCache(n int, shared bool, seed int64) (FleetCacheRow, error) {
+	var src *controller.PlanSource
+	if shared {
+		src = controller.NewPlanSource()
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	vs := make([]*FleetVehicle, n)
+	start := time.Now()
+	for i := range vs {
+		spec := FleetSpecAt(seed, i, 0, false)
+		spec.Plans = src
+		v, err := NewFleetVehicle(spec)
+		if err != nil {
+			return FleetCacheRow{}, err
+		}
+		v.WarmPlans()
+		vs[i] = v
+	}
+	wall := time.Since(start).Seconds()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	row := FleetCacheRow{
+		Vehicles:     n,
+		SharedCache:  shared,
+		BuildSeconds: wall,
+		HeapBytes:    int64(after.HeapAlloc) - int64(before.HeapAlloc),
+		Cache:        src.Stats(),
+	}
+	runtime.KeepAlive(vs)
+	return row, nil
+}

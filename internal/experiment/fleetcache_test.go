@@ -1,0 +1,32 @@
+package experiment
+
+import "testing"
+
+// TestMeasureFleetPlanCache smoke-tests the fleet compile-time/memory arm at
+// a tiny population: the shared row must show the cache actually absorbing
+// the population's plan working set, the private row must report no cache.
+func TestMeasureFleetPlanCache(t *testing.T) {
+	shared, err := MeasureFleetPlanCache(3, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared.SharedCache || shared.Vehicles != 3 {
+		t.Fatalf("shared row mislabeled: %+v", shared)
+	}
+	if shared.Cache.Plans == 0 || shared.Cache.Misses == 0 || shared.Cache.ResidentBytes == 0 {
+		t.Fatalf("shared row shows an unexercised cache: %+v", shared.Cache)
+	}
+	if shared.Cache.Hits == 0 {
+		t.Fatalf("three vehicles over one matrix produced no cross-vehicle hits: %+v", shared.Cache)
+	}
+	private, err := MeasureFleetPlanCache(3, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private.SharedCache || private.Cache.Plans != 0 || private.Cache.Hits != 0 {
+		t.Fatalf("private row reports a cache: %+v", private)
+	}
+	if private.BuildSeconds < 0 || shared.BuildSeconds < 0 {
+		t.Fatal("negative build time")
+	}
+}

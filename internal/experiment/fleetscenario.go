@@ -63,6 +63,14 @@ type FleetVehicleSpec struct {
 	// Record attaches a wire recorder (the determinism tests' witness;
 	// costs memory, leave off for throughput runs).
 	Record bool
+	// Plans, when set, is the fleet-shared compiled-plan cache: the
+	// vehicle's replayer and defender resolve frame serializations through
+	// it, sharing one immutable copy per distinct frame across every
+	// vehicle on the same source. Purely a memory/compile-time
+	// optimization — traces are bit-identical with and without it (the
+	// determinism tests pin that), so it is excluded from the spec's
+	// determinism identity and from durable-store spec serialization.
+	Plans *controller.PlanSource `json:"-"`
 }
 
 // fleetAttackIDs lists the CAN IDs a mix injects (excluded from the benign
@@ -97,9 +105,10 @@ func fleetAttackers(a FleetAttack) []bus.Node {
 // applyMode sets the bus's fast-path ladder to the given stepping mode.
 func applyMode(bb *bus.Bus, mode SteppingMode) {
 	bb.SetFastForward(mode != ModeExact)
-	bb.SetFrameFastForward(mode == ModeFrameFF || mode == ModeContendFF || mode == ModeSpliceFF)
-	bb.SetContendFastForward(mode == ModeContendFF || mode == ModeSpliceFF)
-	bb.SetSpliceFastForward(mode == ModeSpliceFF)
+	bb.SetFrameFastForward(mode == ModeFrameFF || mode == ModeContendFF || mode == ModeSpliceFF || mode == ModeHyperFF)
+	bb.SetContendFastForward(mode == ModeContendFF || mode == ModeSpliceFF || mode == ModeHyperFF)
+	bb.SetSpliceFastForward(mode == ModeSpliceFF || mode == ModeHyperFF)
+	bb.SetHyperFastForward(mode == ModeHyperFF)
 }
 
 // FleetVehicle is one running vehicle simulation implementing the fleet
@@ -112,6 +121,7 @@ type FleetVehicle struct {
 	eng        *forensics.Engine
 	defender   *controller.Controller
 	recorder   *trace.Recorder
+	rp         *restbus.Replayer
 	periodBits int64
 	nextSend   bus.BitTime
 	finalized  bool
@@ -140,6 +150,9 @@ func NewFleetVehicle(spec FleetVehicleSpec) (*FleetVehicle, error) {
 		matrix = cleanMatrix(restbus.Buses(restbus.VehD)[0], append([]can.ID{DefenderID}, attackIDs...))
 		matrix = scaleMatrixToLoad(matrix, bus.Rate50k, spec.Load)
 		ids = append(ids, matrix.IDs()...)
+		if h := matrix.HyperperiodBits(bus.Rate50k); h > 0 {
+			v.bb.SetHyperChainBits(h)
+		}
 	}
 	ivn, err := fsm.NewIVN(ids)
 	if err != nil {
@@ -153,12 +166,16 @@ func NewFleetVehicle(spec FleetVehicleSpec) (*FleetVehicle, error) {
 	if err != nil {
 		return nil, err
 	}
-	v.defender = controller.New(controller.Config{Name: "defender", AutoRecover: true})
+	v.defender = controller.New(controller.Config{Name: "defender", AutoRecover: true, Plans: spec.Plans})
 	v.bb.Attach(core.NewECU(v.defender, defense))
 
 	var rp *restbus.Replayer
 	if matrix != nil {
 		rp = restbus.NewReplayer("restbus", matrix, bus.Rate50k, newRand(spec.Seed))
+		if spec.Plans != nil {
+			rp.SharePlans(spec.Plans)
+		}
+		v.rp = rp
 		v.bb.Attach(rp)
 	}
 	attackers := fleetAttackers(spec.Attack)
@@ -234,6 +251,17 @@ func (v *FleetVehicle) Advance(bits int64) {
 			runTo = end
 		}
 		v.bb.Run(int64(runTo - v.bb.Now()))
+	}
+}
+
+// WarmPlans pre-compiles the vehicle's restbus transmit plans (all 256
+// rolling-counter payload instances per message), the work the schedule
+// otherwise does lazily over the first counter rotation. With a shared
+// PlanSource the first vehicle fills the cache and every later one resolves
+// by lookup, so fleet warm-up compile cost is paid once instead of N times.
+func (v *FleetVehicle) WarmPlans() {
+	if v.rp != nil {
+		v.rp.WarmSplice(256)
 	}
 }
 

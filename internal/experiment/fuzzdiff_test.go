@@ -50,15 +50,19 @@ const (
 	// diffContendFF adds bulk wired-AND resolution of contested windows,
 	// with the compiled-splice tier still disabled.
 	diffContendFF
-	// diffSpliceFF enables the full stack including the compiled-splice
+	// diffSpliceFF enables the stack including the compiled-splice
 	// tier, which folds whole precompiled frame windows plus their
-	// intermission tails.
+	// intermission tails, with the hyperperiod tier explicitly off.
 	diffSpliceFF
+	// diffHyperFF enables the full ladder topped by the hyperperiod
+	// super-splice tier, which chains accepted splice windows and idle gaps
+	// into memoized hyperperiod spans applied O(1) on fingerprint recurrence.
+	diffHyperFF
 )
 
 // ffCounters reports which fast paths a run engaged.
 type ffCounters struct {
-	idle, frame, contend, splice int64
+	idle, frame, contend, splice, hyper int64
 	// pinned records that the half-capable observer joined, pinning the
 	// frame, contend, and splice paths to exact stepping by construction.
 	pinned bool
@@ -157,8 +161,18 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 	bb := bus.New(bus.Rate50k)
 	bb.SetFastForward(mode != diffExact)
 	bb.SetFrameFastForward(mode != diffExact)
-	bb.SetContendFastForward(mode == diffContendFF || mode == diffSpliceFF)
-	bb.SetSpliceFastForward(mode == diffSpliceFF)
+	bb.SetContendFastForward(mode == diffContendFF || mode == diffSpliceFF || mode == diffHyperFF)
+	bb.SetSpliceFastForward(mode == diffSpliceFF || mode == diffHyperFF)
+	bb.SetHyperFastForward(mode == diffHyperFF)
+	if mode == diffHyperFF {
+		// Production wiring: key chains on the schedule hyperperiod when the
+		// random matrix's lcm is tractable; otherwise the default chain length
+		// stands in. Either way fingerprint misses just record — hits are a
+		// bonus, correctness is the differential's subject.
+		if h := matrix.HyperperiodBits(bus.Rate50k); h > 0 {
+			bb.SetHyperChainBits(h)
+		}
+	}
 
 	defCtl := controller.New(controller.Config{Name: "defender", AutoRecover: true})
 	ecu := core.NewECU(defCtl, def)
@@ -239,6 +253,7 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 	ff.frame = bb.FrameForwardedBits()
 	ff.contend = bb.ContendForwardedBits()
 	ff.splice = bb.SpliceForwardedBits()
+	ff.hyper = bb.HyperForwardedBits()
 	ff.pinned = pinned
 	return out, ff, nil
 }
@@ -247,12 +262,13 @@ func runRandomScenario(seed int64, mode diffMode, hub *telemetry.Hub) (diffOutco
 // can finalize their forensics engines at the recording end.
 const fuzzTotalBits = int64(20_000)
 
-// diffSeed runs one seed five ways — exact with no telemetry, frame-FF with
+// diffSeed runs one seed six ways — exact with no telemetry, frame-FF with
 // contested windows exact-stepped, contend-FF with bulk wired-AND
-// resolution, splice-FF with the full stack including compiled-window
-// splicing, and exact again with a fully wired, event-retaining hub — and
+// resolution, splice-FF with compiled-window splicing, hyper-FF with the
+// full ladder including memoized hyperperiod chains, and exact again with a
+// fully wired, event-retaining hub — and
 // fails on any divergence: every fast path must be bit-invisible, and
-// telemetry must be a pure observer on every path. The four wired arms each
+// telemetry must be a pure observer on every path. The five wired arms each
 // feed a live forensics engine, and the reconstructed incident logs must be
 // identical across stepping modes — the tentpole's parity claim, fuzzed.
 // Returns the number of incidents the seed produced.
@@ -287,7 +303,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	if fastFF.frame == 0 && !fastFF.pinned {
 		t.Errorf("seed %d: frame fast path never engaged with no pinning node", seed)
 	}
-	if fastFF.contend != 0 || fastFF.splice != 0 {
+	if fastFF.contend != 0 || fastFF.splice != 0 || fastFF.hyper != 0 {
 		t.Errorf("seed %d: disabled fast path engaged on frame-ff arm", seed)
 	}
 	contendHub, contendEng := newEng(false)
@@ -298,8 +314,8 @@ func diffSeed(t *testing.T, seed int64) int {
 	if contendFF.contend == 0 && !contendFF.pinned {
 		t.Errorf("seed %d: contend fast path never engaged with no pinning node", seed)
 	}
-	if contendFF.splice != 0 {
-		t.Errorf("seed %d: splice path engaged while disabled", seed)
+	if contendFF.splice != 0 || contendFF.hyper != 0 {
+		t.Errorf("seed %d: splice/hyper path engaged while disabled", seed)
 	}
 	spliceHub, spliceEng := newEng(false)
 	splice, spliceFF, err := runRandomScenario(seed, diffSpliceFF, spliceHub)
@@ -308,6 +324,21 @@ func diffSeed(t *testing.T, seed int64) int {
 	}
 	if spliceFF.splice == 0 && !spliceFF.pinned {
 		t.Errorf("seed %d: splice fast path never engaged with no pinning node", seed)
+	}
+	if spliceFF.hyper != 0 {
+		t.Errorf("seed %d: hyper path engaged while disabled", seed)
+	}
+	hyperHub, hyperEng := newEng(false)
+	hyper, hyperFF, err := runRandomScenario(seed, diffHyperFF, hyperHub)
+	if err != nil {
+		t.Fatalf("seed %d hyper: %v", seed, err)
+	}
+	// No engagement floor for the hyper counter itself: the tier only replays
+	// on fingerprint recurrence, which a 400 ms random schedule may never
+	// reach (and any attacker or half-capable node pins it off entirely). The
+	// splice tier underneath must still carry the run.
+	if hyperFF.splice == 0 && !hyperFF.pinned {
+		t.Errorf("seed %d: splice tier never engaged on the hyper arm with no pinning node", seed)
 	}
 	hub, wiredEng := newEng(true)
 	wired, _, err := runRandomScenario(seed, diffExact, hub)
@@ -332,7 +363,8 @@ func diffSeed(t *testing.T, seed int64) int {
 	compare("exact vs frame-ff", exact, fast)
 	compare("frame-ff vs contend-ff", fast, contend)
 	compare("contend-ff vs splice-ff", contend, splice)
-	compare("splice-ff vs telemetry-wired-exact", splice, wired)
+	compare("splice-ff vs hyper-ff", splice, hyper)
+	compare("hyper-ff vs telemetry-wired-exact", hyper, wired)
 	if hub.Len() == 0 {
 		t.Errorf("seed %d: wired run captured no telemetry events", seed)
 	}
@@ -344,6 +376,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	fastIncs := finalize(fastEng)
 	contendIncs := finalize(contendEng)
 	spliceIncs := finalize(spliceEng)
+	hyperIncs := finalize(hyperEng)
 	if !reflect.DeepEqual(exactIncs, fastIncs) {
 		t.Fatalf("seed %d: forensics incidents diverge exact vs frame-ff:\n%+v\nvs\n%+v",
 			seed, exactIncs, fastIncs)
@@ -355,6 +388,10 @@ func diffSeed(t *testing.T, seed int64) int {
 	if !reflect.DeepEqual(exactIncs, spliceIncs) {
 		t.Fatalf("seed %d: forensics incidents diverge exact vs splice-ff:\n%+v\nvs\n%+v",
 			seed, exactIncs, spliceIncs)
+	}
+	if !reflect.DeepEqual(exactIncs, hyperIncs) {
+		t.Fatalf("seed %d: forensics incidents diverge exact vs hyper-ff:\n%+v\nvs\n%+v",
+			seed, exactIncs, hyperIncs)
 	}
 	return len(exactIncs)
 }

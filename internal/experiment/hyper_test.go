@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"michican/internal/attack"
+	"michican/internal/bus"
+	"michican/internal/can"
+	"michican/internal/controller"
+	"michican/internal/restbus"
+	"michican/internal/trace"
+)
+
+// These tests pin the hyperperiod super-splice tier's two contracts in
+// isolation from the fuzz sweep: bit-exact identity against per-bit stepping
+// on a schedule whose hyperperiod the tier can actually chain, and memo
+// invalidation across super-window boundaries — an attacker attaching between
+// chained windows or mid-hyperperiod, and a node detaching mid-hyperperiod —
+// where a stale-generation memo must never be served.
+
+const (
+	// hyperTestH is the harmonic matrix's schedule hyperperiod in bits at
+	// 50 kbit/s: periods 5/10/20 ms are 250/500/1000 bits, lcm 1000.
+	hyperTestH = int64(1000)
+	// hyperTestTotal covers the fingerprint working set plus a hit region:
+	// the per-message rolling counters advance 4/2/1 per hyperperiod, so the
+	// joint sequence state recurs only after 256 hyperperiods (256k bits);
+	// everything past that replays from memos.
+	hyperTestTotal = 700 * hyperTestH
+)
+
+// harmonicMatrix is a three-message schedule with strictly harmonic periods,
+// so the hyperperiod is small enough for chains to close and recur inside a
+// unit test (7 splice windows per 1000-bit hyperperiod).
+func harmonicMatrix() *restbus.Matrix {
+	m := &restbus.Matrix{Vehicle: "fuzz", Bus: "hyper"}
+	for i, id := range []can.ID{0x100, 0x200, 0x300} {
+		m.Messages = append(m.Messages, restbus.Message{
+			ID:          id,
+			Transmitter: fmt.Sprintf("ecu-%d", i),
+			DLC:         i + 1,
+			Period:      time.Duration(5*(1<<i)) * time.Millisecond,
+		})
+	}
+	return m
+}
+
+// hyperOutcome is everything the hyper differentials compare.
+type hyperOutcome struct {
+	Bits                []can.Level
+	TEC, REC            []int
+	TxSuccess, RxFrames []int
+}
+
+// hyperProbe captures bus-internal observations taken inside the mutation
+// callback, at the Run boundary where external mutation is legal.
+type hyperProbe struct {
+	genBefore, genAfter uint64
+	memosBefore         int
+	hyperBitsAt         int64
+}
+
+// runHyperScenario replays the harmonic matrix alongside two pure-receiver
+// controllers (so a receiver still ACKs after one leaves), optionally
+// mutating the node set at bit mutateAt (a Run boundary), and returns the
+// resolved trace plus the surviving nodes' counters. The hyper arm uses
+// production wiring: the chain target is the matrix's schedule hyperperiod.
+func runHyperScenario(t *testing.T, mode diffMode, total, mutateAt int64,
+	mutate func(bb *bus.Bus, leaver *controller.Controller, ctls *[]*controller.Controller)) (hyperOutcome, *bus.Bus) {
+	t.Helper()
+	matrix := harmonicMatrix()
+	bb := bus.New(bus.Rate50k)
+	bb.SetFastForward(mode != diffExact)
+	bb.SetFrameFastForward(mode != diffExact)
+	bb.SetContendFastForward(mode == diffContendFF || mode == diffSpliceFF || mode == diffHyperFF)
+	bb.SetSpliceFastForward(mode == diffSpliceFF || mode == diffHyperFF)
+	bb.SetHyperFastForward(mode == diffHyperFF)
+	if mode == diffHyperFF {
+		h := matrix.HyperperiodBits(bus.Rate50k)
+		if h != hyperTestH {
+			t.Fatalf("harmonic matrix hyperperiod = %d bits, want %d", h, hyperTestH)
+		}
+		bb.SetHyperChainBits(h)
+	}
+	rep := restbus.NewReplayer("restbus", matrix, bus.Rate50k, rand.New(rand.NewSource(11)))
+	bb.Attach(rep)
+	leaver := controller.New(controller.Config{Name: "leaver", AutoRecover: true})
+	bb.Attach(leaver)
+	stayer := controller.New(controller.Config{Name: "stayer", AutoRecover: true})
+	bb.Attach(stayer)
+	rec := trace.NewRecorder()
+	bb.AttachTap(rec)
+	ctls := []*controller.Controller{rep.Controller(), leaver, stayer}
+
+	if mutateAt > 0 {
+		bb.Run(mutateAt)
+		mutate(bb, leaver, &ctls)
+		bb.Run(total - mutateAt)
+	} else {
+		bb.Run(total)
+	}
+
+	var out hyperOutcome
+	out.Bits = rec.Bits()
+	for _, c := range ctls {
+		st := c.Stats()
+		out.TEC = append(out.TEC, c.TEC())
+		out.REC = append(out.REC, c.REC())
+		out.TxSuccess = append(out.TxSuccess, st.TxSuccess)
+		out.RxFrames = append(out.RxFrames, st.RxSuccess)
+	}
+	return out, bb
+}
+
+// compareHyperOutcome fails on the first wire-trace or counter divergence.
+func compareHyperOutcome(t *testing.T, label string, a, b hyperOutcome) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Bits, b.Bits) {
+		i := 0
+		for i < len(a.Bits) && i < len(b.Bits) && a.Bits[i] == b.Bits[i] {
+			i++
+		}
+		t.Fatalf("%s: wire traces diverge at bit %d (%d bits vs %d bits)",
+			label, i, len(a.Bits), len(b.Bits))
+	}
+	a.Bits, b.Bits = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: counters diverge:\n%+v\nvs\n%+v", label, a, b)
+	}
+}
+
+// TestHyperFFIdentityHarmonic is the tier's identity proof on a schedule it
+// can fully chain: once the rolling-counter rotation closes, the run replays
+// hyperperiod after hyperperiod from memos, and the result must stay
+// bit-identical to both the splice arm and exact stepping.
+func TestHyperFFIdentityHarmonic(t *testing.T) {
+	exact, _ := runHyperScenario(t, diffExact, hyperTestTotal, 0, nil)
+	splice, sbb := runHyperScenario(t, diffSpliceFF, hyperTestTotal, 0, nil)
+	hyper, hbb := runHyperScenario(t, diffHyperFF, hyperTestTotal, 0, nil)
+
+	if sbb.SpliceForwardedBits() == 0 {
+		t.Error("splice fast path never engaged on the splice arm")
+	}
+	if sbb.HyperForwardedBits() != 0 {
+		t.Error("hyper path engaged on the splice arm while disabled")
+	}
+	if hbb.HyperMemoCount() == 0 {
+		t.Error("hyper arm sealed no super-window memos")
+	}
+	// Past the 256-hyperperiod warm-up (~37% of the run) nearly every
+	// hyperperiod should apply as one memo; a fifth of the run is a loose
+	// floor that still proves steady-state replay rather than a lucky hit.
+	if got := hbb.HyperForwardedBits(); got < hyperTestTotal/5 {
+		t.Errorf("hyper path carried %d of %d bits, want at least %d", got, hyperTestTotal, hyperTestTotal/5)
+	}
+	compareHyperOutcome(t, "exact vs splice-ff", exact, splice)
+	compareHyperOutcome(t, "splice-ff vs hyper-ff", splice, hyper)
+}
+
+// TestHyperMemoInvalidationOnAttach attaches a fabrication attacker after the
+// memo table is hot and applying — once exactly at a chain edge (between
+// chained super-windows) and once mid-hyperperiod. The attach must bump the
+// hyper generation, every sealed memo must go stale, and — since the attacker
+// does not implement Hypering — the tier must pin off without ever serving a
+// pre-attack memo. The run must stay bit-identical to exact stepping through
+// the same attach.
+func TestHyperMemoInvalidationOnAttach(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		at   int64
+	}{
+		{"between-chained-windows", 300 * hyperTestH},
+		{"mid-hyperperiod", 300*hyperTestH + hyperTestH/2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			attach := func(probe *hyperProbe) func(*bus.Bus, *controller.Controller, *[]*controller.Controller) {
+				return func(bb *bus.Bus, _ *controller.Controller, ctls *[]*controller.Controller) {
+					if probe != nil {
+						probe.genBefore = bb.HyperGen()
+						probe.memosBefore = bb.HyperMemoCount()
+						probe.hyperBitsAt = bb.HyperForwardedBits()
+					}
+					att := attack.NewFabrication("attacker", 0x100, []byte{0xA5, 0x5A}, 1500)
+					bb.Attach(att)
+					*ctls = append(*ctls, att.Controller())
+					if probe != nil {
+						probe.genAfter = bb.HyperGen()
+					}
+				}
+			}
+			exact, _ := runHyperScenario(t, diffExact, hyperTestTotal, tc.at, attach(nil))
+			var probe hyperProbe
+			hyper, hbb := runHyperScenario(t, diffHyperFF, hyperTestTotal, tc.at, attach(&probe))
+
+			if probe.memosBefore == 0 {
+				t.Error("no memos sealed before the attach — invalidation had nothing to invalidate")
+			}
+			if probe.hyperBitsAt == 0 {
+				t.Error("hyper path never applied before the attach")
+			}
+			if probe.genAfter != probe.genBefore+1 {
+				t.Errorf("Attach bumped hyper generation %d -> %d, want +1", probe.genBefore, probe.genAfter)
+			}
+			// The attacker pins the tier: if any post-attach bits were hyper-
+			// forwarded, a stale-generation memo was served.
+			if got := hbb.HyperForwardedBits(); got != probe.hyperBitsAt {
+				t.Errorf("hyper path advanced %d bits after a non-Hypering attacker joined", got-probe.hyperBitsAt)
+			}
+			compareHyperOutcome(t, "exact vs hyper-ff with attach at "+tc.name, exact, hyper)
+		})
+	}
+}
+
+// TestHyperMemoInvalidationOnDetach detaches one pure-receiver controller
+// mid-hyperperiod, after memos sealed over the four-node set have been
+// applying. The detach bumps the generation (per-node memo entries are
+// indexed by attachment order), so every old memo is stale; the tier must
+// re-record under the new generation and re-engage, all while staying
+// bit-identical to exact stepping through the same detach.
+func TestHyperMemoInvalidationOnDetach(t *testing.T) {
+	detachAt := 300*hyperTestH + hyperTestH/2
+	detach := func(probe *hyperProbe) func(*bus.Bus, *controller.Controller, *[]*controller.Controller) {
+		return func(bb *bus.Bus, leaver *controller.Controller, ctls *[]*controller.Controller) {
+			if probe != nil {
+				probe.genBefore = bb.HyperGen()
+				probe.memosBefore = bb.HyperMemoCount()
+				probe.hyperBitsAt = bb.HyperForwardedBits()
+			}
+			if !bb.Detach(leaver) {
+				panic("leaver not attached at detach time")
+			}
+			*ctls = append((*ctls)[:1], (*ctls)[2:]...) // replayer and stayer survive
+			if probe != nil {
+				probe.genAfter = bb.HyperGen()
+			}
+		}
+	}
+	exact, _ := runHyperScenario(t, diffExact, hyperTestTotal, detachAt, detach(nil))
+	var probe hyperProbe
+	hyper, hbb := runHyperScenario(t, diffHyperFF, hyperTestTotal, detachAt, detach(&probe))
+
+	if probe.memosBefore == 0 {
+		t.Error("no memos sealed before the detach — invalidation had nothing to invalidate")
+	}
+	if probe.hyperBitsAt == 0 {
+		t.Error("hyper path never applied before the detach")
+	}
+	if probe.genAfter != probe.genBefore+1 {
+		t.Errorf("Detach bumped hyper generation %d -> %d, want +1", probe.genBefore, probe.genAfter)
+	}
+	// The surviving node set is still all-Hypering, so after re-recording the
+	// post-detach rotation the tier must apply fresh memos again: hyper bits
+	// strictly above the pre-detach count prove the stale memos were replaced,
+	// not reused (reuse would have diverged the trace below).
+	if got := hbb.HyperForwardedBits(); got <= probe.hyperBitsAt {
+		t.Errorf("hyper path never re-engaged after the detach (%d bits, %d before)", got, probe.hyperBitsAt)
+	}
+	compareHyperOutcome(t, "exact vs hyper-ff with mid-hyperperiod detach", exact, hyper)
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -72,9 +73,16 @@ type FleetHealth struct {
 	Queries int64 `json:"queries"`
 }
 
+// MetricsAppender writes extra Prometheus-style lines onto the /fleet/metrics
+// response after the aggregate's own series — process-level series that live
+// outside the per-vehicle commit pipeline, such as the fleet-shared
+// compiled-plan cache. Appenders run on the query path and must be safe to
+// call concurrently with simulation workers.
+type MetricsAppender func(w io.Writer)
+
 // ServeFleet binds addr and serves the fleet observability surface in a
 // background goroutine, exactly like Serve does for a single simulation.
-func ServeFleet(addr string, f *fleet.Fleet) (*Server, error) {
+func ServeFleet(addr string, f *fleet.Fleet, extra ...MetricsAppender) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -97,6 +105,9 @@ func ServeFleet(addr string, f *fleet.Fleet) (*Server, error) {
 		_ = v.WriteMetricsText(w)
 		n, _ := qs.snapshot()
 		fmt.Fprintf(w, "michican_fleet_queries_total %d\n", n)
+		for _, app := range extra {
+			app(w)
+		}
 	}))
 	mux.HandleFunc("/fleet/incidents", timed(func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, f.Aggregate().IncidentsView())

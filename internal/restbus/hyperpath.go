@@ -1,0 +1,197 @@
+package restbus
+
+import (
+	"michican/internal/bus"
+	"michican/internal/telemetry"
+)
+
+var _ bus.Hypering = (*Replayer)(nil)
+
+// The replayer's hyperperiod support composes its controller's (the
+// controller's OnTransmit callback is the replayer's own completion hook,
+// whose every effect — outstanding flags, latency maxima, transmit counts —
+// is folded below, which is what justifies the AllowHyperWithCallbacks
+// opt-in in NewReplayer) with the schedule state: per-item deadlines
+// relative to the anchor, rolling-counter positions, and outstanding
+// instances. Deadlines are absolute bit times, so the snapshot stores them
+// relative to now and the delta re-anchors them at the replay's exit time;
+// with harmonic periods the relative pattern recurs every hyperperiod, which
+// is exactly what makes the fingerprints hit.
+type rpHyperState struct {
+	ctl   any
+	items []rpItemState
+	// Seal-time decline stash (not matched).
+	enqueued    int
+	transmitted int
+	misses      int
+	maxLat      []int64
+}
+
+type rpItemState struct {
+	due         int64 // nextDue - now
+	seq         byte
+	outstanding bool
+	enqAge      int64 // now - enqueuedAt while outstanding, else 0
+}
+
+type rpHyperDelta struct {
+	ctl          any
+	items        []rpItemState // exit schedule state, dues relative to exit
+	maxCand      []int64       // per-item latency maximum the chain produced, 0 = none
+	dEnqueued    int
+	dTransmitted int
+	nextScanRel  int64
+	nextScanInf  bool
+}
+
+// HyperFP implements bus.Hypering.
+func (r *Replayer) HyperFP(now bus.BitTime, hub *telemetry.Hub) (uint64, bool) {
+	h, ok := r.ctl.HyperFP(now, hub)
+	if !ok {
+		return 0, false
+	}
+	for i := range r.items {
+		item := &r.items[i]
+		h = rpMix(h, uint64(item.nextDue-now)<<9|uint64(item.seq)<<1|rpB2u(item.outstanding))
+		if item.outstanding {
+			h = rpMix(h, uint64(now-item.enqueuedAt))
+		}
+	}
+	return h, true
+}
+
+func rpMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+func rpB2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (r *Replayer) itemStates(now bus.BitTime) []rpItemState {
+	out := make([]rpItemState, len(r.items))
+	for i := range r.items {
+		item := &r.items[i]
+		out[i] = rpItemState{
+			due:         int64(item.nextDue - now),
+			seq:         item.seq,
+			outstanding: item.outstanding,
+		}
+		if item.outstanding {
+			out[i].enqAge = int64(now - item.enqueuedAt)
+		}
+	}
+	return out
+}
+
+// HyperSnap implements bus.Hypering.
+func (r *Replayer) HyperSnap(now bus.BitTime) any {
+	s := &rpHyperState{
+		ctl:         r.ctl.HyperSnap(now),
+		items:       r.itemStates(now),
+		enqueued:    r.stats.Enqueued,
+		transmitted: r.stats.Transmitted,
+		misses:      r.stats.DeadlineMisses,
+		maxLat:      make([]int64, len(r.items)),
+	}
+	for i := range r.items {
+		s.maxLat[i] = r.items[i].maxLat
+	}
+	return s
+}
+
+// HyperMatch implements bus.Hypering.
+func (r *Replayer) HyperMatch(now bus.BitTime, snap any) bool {
+	s, ok := snap.(*rpHyperState)
+	if !ok || len(s.items) != len(r.items) {
+		return false
+	}
+	if !r.ctl.HyperMatch(now, s.ctl) {
+		return false
+	}
+	for i := range r.items {
+		item := &r.items[i]
+		w := &s.items[i]
+		if int64(item.nextDue-now) != w.due || item.seq != w.seq ||
+			item.outstanding != w.outstanding {
+			return false
+		}
+		if item.outstanding && int64(now-item.enqueuedAt) != w.enqAge {
+			return false
+		}
+	}
+	return true
+}
+
+// HyperSeal implements bus.Hypering.
+func (r *Replayer) HyperSeal(now bus.BitTime, snap any, windows int) (any, bool) {
+	s, ok := snap.(*rpHyperState)
+	if !ok {
+		return nil, false
+	}
+	if r.stats.DeadlineMisses != s.misses {
+		// A chain with deadline misses would also need a MissByID fold;
+		// misses mean the schedule is saturated and chains are the wrong
+		// tool anyway, so decline.
+		return nil, false
+	}
+	dc, ok := r.ctl.HyperSeal(now, s.ctl, windows)
+	if !ok {
+		return nil, false
+	}
+	d := &rpHyperDelta{
+		ctl:          dc,
+		items:        r.itemStates(now),
+		maxCand:      make([]int64, len(r.items)),
+		dEnqueued:    r.stats.Enqueued - s.enqueued,
+		dTransmitted: r.stats.Transmitted - s.transmitted,
+	}
+	for i := range r.items {
+		// Latency maxima are monotone and not entry-matched; record only a
+		// maximum the chain itself raised (a pure time difference, so it is
+		// shift-invariant across replays).
+		if r.items[i].maxLat > s.maxLat[i] {
+			d.maxCand[i] = r.items[i].maxLat
+		}
+	}
+	if r.nextScan == neverDue {
+		d.nextScanInf = true
+	} else {
+		d.nextScanRel = int64(r.nextScan - now)
+	}
+	return d, true
+}
+
+// HyperApply implements bus.Hypering.
+func (r *Replayer) HyperApply(now bus.BitTime, delta any) {
+	d := delta.(*rpHyperDelta)
+	r.ctl.HyperApply(now, d.ctl)
+	for i := range r.items {
+		item := &r.items[i]
+		w := &d.items[i]
+		item.nextDue = now + bus.BitTime(w.due)
+		item.seq = w.seq
+		item.outstanding = w.outstanding
+		if w.outstanding {
+			item.enqueuedAt = now - bus.BitTime(w.enqAge)
+		}
+		if d.maxCand[i] > item.maxLat {
+			item.maxLat = d.maxCand[i]
+		}
+	}
+	r.stats.Enqueued += d.dEnqueued
+	r.stats.Transmitted += d.dTransmitted
+	if d.nextScanInf {
+		r.nextScan = neverDue
+	} else {
+		r.nextScan = now + bus.BitTime(d.nextScanRel)
+	}
+}

@@ -107,6 +107,10 @@ func NewReplayer(name string, m *Matrix, rate bus.Rate, rng *rand.Rand) *Replaye
 			item.outstanding = false
 		},
 	})
+	// The OnTransmit hook above is the replayer's own completion accounting,
+	// and the replayer's hyper delta folds all of it (see hyperpath.go), so
+	// the controller may join hyperperiod chains despite the callback.
+	r.ctl.AllowHyperWithCallbacks()
 	for i := range r.idIdx {
 		r.idIdx[i] = -1
 	}
@@ -185,6 +189,14 @@ func seqBufs(dlc int) [][]byte {
 
 // Controller exposes the replayer's protocol controller.
 func (r *Replayer) Controller() *controller.Controller { return r.ctl }
+
+// SharePlans wires a fleet-shared compiled-plan cache into the replayer's
+// controller: every plan the schedule compiles (lazily or via WarmSplice)
+// resolves through the source, so N replayers stamped from the same matrix
+// share one immutable copy of each serialization and its pre-resolved splice
+// span. Call before the replayer produces traffic; behavior is bit-identical
+// with or without sharing.
+func (r *Replayer) SharePlans(src *controller.PlanSource) { r.ctl.SetPlanSource(src) }
 
 // SetTelemetry wires the replayer's controller to a telemetry hub.
 func (r *Replayer) SetTelemetry(hub *telemetry.Hub) { r.ctl.SetTelemetry(hub) }
