@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build test vet bench bench-short race repro examples cover clean \
-	fleet fleet-bench fleet-guard store-bench store-guard crash-resume-smoke
+	fleet fleet-bench fleet-guard store-bench store-guard crash-resume-smoke \
+	watch-bench watch-guard bench-trend
 
 all: build vet test
 
@@ -56,6 +57,21 @@ store-bench:
 # within 2% of the in-memory baseline).
 store-guard:
 	$(GO) run ./cmd/michican-bench -store-overhead /tmp/store-overhead.json -gridbits 500000
+
+# The live-SLO overhead grid behind BENCH_PR10.json (forensics baseline vs
+# +watch engine vs +5ms SLO poller, 3 loads × 4 stepping modes).
+watch-bench:
+	$(GO) run ./cmd/michican-bench -watch-overhead BENCH_PR10.json
+
+# The watch-engine budget guard (exact stepping at 2% load must stay within
+# 2% of the forensics-wired baseline).
+watch-guard:
+	$(GO) run ./cmd/michican-bench -watch-overhead /tmp/watch-overhead.json -gridbits 500000
+
+# Fold the committed BENCH_PR*.json series into a trend table and gate each
+# series tip's 60%-load headline against its last committed baseline.
+bench-trend:
+	./scripts/bench_trend.sh
 
 # Kill a durable fleet run mid-flight, resume it from the last checkpoints,
 # and assert the segment files come out byte-identical to an uninterrupted

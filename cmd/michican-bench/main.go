@@ -55,6 +55,8 @@ func main() {
 		storeBudg  = flag.Float64("store-budget", 2.0, "slowdown budget in percent the persist arm of the -store-overhead grid must stay within")
 		storeSeg   = flag.Int64("store-segment-bytes", store.DefaultSegmentBytes, "segment roll threshold for the -store-overhead arms (also recorded in the -json store block)")
 		storeFsync = flag.String("store-fsync", store.FsyncGroup, "fsync policy for the -store-overhead arms: group|checkpoint|none")
+		watchJSON  = flag.String("watch-overhead", "", "measure the 3×4 throughput grid across live-SLO arms (forensics baseline / +watch engine / +5ms SLO poller) and write JSON to this file")
+		watchBudg  = flag.Float64("watch-budget", 2.0, "slowdown budget in percent the watch arm of the -watch-overhead grid must stay within at the idle cell")
 		overhead   = flag.Bool("telemetry-overhead", false, "measure disabled-vs-enabled telemetry throughput on the frame fast path and exit nonzero over -overhead-threshold")
 		overheadTh = flag.Float64("overhead-threshold", 2.0, "max tolerated telemetry overhead in percent for -telemetry-overhead")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -78,6 +80,13 @@ func main() {
 	}
 	if *storeJSON != "" {
 		if err := writeStoreOverheadJSON(*storeJSON, *gridBits, *storeBudg, *storeSeg, *storeFsync); err != nil {
+			fmt.Fprintln(os.Stderr, "michican-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *watchJSON != "" {
+		if err := writeWatchOverheadJSON(*watchJSON, *gridBits, *watchBudg); err != nil {
 			fmt.Fprintln(os.Stderr, "michican-bench:", err)
 			os.Exit(1)
 		}
@@ -514,6 +523,114 @@ func writeStoreOverheadJSON(path string, simBits int64, budgetPct float64, segBy
 	if !rep.WithinBudget {
 		return fmt.Errorf("idle-persistence overhead (exact stepping at 2%% load: %+.2f%%) exceeds %.1f%% budget",
 			idlePersist, budgetPct)
+	}
+	return nil
+}
+
+// writeWatchOverheadJSON measures the load × stepping-mode grid across the
+// three live-SLO arms — forensics-wired baseline, + subscribed watch engine,
+// + a 5ms SLO/snapshot poller — and writes the comparison as JSON
+// (BENCH_PR10.json). The budget gates the watch arm at the idle cell (exact
+// stepping, 2% offered load): the engine folds only matching event kinds and
+// every incident-driven rule runs off forensics closures, so an idle alert
+// surface must cost the simulation almost nothing. The fast-forward cells are
+// event-rate-bound exactly as in the store guard and are reported ungated;
+// the polled arm documents reader cost and is likewise only reported.
+func writeWatchOverheadJSON(path string, simBits int64, budgetPct float64) error {
+	type report struct {
+		GeneratedAt      string                        `json:"generated_at"`
+		GoVersion        string                        `json:"go_version"`
+		GOMAXPROCS       int                           `json:"gomaxprocs"`
+		Baseline         string                        `json:"baseline"`
+		WatchArm         string                        `json:"watch_arm"`
+		PolledArm        string                        `json:"polled_arm"`
+		BudgetPct        float64                       `json:"budget_pct"`
+		SimBitsPer       int64                         `json:"simulated_bits_per_cell"`
+		Rows             []experiment.WatchOverheadRow `json:"rows"`
+		IdleWatchPct     float64                       `json:"idle_watch_overhead_pct"`
+		MedianWatchPct   float64                       `json:"median_watch_overhead_pct"`
+		MaxWatchPct      float64                       `json:"max_watch_overhead_pct"`
+		MedianPolledPct  float64                       `json:"median_polled_overhead_pct"`
+		MaxPolledPct     float64                       `json:"max_polled_overhead_pct"`
+		TotalTransitions int64                         `json:"total_transitions"`
+		TotalVerdicts    int64                         `json:"total_verdicts"`
+		WithinBudget     bool                          `json:"within_budget"`
+	}
+	header("Live-SLO overhead grid — forensics baseline vs +watch engine vs +poller")
+	var rows []experiment.WatchOverheadRow
+	var watchPcts, polledPcts []float64
+	maxWatch, maxPolled := 0.0, 0.0
+	var totalTransitions, totalVerdicts int64
+	for _, load := range []float64{0.02, 0.30, 0.60} {
+		for _, mode := range []experiment.SteppingMode{
+			experiment.ModeExact, experiment.ModeIdleFF, experiment.ModeFrameFF,
+			experiment.ModeContendFF,
+		} {
+			row, err := experiment.MeasureWatchOverhead(load, mode, simBits)
+			if err != nil {
+				return err
+			}
+			fmt.Println(row.String())
+			rows = append(rows, row)
+			watchPcts = append(watchPcts, row.WatchOverheadPct)
+			polledPcts = append(polledPcts, row.PolledOverheadPct)
+			if row.WatchOverheadPct > maxWatch {
+				maxWatch = row.WatchOverheadPct
+			}
+			if row.PolledOverheadPct > maxPolled {
+				maxPolled = row.PolledOverheadPct
+			}
+			totalTransitions += row.Transitions
+			totalVerdicts += row.Verdicts
+		}
+	}
+	median := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Float64s(s)
+		if len(s)%2 == 1 {
+			return s[len(s)/2]
+		}
+		return (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	medWatch, medPolled := median(watchPcts), median(polledPcts)
+	idleWatch := 0.0
+	for _, r := range rows {
+		if r.Load == 0.02 && r.Mode == experiment.ModeExact {
+			idleWatch = r.WatchOverheadPct
+		}
+	}
+	rep := report{
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Baseline:         "hub wired, retention off, forensics engine attached, no watch engine",
+		WatchArm:         "baseline + watch.New subscribed (SLO folds + alert rules) — idle cell (exact stepping, 2% load) gated by budget_pct; fast-forward cells are event-rate-bound and reported ungated",
+		PolledArm:        "watch arm + background SLO()/Snapshot() reader every 5ms — reported, not gated",
+		BudgetPct:        budgetPct,
+		SimBitsPer:       simBits,
+		Rows:             rows,
+		IdleWatchPct:     idleWatch,
+		MedianWatchPct:   medWatch,
+		MaxWatchPct:      maxWatch,
+		MedianPolledPct:  medPolled,
+		MaxPolledPct:     maxPolled,
+		TotalTransitions: totalTransitions,
+		TotalVerdicts:    totalVerdicts,
+		WithinBudget:     idleWatch <= budgetPct,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (idle cell %+.2f%% vs %.1f%% budget; grid median %.2f%%, worst cell %.2f%%; +poller median %.2f%%, worst %.2f%%)\n",
+		path, idleWatch, budgetPct, medWatch, maxWatch, medPolled, maxPolled)
+	if !rep.WithinBudget {
+		return fmt.Errorf("watch-engine overhead (exact stepping at 2%% load: %+.2f%%) exceeds %.1f%% budget",
+			idleWatch, budgetPct)
 	}
 	return nil
 }

@@ -33,7 +33,15 @@ import (
 	"michican/internal/obs"
 	"michican/internal/stats"
 	"michican/internal/store"
+	"michican/internal/watch"
 )
+
+// workerStallBound is how long a live vehicle's position mirror may sit
+// unchanged before the fleet health probes flag the worker as stalled. Fleet
+// workers advance vehicles in 64Kbit slices that finish in well under a
+// second, so half a minute of silence means a wedged or dead worker, not a
+// slow one.
+const workerStallBound = 30 * time.Second
 
 func main() {
 	var (
@@ -61,8 +69,13 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume the roster recorded in -store from each vehicle's last checkpoint instead of minting fresh vehicles")
 		storeDigest = flag.Bool("store-digest", false, "print per-vehicle digests of the -store directory's segment files (CI byte-comparison) and exit")
 		cpInterval  = flag.Int64("checkpoint-interval", 1<<20, "bits of sim progress between automatic checkpoints under -store")
+		watchOn     = flag.Bool("watch", false, "attach a live SLO/alerting engine to every vehicle (serves /fleet/alerts, persists per-vehicle alert logs under -store)")
+		top         = flag.Bool("top", false, "render a live ANSI dashboard (SLO scoreboard, active alerts, vehicle progress) on stdout; implies -watch")
 	)
 	flag.Parse()
+	if *top {
+		*watchOn = true
+	}
 
 	cfg := fleet.Config{
 		Workers:            *workers,
@@ -87,7 +100,8 @@ func main() {
 		})
 	default:
 		err = runFleet(cfg, *vehicles, *horizon, *seed, *httpAddr, *linger,
-			durableParams{dir: *storeDir, resume: *resume, checkpointBits: *cpInterval}, *sharedCache)
+			durableParams{dir: *storeDir, resume: *resume, checkpointBits: *cpInterval}, *sharedCache,
+			*watchOn, *top)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "michican-fleet:", err)
@@ -125,17 +139,17 @@ func newPlans(shared bool) *controller.PlanSource {
 
 // planCacheMetrics returns the /fleet/metrics appender exposing the shared
 // plan cache's counters; an uncached fleet appends nothing.
-func planCacheMetrics(plans *controller.PlanSource) []obs.MetricsAppender {
+func planCacheMetrics(plans *controller.PlanSource) []obs.FleetOption {
 	if plans == nil {
 		return nil
 	}
-	return []obs.MetricsAppender{func(w io.Writer) {
+	return []obs.FleetOption{obs.WithFleetMetrics(func(w io.Writer) {
 		st := plans.Stats()
 		fmt.Fprintf(w, "michican_fleet_plan_cache_hits_total %d\n", st.Hits)
 		fmt.Fprintf(w, "michican_fleet_plan_cache_misses_total %d\n", st.Misses)
 		fmt.Fprintf(w, "michican_fleet_plan_cache_plans %d\n", st.Plans)
 		fmt.Fprintf(w, "michican_fleet_plan_cache_resident_bytes %d\n", st.ResidentBytes)
-	}}
+	})}
 }
 
 // durableParams bundles the daemon's persistence knobs.
@@ -156,8 +170,12 @@ func vehicleDir(root string, i int) string {
 // sink, retirement appends the incident log and a final Completed checkpoint
 // via OnFinalize), and -resume rebuilds the roster from the directory listing,
 // continuing each vehicle from its newest checkpoint.
-func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr string, linger time.Duration, dp durableParams, sharedCache bool) error {
+func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr string, linger time.Duration, dp durableParams, sharedCache, watchOn, top bool) error {
 	plans := newPlans(sharedCache)
+	var collector *watch.FleetCollector
+	if watchOn {
+		collector = watch.NewFleetCollector(nil)
+	}
 	var finErr atomic.Value
 	if dp.dir != "" {
 		cfg.OnFinalize = func(v fleet.Vehicle, incs []forensics.Incident) {
@@ -178,7 +196,9 @@ func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr stri
 	opts := store.SinkOptions{CheckpointIntervalBits: dp.checkpointBits}
 	switch {
 	case dp.dir != "" && dp.resume:
-		resumed, completed, err := resumeRoster(f, dp.dir, opts)
+		// The stored spec carries each vehicle's Watch bit, so a resumed
+		// roster re-attaches engines without re-stating -watch.
+		resumed, completed, err := resumeRoster(f, dp.dir, opts, collector)
 		if err != nil {
 			return err
 		}
@@ -192,6 +212,7 @@ func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr stri
 		for i := 0; i < vehicles; i++ {
 			spec := experiment.FleetSpecAt(seed, i, horizon, false)
 			spec.Plans = plans
+			spec.Watch = watchOn
 			dv, err := experiment.StartDurableVehicle(vehicleDir(dp.dir, i), spec, 0, "", opts)
 			if err != nil {
 				return err
@@ -199,18 +220,50 @@ func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr stri
 			if err := f.Add(dv); err != nil {
 				return err
 			}
+			if collector != nil && dv.Watch() != nil {
+				collector.Register(spec.Index, dv.Watch())
+			}
 		}
 	default:
 		for i := 0; i < vehicles; i++ {
-			if err := buildAndAdd(f, seed, i, horizon, plans); err != nil {
+			spec := experiment.FleetSpecAt(seed, i, horizon, false)
+			spec.Plans = plans
+			spec.Watch = watchOn
+			v, err := experiment.NewFleetVehicle(spec)
+			if err != nil {
 				return err
+			}
+			if err := f.Add(v); err != nil {
+				return err
+			}
+			if collector != nil && v.Watch() != nil {
+				collector.Register(spec.Index, v.Watch())
 			}
 		}
 	}
+	// Fleet self-health: a worker-stall watcher over the shards' atomic
+	// position mirrors feeds the liveness probes and the dashboard.
+	mon := &watch.Monitor{}
+	mon.Attach(watch.NewFleetWatcher(func() []watch.VehicleProgress {
+		infos := f.Vehicles()
+		out := make([]watch.VehicleProgress, 0, len(infos))
+		for _, vi := range infos {
+			out = append(out, watch.VehicleProgress{ID: vi.ID, NowBits: vi.NowBits, Done: vi.Done})
+		}
+		return out
+	}, workerStallBound).Check)
+
 	var server *obs.Server
 	if httpAddr != "" {
+		fleetOpts := planCacheMetrics(plans)
+		fleetOpts = append(fleetOpts, obs.WithFleetHealth(mon.Check))
+		if collector != nil {
+			fleetOpts = append(fleetOpts, obs.WithFleetAlerts(func() watch.FleetAlertView {
+				return collector.Snapshot(time.Now())
+			}))
+		}
 		var err error
-		server, err = obs.ServeFleet(httpAddr, f, planCacheMetrics(plans)...)
+		server, err = obs.ServeFleet(httpAddr, f, fleetOpts...)
 		if err != nil {
 			return err
 		}
@@ -221,6 +274,16 @@ func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr stri
 	fmt.Printf("fleet: %d vehicles, %d workers (%s), slice=%d bits, commit threshold=%d events / interval=%d bits\n",
 		vehicles, h.Workers, pinPolicy(cfg.NoPin), h.SliceBits, h.CommitThreshold, h.CommitIntervalBits)
 	start := time.Now()
+	var stopTop chan struct{}
+	var topDone sync.WaitGroup
+	if top {
+		stopTop = make(chan struct{})
+		topDone.Add(1)
+		go func() {
+			defer topDone.Done()
+			runDashboard(f, collector, mon, start, stopTop)
+		}()
+	}
 	f.Start()
 	if horizon > 0 {
 		f.Wait()
@@ -228,6 +291,10 @@ func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr stri
 		select {} // run until killed; the HTTP surface is the interface
 	}
 	f.Stop()
+	if stopTop != nil {
+		close(stopTop)
+		topDone.Wait()
+	}
 	if e := finErr.Load(); e != nil {
 		return e.(error)
 	}
@@ -252,7 +319,7 @@ func runFleet(cfg fleet.Config, vehicles int, horizon, seed int64, httpAddr stri
 // newest checkpoint and rebuilds the vehicle from the stored spec, so the
 // re-advanced run lands byte-identical to an uninterrupted one. Vehicles whose
 // final checkpoint is Completed are left alone.
-func resumeRoster(f *fleet.Fleet, root string, opts store.SinkOptions) (resumed, completed int, err error) {
+func resumeRoster(f *fleet.Fleet, root string, opts store.SinkOptions, collector *watch.FleetCollector) (resumed, completed int, err error) {
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return 0, 0, err
@@ -279,9 +346,74 @@ func resumeRoster(f *fleet.Fleet, root string, opts store.SinkOptions) (resumed,
 		if err := f.Add(dv); err != nil {
 			return resumed, completed, err
 		}
+		if collector != nil && dv.Watch() != nil {
+			collector.Register(dv.ID(), dv.Watch())
+		}
 		resumed++
 	}
 	return resumed, completed, nil
+}
+
+// runDashboard is the -top loop: every half second it assembles one frame
+// from the fleet's atomic position mirrors and the collector's merged alert
+// view and repaints the terminal. Everything it reads is lock-free or
+// internally locked on the reader side, so the dashboard never stalls a
+// simulation worker. A final frame is painted on shutdown so the end state
+// stays on screen.
+func runDashboard(f *fleet.Fleet, collector *watch.FleetCollector, mon *watch.Monitor, start time.Time, stop <-chan struct{}) {
+	var lastBits int64
+	var lastAt time.Time
+	frame := func() {
+		now := time.Now()
+		infos := f.Vehicles()
+		var view watch.FleetAlertView
+		if collector != nil {
+			view = collector.Snapshot(now)
+		} else {
+			view.Health = mon.Check(now)
+		}
+		activeByID := make(map[int]int, len(view.Vehicles))
+		for _, va := range view.Vehicles {
+			activeByID[va.ID] = len(va.Active)
+		}
+		var totalBits int64
+		rows := make([]watch.DashboardVehicle, 0, len(infos))
+		for _, vi := range infos {
+			totalBits += vi.NowBits
+			rows = append(rows, watch.DashboardVehicle{
+				ID: vi.ID, Worker: vi.Worker,
+				NowBits: vi.NowBits, HorizonBits: vi.HorizonBits,
+				Done: vi.Done, Incidents: vi.Incidents,
+				Active: activeByID[vi.ID],
+			})
+		}
+		bps := 0.0
+		if !lastAt.IsZero() {
+			if dt := now.Sub(lastAt).Seconds(); dt > 0 {
+				bps = float64(totalBits-lastBits) / dt
+			}
+		}
+		lastBits, lastAt = totalBits, now
+		os.Stdout.WriteString(watch.RenderDashboard(watch.DashboardData{
+			Title:      fmt.Sprintf("fleet (%d vehicles)", len(infos)),
+			Elapsed:    now.Sub(start),
+			BitsPerSec: bps,
+			Vehicles:   rows,
+			View:       view,
+		}))
+	}
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	frame()
+	for {
+		select {
+		case <-stop:
+			frame()
+			return
+		case <-ticker.C:
+			frame()
+		}
+	}
 }
 
 // runStoreDigest prints one line per vehicle store: a SHA-256 over the

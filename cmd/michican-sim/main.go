@@ -31,6 +31,15 @@ import (
 	"michican/internal/store"
 	"michican/internal/telemetry"
 	"michican/internal/trace"
+	"michican/internal/watch"
+)
+
+// Wall-clock self-health bounds for the -http liveness probe: the store
+// writer draining fewer events than this many behind is healthy, and the
+// group-commit fsync may lag this long before /healthz degrades.
+const (
+	storeBacklogBound = int64(1) << 16
+	fsyncStallBound   = 10 * time.Second
 )
 
 func main() {
@@ -55,6 +64,7 @@ func run() error {
 		chromeOut  = flag.String("chrome-trace", "", "write a Chrome trace_event JSON (Perfetto-viewable) to this file")
 		jsonOut    = flag.Bool("json", false, "emit the outcome as one JSON object instead of text")
 		httpAddr   = flag.String("http", "", "serve live observability (/metrics /incidents /snapshot /debug/pprof) on this address (use :0 for an ephemeral port)")
+		watchFlag  = flag.Bool("watch", false, "attach the live SLO/alerting engine (serves /alerts under -http, persists the alert log under -store)")
 		linger     = flag.Duration("linger", 0, "keep the -http server up this long after the run (so probes and profilers can attach)")
 		incOut     = flag.String("incidents", "", "write the forensics incident log (JSON, same shape as /incidents) to this file")
 		storeDir   = flag.String("store", "", "persist the run into a durable store at this directory (segments + checkpoints, DESIGN.md §8)")
@@ -103,7 +113,7 @@ func run() error {
 		if completed {
 			return fmt.Errorf("resume %s: stored run already complete (replay it with -replay-window)", *resumeDir)
 		}
-		params.apply(rateFlag, defender, attackKind, attackID, noDefense, withRest, matrixFile, duration)
+		params.apply(rateFlag, defender, attackKind, attackID, noDefense, withRest, matrixFile, duration, watchFlag)
 		if !*jsonOut {
 			fmt.Printf("resuming from %s: %d events durable through bit %d\n",
 				*resumeDir, sinkOpts.SkipEvents, sinkOpts.ResumeFromBits)
@@ -134,7 +144,7 @@ func run() error {
 	// an exporter: the sink streams the hub to disk.
 	var hub *telemetry.Hub
 	if *eventsOut != "" || *chromeOut != "" || *httpAddr != "" || *incOut != "" ||
-		*storeDir != "" || st != nil {
+		*storeDir != "" || st != nil || *watchFlag {
 		hub = telemetry.NewHub()
 		b.SetTelemetry(hub, "bus")
 	}
@@ -146,7 +156,7 @@ func run() error {
 		params := simParams{
 			Rate: *rateFlag, Defender: *defender, Attack: *attackKind,
 			AttackID: *attackID, NoDefense: *noDefense, Restbus: *withRest,
-			MatrixFile: *matrixFile, DurationNS: int64(*duration),
+			MatrixFile: *matrixFile, DurationNS: int64(*duration), Watch: *watchFlag,
 		}
 		cfg, err := json.Marshal(params)
 		if err != nil {
@@ -168,15 +178,33 @@ func run() error {
 	// live alongside the metrics registry, and a durable run persists its
 	// incident log at finalize.
 	var eng *forensics.Engine
-	if *httpAddr != "" || *incOut != "" || sink != nil {
+	if *httpAddr != "" || *incOut != "" || sink != nil || *watchFlag {
 		eng = forensics.NewEngine(hub)
 		defer eng.Close()
+	}
+	// The watch engine rides behind forensics: it scores incident closures
+	// (detection-latency / eradication / leak SLOs) live and keeps the
+	// deterministic alert log a durable run persists at finalize.
+	var watcher *watch.Engine
+	if *watchFlag {
+		watcher = watch.New(hub, eng, watch.Config{})
 	}
 	var server *obs.Server
 	if *httpAddr != "" {
 		var obsOpts []obs.Option
 		if st != nil {
 			obsOpts = append(obsOpts, obs.WithStore(st))
+		}
+		if watcher != nil {
+			obsOpts = append(obsOpts, obs.WithWatch(watcher))
+		}
+		if sink != nil {
+			// Wall-clock self-health: the liveness probe degrades to 503 when
+			// the store writer backs up or stops fsyncing.
+			mon := &watch.Monitor{}
+			mon.Attach(watch.StoreBacklogProbe(sink.Backlog, storeBacklogBound))
+			mon.Attach(watch.FsyncStallProbe(sink.SyncAge, fsyncStallBound))
+			obsOpts = append(obsOpts, obs.WithHealth(mon.Check))
 		}
 		server, err = obs.Serve(*httpAddr, hub, eng, obsOpts...)
 		if err != nil {
@@ -295,13 +323,22 @@ func run() error {
 		if err := sink.AppendIncidents(payloads); err != nil {
 			return err
 		}
+		if watcher != nil {
+			alerts, err := watcher.EncodeAlertLog()
+			if err != nil {
+				return err
+			}
+			if err := sink.AppendAlerts(alerts); err != nil {
+				return err
+			}
+		}
 		if err := sink.Close(int64(b.Now()), true); err != nil {
 			return err
 		}
 		if !*jsonOut {
 			stats := st.Stats()
-			fmt.Printf("durable store finalized at %s: %d events, %d incidents, %d KiB on disk\n",
-				st.Dir(), st.EventCount(), st.IncidentCount(), stats.DiskBytes/1024)
+			fmt.Printf("durable store finalized at %s: %d events, %d incidents, %d alerts, %d KiB on disk\n",
+				st.Dir(), st.EventCount(), st.IncidentCount(), st.AlertCount(), stats.DiskBytes/1024)
 		}
 	}
 
@@ -334,6 +371,12 @@ func run() error {
 			ds := defense.Stats()
 			fmt.Printf("defense: %d detections (mean position %.1f bits), %d counterattacks\n",
 				ds.Detections, ds.MeanDetectionBits(), ds.Counterattacks)
+		}
+		if watcher != nil {
+			s := watcher.SLO()
+			fmt.Printf("slo: %d engaged campaigns, detect p50/p99 %.0f/%.0f bits (%d violations), %d eradicated / %d failed, %d frames leaked, %d alert transitions\n",
+				s.EngagedIncidents, s.DetectionP50Bits, s.DetectionP99Bits, s.DetectionViolations,
+				s.Eradications, s.EradicationFailures, s.FramesLeaked, len(watcher.Alerts()))
 		}
 	}
 	if *traceOut != "" {
@@ -389,11 +432,15 @@ type simParams struct {
 	Restbus    bool   `json:"restbus,omitempty"`
 	MatrixFile string `json:"matrix_file,omitempty"`
 	DurationNS int64  `json:"duration_ns"`
+	// Watch is part of the generator config because the alert log it
+	// produces is persisted: a resumed run must re-attach the watch engine
+	// to regenerate the same alert bytes.
+	Watch bool `json:"watch,omitempty"`
 }
 
 // apply overwrites the scenario flag values with the stored parameters.
 func (p simParams) apply(rate *int, defender, attackKind, attackID *string,
-	noDefense, withRest *bool, matrixFile *string, duration *time.Duration) {
+	noDefense, withRest *bool, matrixFile *string, duration *time.Duration, watch *bool) {
 	*rate = p.Rate
 	*defender = p.Defender
 	*attackKind = p.Attack
@@ -402,6 +449,7 @@ func (p simParams) apply(rate *int, defender, attackKind, attackID *string,
 	*withRest = p.Restbus
 	*matrixFile = p.MatrixFile
 	*duration = time.Duration(p.DurationNS)
+	*watch = p.Watch
 }
 
 // runReplay is the time-travel path: no simulation runs. The stored event
@@ -430,6 +478,11 @@ func runReplay(dir, window, eventsOut, chromeOut, incOut string, jsonOut, verbos
 	hub := telemetry.NewHub()
 	eng := forensics.NewEngine(hub)
 	defer eng.Close()
+	// Alert replay: a fresh watch engine rides the replayed stream, so the
+	// window's SLO verdicts and alert transitions regenerate from history
+	// exactly as the live run produced them (full-recording replays of a
+	// -watch run reproduce the persisted alert log).
+	watcher := watch.New(hub, eng, watch.Config{})
 	replayed, last := 0, int64(0)
 	err = st.EventsInWindow(from, to, func(ev telemetry.NamedEvent) error {
 		hub.Probe(ev.Node).Emit(ev.Time, ev.Kind, ev.A, ev.B)
@@ -451,9 +504,14 @@ func runReplay(dir, window, eventsOut, chromeOut, incOut string, jsonOut, verbos
 	}
 	eng.Finalize(end)
 
+	alerts := watcher.Alerts()
 	if !jsonOut {
 		fmt.Printf("replayed %d stored events from %s (window %s, %d on record)\n",
 			replayed, dir, window, st.EventCount())
+		if len(alerts) > 0 || st.AlertCount() > 0 {
+			fmt.Printf("alert replay: %d transitions regenerated (%d persisted in the store)\n",
+				len(alerts), st.AlertCount())
+		}
 	}
 	if err := writeExporters(hub, rate, eventsOut, chromeOut, !jsonOut); err != nil {
 		return err
@@ -478,7 +536,9 @@ func runReplay(dir, window, eventsOut, chromeOut, incOut string, jsonOut, verbos
 			Replayed  int                  `json:"replayed_events"`
 			OnRecord  int64                `json:"events_on_record"`
 			Incidents []forensics.Incident `json:"incidents"`
-		}{dir, window, replayed, st.EventCount(), view.Incidents}
+			Alerts    []watch.Alert        `json:"alerts"`
+			SLO       watch.SLOSummary     `json:"slo"`
+		}{dir, window, replayed, st.EventCount(), view.Incidents, alerts, watcher.SLO()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(report)

@@ -1,0 +1,210 @@
+// Command michican-trend folds the committed BENCH_PR*.json series into a
+// performance trend table and gates the newest entry: if its 60%-load
+// headline throughput regresses more than the budget against the latest
+// committed baseline of the same benchmark kind, it exits nonzero.
+//
+//	michican-trend                     # table over ./BENCH_PR*.json, 20% budget
+//	michican-trend -dir . -budget 20 -out trend.txt
+//
+// The committed files are measurements taken at commit time on the machine
+// that produced them, so the gate is deterministic in CI: it re-reads
+// numbers, it never re-measures. It fires exactly when a PR commits a new
+// BENCH file whose headline fell off a cliff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// headline is one BENCH file's comparable summary cell.
+type headline struct {
+	File string
+	PR   int
+	// Kind partitions the series into comparable harnesses: "throughput"
+	// (the load × mode grid, plain bits_per_second rows), "overhead" (paired
+	// A/B grids reporting baseline_bits_per_second), "fleet" (the churn
+	// benchmark's aggregate rate). Regressions are only judged within a kind.
+	Kind string
+	// BitsPerSecond is the 60%-load headline: the fastest mode's throughput
+	// at 60% offered load for grid kinds, the aggregate rate for fleet runs.
+	BitsPerSecond float64
+}
+
+// extract classifies one BENCH report and pulls its headline cell. Files
+// with no 60%-load rows (or an unknown shape) return ok=false and are listed
+// in the table without entering the regression gate.
+func extract(path string) (headline, bool, error) {
+	h := headline{File: filepath.Base(path)}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return h, false, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return h, false, fmt.Errorf("%s: %w", path, err)
+	}
+	// Overhead grids are subdivided by which A/B harness produced them: each
+	// arm wires a different baseline stack, so their absolute rates are not
+	// comparable across harnesses and only same-arm files gate each other.
+	overheadKind := "overhead"
+	for _, marker := range []struct{ field, kind string }{
+		{"watch_arm", "overhead/watch"},
+		{"persist_arm", "overhead/store"},
+		{"server_arm", "overhead/obs"},
+	} {
+		if _, ok := doc[marker.field]; ok {
+			overheadKind = marker.kind
+			break
+		}
+	}
+	if rows, ok := doc["rows"].([]any); ok {
+		best := 0.0
+		for _, r := range rows {
+			row, ok := r.(map[string]any)
+			if !ok {
+				continue
+			}
+			load, _ := row["load"].(float64)
+			if load != 0.60 {
+				continue
+			}
+			if bps, ok := row["bits_per_second"].(float64); ok {
+				h.Kind = "throughput"
+				if bps > best {
+					best = bps
+				}
+			} else if bps, ok := row["baseline_bits_per_second"].(float64); ok {
+				h.Kind = overheadKind
+				if bps > best {
+					best = bps
+				}
+			}
+		}
+		if best > 0 {
+			h.BitsPerSecond = best
+			return h, true, nil
+		}
+	}
+	if bench, ok := doc["bench"].(map[string]any); ok {
+		if bps, ok := bench["aggregate_sim_bits_per_second"].(float64); ok && bps > 0 {
+			h.Kind = "fleet"
+			h.BitsPerSecond = bps
+			return h, true, nil
+		}
+	}
+	return h, false, nil
+}
+
+var prPattern = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+func run(dir string, budgetPct float64, outPath string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []headline
+	for _, e := range entries {
+		m := prPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		pr, _ := strconv.Atoi(m[1])
+		h, ok, err := extract(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		h.PR = pr
+		if !ok {
+			h.Kind = "-"
+		}
+		files = append(files, h)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_PR*.json under %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].PR < files[j].PR })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-16s %14s %10s\n", "file", "kind", "60%-headline", "vs prev")
+	prevByKind := map[string]headline{}
+	type verdict struct {
+		cur, prev headline
+		ratio     float64
+	}
+	// The gate judges each kind's series tip: the committed history is
+	// settled (every non-tip pair was the tip of an earlier commit), and a
+	// new PR fails exactly when the file it adds regresses its own series.
+	tip := map[string]*verdict{}
+	for _, h := range files {
+		delta := "-"
+		if h.Kind != "-" {
+			if prev, ok := prevByKind[h.Kind]; ok {
+				ratio := h.BitsPerSecond / prev.BitsPerSecond
+				delta = fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+				tip[h.Kind] = &verdict{cur: h, prev: prev, ratio: ratio}
+			} else {
+				delta = "baseline"
+				tip[h.Kind] = nil
+			}
+			prevByKind[h.Kind] = h
+			fmt.Fprintf(&b, "%-18s %-16s %11.2f Mb/s %10s\n", h.File, h.Kind, h.BitsPerSecond/1e6, delta)
+		} else {
+			fmt.Fprintf(&b, "%-18s %-16s %14s %10s\n", h.File, "(no 60% cell)", "-", "-")
+		}
+	}
+	fmt.Print(b.String())
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	floor := 1 - budgetPct/100
+	fmt.Println()
+	var kinds []string
+	for k := range tip {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var failed []string
+	for _, k := range kinds {
+		v := tip[k]
+		if v == nil {
+			fmt.Printf("%-16s single entry, nothing to gate\n", k)
+			continue
+		}
+		status := "ok"
+		if v.ratio < floor {
+			status = "REGRESSED"
+			failed = append(failed, fmt.Sprintf("%s headline regressed %.1f%% vs %s (budget %.0f%%)",
+				v.cur.File, (1-v.ratio)*100, v.prev.File, budgetPct))
+		}
+		fmt.Printf("%-16s %s at %.2f Mb/s vs %s at %.2f Mb/s -> %.1f%% of baseline (floor %.0f%%): %s\n",
+			k, v.cur.File, v.cur.BitsPerSecond/1e6, v.prev.File, v.prev.BitsPerSecond/1e6,
+			v.ratio*100, floor*100, status)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%s", strings.Join(failed, "; "))
+	}
+	fmt.Println("ok: every series tip within budget")
+	return nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the committed BENCH_PR*.json series")
+	budget := flag.Float64("budget", 20, "max tolerated 60%-load headline regression in percent, newest file vs its latest same-kind baseline")
+	out := flag.String("out", "", "also write the trend table to this file (CI artifact)")
+	flag.Parse()
+	if err := run(*dir, *budget, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "michican-trend:", err)
+		os.Exit(1)
+	}
+}

@@ -82,8 +82,10 @@ func ResumeDurableVehicle(dir string, opts store.SinkOptions) (*DurableVehicle, 
 	}
 	opts.SkipEvents = resumeOpts.SkipEvents
 	opts.SkipIncidents = resumeOpts.SkipIncidents
+	opts.SkipAlerts = resumeOpts.SkipAlerts
 	opts.ExpectPrefixHash = resumeOpts.ExpectPrefixHash
 	opts.ExpectIncidentHash = resumeOpts.ExpectIncidentHash
+	opts.ExpectAlertHash = resumeOpts.ExpectAlertHash
 	opts.ResumeFromBits = resumeOpts.ResumeFromBits
 	return &DurableVehicle{FleetVehicle: v, Store: st, Sink: store.NewSink(st, v.Hub(), opts)}, nil
 }
@@ -104,9 +106,10 @@ func StoredSpec(dir string) (FleetVehicleSpec, error) {
 }
 
 // FinalizeDurable persists a finished vehicle: incidents appended through
-// the sink (honouring any resume skip cursor), then a final Completed
-// checkpoint. Safe to call from fleet.Config.OnFinalize — it runs on the
-// worker goroutine while the vehicle is still alive.
+// the sink (honouring any resume skip cursor), the watch engine's alert log
+// likewise (when the spec attached one), then a final Completed checkpoint.
+// Safe to call from fleet.Config.OnFinalize — it runs on the worker
+// goroutine while the vehicle is still alive.
 func (d *DurableVehicle) FinalizeDurable(incs []forensics.Incident) error {
 	payloads, err := forensics.EncodeIncidents(incs)
 	if err != nil {
@@ -114,6 +117,15 @@ func (d *DurableVehicle) FinalizeDurable(incs []forensics.Incident) error {
 	}
 	if err := d.Sink.AppendIncidents(payloads); err != nil {
 		return err
+	}
+	if w := d.Watch(); w != nil {
+		alerts, err := w.EncodeAlertLog()
+		if err != nil {
+			return err
+		}
+		if err := d.Sink.AppendAlerts(alerts); err != nil {
+			return err
+		}
 	}
 	return d.Sink.Close(d.Now(), true)
 }

@@ -14,6 +14,7 @@ import (
 	"michican/internal/restbus"
 	"michican/internal/telemetry"
 	"michican/internal/trace"
+	"michican/internal/watch"
 )
 
 // This file builds the fleet's unit of work: a complete, self-contained
@@ -63,6 +64,11 @@ type FleetVehicleSpec struct {
 	// Record attaches a wire recorder (the determinism tests' witness;
 	// costs memory, leave off for throughput runs).
 	Record bool
+	// Watch attaches a live SLO/alerting engine (internal/watch) to the
+	// vehicle's hub and forensics engine. Part of the spec (and therefore of
+	// durable-store meta) because the alert log it produces is persisted —
+	// a resumed run must regenerate it identically.
+	Watch bool
 	// Plans, when set, is the fleet-shared compiled-plan cache: the
 	// vehicle's replayer and defender resolve frame serializations through
 	// it, sharing one immutable copy per distinct frame across every
@@ -122,6 +128,7 @@ type FleetVehicle struct {
 	defender   *controller.Controller
 	recorder   *trace.Recorder
 	rp         *restbus.Replayer
+	watch      *watch.Engine
 	periodBits int64
 	nextSend   bus.BitTime
 	finalized  bool
@@ -201,8 +208,17 @@ func NewFleetVehicle(spec FleetVehicleSpec) (*FleetVehicle, error) {
 	// The forensics engine subscribes last so it sees the same stream any
 	// external consumer would.
 	v.eng = forensics.NewEngine(v.hub)
+	if spec.Watch {
+		// The watch engine rides behind forensics: it scores incident
+		// closures via the engine's OnIncident hook and folds only the
+		// defender/ladder event streams itself.
+		v.watch = watch.New(v.hub, v.eng, watch.Config{})
+	}
 	return v, nil
 }
+
+// Watch returns the vehicle's live SLO engine (nil unless spec.Watch).
+func (v *FleetVehicle) Watch() *watch.Engine { return v.watch }
 
 // ID implements fleet.Vehicle.
 func (v *FleetVehicle) ID() int { return v.spec.Index }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"michican/internal/restbus"
 	"michican/internal/telemetry"
 	"michican/internal/trace"
+	"michican/internal/watch"
 )
 
 // idleOnlyObserver is a deliberately half-capable participant: it promises
@@ -274,10 +276,14 @@ const fuzzTotalBits = int64(20_000)
 // Returns the number of incidents the seed produced.
 func diffSeed(t *testing.T, seed int64) int {
 	t.Helper()
-	newEng := func(retain bool) (*telemetry.Hub, *forensics.Engine) {
+	// Every wired arm also carries a live watch engine: SLO verdicts and
+	// alert transitions must be as stepping-mode-invariant as the forensics
+	// record they derive from.
+	newEng := func(retain bool) (*telemetry.Hub, *forensics.Engine, *watch.Engine) {
 		h := telemetry.NewHub()
 		h.RetainEvents(retain)
-		return h, forensics.NewEngine(h)
+		e := forensics.NewEngine(h)
+		return h, e, watch.New(h, e, watch.Config{})
 	}
 	finalize := func(e *forensics.Engine) []forensics.Incident {
 		e.Finalize(fuzzTotalBits)
@@ -292,7 +298,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	if exFF.idle != 0 || exFF.frame != 0 || exFF.contend != 0 || exFF.splice != 0 {
 		t.Fatalf("seed %d: exact run fast-forwarded", seed)
 	}
-	fastHub, fastEng := newEng(false)
+	fastHub, fastEng, fastW := newEng(false)
 	fast, fastFF, err := runRandomScenario(seed, diffFrameFF, fastHub)
 	if err != nil {
 		t.Fatalf("seed %d fast: %v", seed, err)
@@ -306,7 +312,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	if fastFF.contend != 0 || fastFF.splice != 0 || fastFF.hyper != 0 {
 		t.Errorf("seed %d: disabled fast path engaged on frame-ff arm", seed)
 	}
-	contendHub, contendEng := newEng(false)
+	contendHub, contendEng, contendW := newEng(false)
 	contend, contendFF, err := runRandomScenario(seed, diffContendFF, contendHub)
 	if err != nil {
 		t.Fatalf("seed %d contend: %v", seed, err)
@@ -317,7 +323,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	if contendFF.splice != 0 || contendFF.hyper != 0 {
 		t.Errorf("seed %d: splice/hyper path engaged while disabled", seed)
 	}
-	spliceHub, spliceEng := newEng(false)
+	spliceHub, spliceEng, spliceW := newEng(false)
 	splice, spliceFF, err := runRandomScenario(seed, diffSpliceFF, spliceHub)
 	if err != nil {
 		t.Fatalf("seed %d splice: %v", seed, err)
@@ -328,7 +334,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	if spliceFF.hyper != 0 {
 		t.Errorf("seed %d: hyper path engaged while disabled", seed)
 	}
-	hyperHub, hyperEng := newEng(false)
+	hyperHub, hyperEng, hyperW := newEng(false)
 	hyper, hyperFF, err := runRandomScenario(seed, diffHyperFF, hyperHub)
 	if err != nil {
 		t.Fatalf("seed %d hyper: %v", seed, err)
@@ -340,7 +346,7 @@ func diffSeed(t *testing.T, seed int64) int {
 	if hyperFF.splice == 0 && !hyperFF.pinned {
 		t.Errorf("seed %d: splice tier never engaged on the hyper arm with no pinning node", seed)
 	}
-	hub, wiredEng := newEng(true)
+	hub, wiredEng, wiredW := newEng(true)
 	wired, _, err := runRandomScenario(seed, diffExact, hub)
 	if err != nil {
 		t.Fatalf("seed %d wired: %v", seed, err)
@@ -393,6 +399,76 @@ func diffSeed(t *testing.T, seed int64) int {
 		t.Fatalf("seed %d: forensics incidents diverge exact vs hyper-ff:\n%+v\nvs\n%+v",
 			seed, exactIncs, hyperIncs)
 	}
+
+	// SLO/alert parity: every wired arm's watch engine must reach identical
+	// verdicts and fire/resolve an identical alert log, whatever mix of fast
+	// paths stepped the run — and the live verdicts must match the pure
+	// evaluator replayed over the canonical forensics record.
+	// Live verdicts arrive in closure order (an unengaged episode times out
+	// after a later campaign completes); sort into the forensics record's
+	// (Start, IDHex) order so content, not reporting order, is compared.
+	sortVerdicts := func(v []watch.IncidentVerdict) []watch.IncidentVerdict {
+		out := append([]watch.IncidentVerdict(nil), v...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Start != out[j].Start {
+				return out[i].Start < out[j].Start
+			}
+			return out[i].IDHex < out[j].IDHex
+		})
+		return out
+	}
+	wiredVerdicts := sortVerdicts(wiredW.Verdicts())
+	// The transition *content* is mode-invariant, but the interleaving of
+	// closure-driven rules (campaign, fired when forensics times an episode
+	// out) against event-driven rules (defender-confinement) depends on how
+	// coarsely a ladder rung batches its event deliveries — a hyper-FF jump
+	// observes the timeout at a later stream position than per-bit stepping.
+	// Canonicalise into bit-time order and drop the emission sequence so the
+	// comparison checks content, not reporting interleave.
+	sortAlerts := func(v []watch.Alert) []watch.Alert {
+		out := append([]watch.Alert(nil), v...)
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].Time != out[j].Time {
+				return out[i].Time < out[j].Time
+			}
+			if out[i].RuleID != out[j].RuleID {
+				return out[i].RuleID < out[j].RuleID
+			}
+			return out[i].Reason < out[j].Reason
+		})
+		for i := range out {
+			out[i].Seq = 0
+		}
+		return out
+	}
+	wiredLog := sortAlerts(wiredW.Alerts())
+	for _, arm := range []struct {
+		label string
+		w     *watch.Engine
+	}{
+		{"frame-ff", fastW}, {"contend-ff", contendW},
+		{"splice-ff", spliceW}, {"hyper-ff", hyperW},
+	} {
+		if v := sortVerdicts(arm.w.Verdicts()); !reflect.DeepEqual(wiredVerdicts, v) {
+			t.Fatalf("seed %d: SLO verdicts diverge exact vs %s:\n%+v\nvs\n%+v",
+				seed, arm.label, wiredVerdicts, v)
+		}
+		if l := sortAlerts(arm.w.Alerts()); !reflect.DeepEqual(wiredLog, l) {
+			t.Fatalf("seed %d: alert logs diverge exact vs %s:\n%+v\nvs\n%+v",
+				seed, arm.label, wiredLog, l)
+		}
+		arm.w.Close()
+	}
+	var recomputed []watch.IncidentVerdict
+	for _, inc := range exactIncs {
+		recomputed = append(recomputed, watch.EvaluateIncident(inc, true, fuzzTotalBits, watch.Config{}))
+	}
+	recomputed = sortVerdicts(recomputed)
+	if !reflect.DeepEqual(wiredVerdicts, recomputed) {
+		t.Fatalf("seed %d: live verdicts disagree with the pure evaluator over the forensics record:\n%+v\nvs\n%+v",
+			seed, wiredVerdicts, recomputed)
+	}
+	wiredW.Close()
 	return len(exactIncs)
 }
 

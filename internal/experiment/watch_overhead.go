@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"michican/internal/forensics"
+	"michican/internal/telemetry"
+	"michican/internal/watch"
+)
+
+// WatchArm selects how much of the live SLO/alerting stack rides on the
+// wired hub in one measurement arm of the watch-overhead grid.
+type WatchArm int
+
+const (
+	// WatchOff is the observability baseline the pre-PR10 numbers used: hub
+	// wired with retention off plus the forensics engine — but no watch
+	// engine, so every alert-rule fold is absent.
+	WatchOff WatchArm = iota
+	// WatchOn attaches watch.New to the same hub and forensics engine: the
+	// ladder/defender folds run on every matching event and incident
+	// closures evaluate the SLO rules. This is the arm the ≤2% engine-idle
+	// budget gates (exact stepping, 2% offered load — the configuration a
+	// deployment leaves -watch enabled on).
+	WatchOn
+	// WatchPolled additionally runs a background poller reading SLO() and
+	// Snapshot() every 5ms — the load a live dashboard or scraper adds on
+	// top of the engine itself. Reported, not gated.
+	WatchPolled
+)
+
+// WatchOverheadRow compares one load × stepping-mode cell's throughput
+// across the three watch arms. WatchOverheadPct (engine vs baseline) is what
+// the ≤2% budget gates at the idle cell; PolledOverheadPct documents what a
+// live reader adds on top. Transitions/Verdicts report what the engine
+// actually did during one repetition, so BENCH_PR10.json ties the overhead
+// to observed alerting work.
+type WatchOverheadRow struct {
+	Load          float64      `json:"load"`
+	Mode          SteppingMode `json:"mode"`
+	SimulatedBits int64        `json:"simulated_bits"`
+	// BaselineBitsPerSecond is the best-of-reps throughput with forensics
+	// wired but no watch engine.
+	BaselineBitsPerSecond float64 `json:"baseline_bits_per_second"`
+	// WatchBitsPerSecond adds the subscribed watch engine.
+	WatchBitsPerSecond float64 `json:"watch_bits_per_second"`
+	// PolledBitsPerSecond additionally polls SLO()/Snapshot() every 5ms.
+	PolledBitsPerSecond float64 `json:"polled_bits_per_second"`
+	// WatchOverheadPct is the median across measurement rounds of the paired
+	// per-round slowdown (baseline − watch) / baseline × 100 — the same
+	// estimator the PR5/PR8 guards use; negative values (noise) are reported
+	// as measured.
+	WatchOverheadPct float64 `json:"watch_overhead_pct"`
+	// PolledOverheadPct is the same paired median for the polled arm.
+	PolledOverheadPct float64 `json:"polled_overhead_pct"`
+	// Transitions is the alert fire/resolve count one watch-arm repetition
+	// produced; Verdicts the incident evaluations behind it.
+	Transitions int64 `json:"transitions"`
+	Verdicts    int64 `json:"verdicts"`
+}
+
+// String renders the row for terminal output.
+func (r WatchOverheadRow) String() string {
+	return fmt.Sprintf("load=%2.0f%%  %-10s  base=%7.2f Mbit/s  +watch=%7.2f (%+.2f%%)  +poller=%7.2f (%+.2f%%)  transitions=%d",
+		r.Load*100, r.Mode, r.BaselineBitsPerSecond/1e6,
+		r.WatchBitsPerSecond/1e6, r.WatchOverheadPct,
+		r.PolledBitsPerSecond/1e6, r.PolledOverheadPct,
+		r.Transitions)
+}
+
+// MeasureWatchOverhead measures one cell of the watch-overhead grid with the
+// same discipline as MeasureStoreOverhead: interleaved arms, a fresh
+// hub + forensics (+ watch) stack per repetition, per-rep GC, paired
+// per-round medians, best-of-reps throughput.
+func MeasureWatchOverhead(load float64, mode SteppingMode, simBits int64) (WatchOverheadRow, error) {
+	const reps = 11
+	const minWallSecondsPerRep = 0.4
+	row := WatchOverheadRow{Load: load, Mode: mode, SimulatedBits: simBits}
+	cal, err := runScenarioOnce(load, mode, simBits, nil)
+	if err != nil {
+		return row, err
+	}
+	if wall := float64(simBits) / cal; wall < minWallSecondsPerRep {
+		row.SimulatedBits = int64(cal * minWallSecondsPerRep)
+	}
+
+	arms := []WatchArm{WatchOff, WatchOn, WatchPolled}
+	best := make([]float64, len(arms))
+	rounds := make([][]float64, len(arms))
+	for rep := 0; rep < reps; rep++ {
+		for i, arm := range arms {
+			hub := telemetry.NewHub()
+			hub.RetainEvents(false)
+			eng := forensics.NewEngine(hub)
+			var w *watch.Engine
+			var stopPoll chan struct{}
+			var pollWG sync.WaitGroup
+			if arm != WatchOff {
+				w = watch.New(hub, eng, watch.Config{})
+			}
+			if arm == WatchPolled {
+				stopPoll = make(chan struct{})
+				pollWG.Add(1)
+				go func() {
+					defer pollWG.Done()
+					t := time.NewTicker(5 * time.Millisecond)
+					defer t.Stop()
+					for {
+						select {
+						case <-stopPoll:
+							return
+						case <-t.C:
+							_ = w.SLO()
+							_ = w.Snapshot()
+						}
+					}
+				}()
+			}
+			runtime.GC()
+			bps, err := runScenarioOnce(load, mode, row.SimulatedBits, hub)
+			if stopPoll != nil {
+				close(stopPoll)
+				pollWG.Wait()
+			}
+			if w != nil {
+				eng.Finalize(row.SimulatedBits)
+				snap := w.Snapshot()
+				if arm == WatchOn && int64(len(snap.Log)) > row.Transitions {
+					row.Transitions = int64(len(snap.Log))
+					row.Verdicts = int64(snap.Verdicts)
+				}
+				w.Close()
+			}
+			if err != nil {
+				return row, err
+			}
+			if bps > best[i] {
+				best[i] = bps
+			}
+			rounds[i] = append(rounds[i], bps)
+		}
+	}
+	row.BaselineBitsPerSecond = best[WatchOff]
+	row.WatchBitsPerSecond = best[WatchOn]
+	row.PolledBitsPerSecond = best[WatchPolled]
+	pairedMedianPct := func(arm WatchArm) float64 {
+		pcts := make([]float64, reps)
+		for r := 0; r < reps; r++ {
+			base, other := rounds[WatchOff][r], rounds[arm][r]
+			pcts[r] = (base - other) / base * 100
+		}
+		sort.Float64s(pcts)
+		if reps%2 == 1 {
+			return pcts[reps/2]
+		}
+		return (pcts[reps/2-1] + pcts[reps/2]) / 2
+	}
+	row.WatchOverheadPct = pairedMedianPct(WatchOn)
+	row.PolledOverheadPct = pairedMedianPct(WatchPolled)
+	return row, nil
+}

@@ -26,10 +26,13 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -346,20 +349,27 @@ func (w *worker) drop(s *shard) {
 }
 
 // run is the worker loop: pinned to an OS thread, it takes the next shard
-// in rotation, advances it one slice, and applies the commit policy.
+// in rotation, advances it one slice, and applies the commit policy. The
+// loop carries pprof labels so CPU/heap profiles of a fleet run split by
+// worker, and each step adds the vehicle id — "which vehicle is this worker
+// burning time on" falls straight out of /debug/pprof/profile.
 func (w *worker) run() {
 	defer w.f.wg.Done()
 	if !w.f.cfg.NoPin {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	for {
-		s := w.take()
-		if s == nil {
-			return
+	pprof.Do(context.Background(), pprof.Labels("fleet-worker", strconv.Itoa(w.id)), func(ctx context.Context) {
+		for {
+			s := w.take()
+			if s == nil {
+				return
+			}
+			pprof.Do(ctx, pprof.Labels("vehicle", strconv.Itoa(s.v.ID())), func(context.Context) {
+				w.step(s)
+			})
 		}
-		w.step(s)
-	}
+	})
 }
 
 // take returns the next shard in rotation, blocking while the queue is

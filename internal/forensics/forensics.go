@@ -253,7 +253,18 @@ type Engine struct {
 	stray       int
 	finalized   bool
 	endAt       int64
+
+	// onIncident, when set, is called once per incident at the moment it
+	// closes: mid-run when a same-ID gap supersedes it, and at Finalize for
+	// incidents still open at the recording edge. See SetOnIncident.
+	onIncident IncidentFunc
 }
+
+// IncidentFunc observes incident closures. atEnd is true for incidents that
+// were still open when Finalize flushed the stream; recordingEnd is the
+// recording's final bit time for those (and -1 for mid-run closures), so a
+// consumer can apply the same recording-edge rule as Complete.
+type IncidentFunc func(inc Incident, atEnd bool, recordingEnd int64)
 
 // New creates a detached engine that resolves node names through the hub's
 // registry but does not subscribe; feed it with Feed and Finalize.
@@ -287,9 +298,28 @@ func NewEngine(h *telemetry.Hub) *Engine {
 	return e
 }
 
+// SetOnIncident registers a closure observer, called in canonical stream
+// order with a resolved snapshot of each incident as it closes. The callback
+// runs with the engine lock held — it must not call back into the engine —
+// but it may emit telemetry (Feed ignores EvAlert without taking the lock,
+// so a watch rule can publish alerts from inside the callback). Call before
+// the run starts; closures that happened earlier are not replayed.
+func (e *Engine) SetOnIncident(fn IncidentFunc) {
+	e.mu.Lock()
+	e.onIncident = fn
+	e.mu.Unlock()
+}
+
 // Feed accepts one event. Exposed for consumers that replay a recorded
 // stream (candump) instead of subscribing live.
 func (e *Engine) Feed(ev telemetry.Event) {
+	if ev.Kind == telemetry.EvAlert {
+		// Alerts describe the watch engine observing this very stream, not
+		// the simulated network; folding them would be circular (and the
+		// watch engine publishes them from inside SetOnIncident callbacks,
+		// which hold e.mu).
+		return
+	}
 	e.mu.Lock()
 	e.eventsSeen++
 	e.seq.Add(ev)
@@ -313,8 +343,26 @@ func (e *Engine) Finalize(recordingEnd int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.seq.Flush()
+	alreadyFinal := e.finalized
 	e.finalized = true
 	e.endAt = recordingEnd
+	if e.onIncident != nil && !alreadyFinal {
+		// Closure callbacks for incidents still open at the recording edge,
+		// in the same canonical (Start, ID) order Incidents reports them.
+		states := make([]*incidentState, 0, len(e.open))
+		for _, st := range e.open {
+			states = append(states, st)
+		}
+		sort.Slice(states, func(i, j int) bool {
+			if states[i].inc.Start != states[j].inc.Start {
+				return states[i].inc.Start < states[j].inc.Start
+			}
+			return states[i].inc.ID < states[j].inc.ID
+		})
+		for _, st := range states {
+			e.onIncident(e.resolve(st), true, recordingEnd)
+		}
+	}
 }
 
 // nodeName resolves a node ID, caching hub lookups. Called with e.mu held;
@@ -649,6 +697,9 @@ func (e *Engine) closeDestroyed(c *attempt, id int64, end int64) {
 	st := e.open[id]
 	if st != nil && c.start-st.inc.End > EpisodeGapBits {
 		e.closed = append(e.closed, st)
+		if e.onIncident != nil {
+			e.onIncident(e.resolve(st), false, -1)
+		}
 		st = nil
 	}
 	first := false

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"michican/internal/fleet"
+	"michican/internal/watch"
 )
 
 // This file is the fleet control plane's HTTP surface (DESIGN.md §6). The
@@ -23,13 +24,18 @@ import (
 //
 // Endpoints:
 //
-//	/fleet/healthz                  liveness + worker/vehicle census (JSON)
+//	/fleet/healthz                  liveness + worker/vehicle census (JSON);
+//	                                degrades to 503 when WithFleetHealth
+//	                                reports issues (stalled workers, store
+//	                                backlog)
 //	/fleet/metrics                  Prometheus-style text: aggregated
 //	                                per-series counters (summed across
 //	                                vehicles via net commits) + fleet
 //	                                operational series
 //	/fleet/incidents                fleet-wide incident totals, per-ID
 //	                                totals, recent handed-off incidents
+//	/fleet/alerts                   fleet-wide live SLO/alert view merged
+//	                                from per-vehicle watch engines
 //	/fleet/vehicles                 vehicle census (active + retired)
 //	/fleet/vehicles/{id}/snapshot   one vehicle's live registry + incidents
 //	/debug/pprof                    standard Go profiling surface
@@ -67,10 +73,13 @@ func (q *queryStats) snapshot() (int64, []float64) {
 }
 
 // FleetHealth is the /fleet/healthz payload: fleet liveness plus the
-// server's own query accounting.
+// server's own query accounting. Wall-clock health issues (WithFleetHealth)
+// flip Status to "degraded", list themselves in Issues, and turn the
+// response into a 503.
 type FleetHealth struct {
 	fleet.Health
-	Queries int64 `json:"queries"`
+	Queries int64         `json:"queries"`
+	Issues  []watch.Issue `json:"issues,omitempty"`
 }
 
 // MetricsAppender writes extra Prometheus-style lines onto the /fleet/metrics
@@ -80,9 +89,41 @@ type FleetHealth struct {
 // call concurrently with simulation workers.
 type MetricsAppender func(w io.Writer)
 
+// FleetOption customizes a fleet server beyond the fleet handle itself.
+type FleetOption func(*fleetConfig)
+
+// fleetConfig collects optional fleet-server wiring.
+type fleetConfig struct {
+	extra  []MetricsAppender
+	alerts func() watch.FleetAlertView
+	health func(now time.Time) []watch.Issue
+}
+
+// WithFleetMetrics appends extra Prometheus-style lines to /fleet/metrics.
+func WithFleetMetrics(app MetricsAppender) FleetOption {
+	return func(c *fleetConfig) { c.extra = append(c.extra, app) }
+}
+
+// WithFleetAlerts serves the merged fleet alert view (typically
+// watch.FleetCollector.Snapshot) on /fleet/alerts.
+func WithFleetAlerts(view func() watch.FleetAlertView) FleetOption {
+	return func(c *fleetConfig) { c.alerts = view }
+}
+
+// WithFleetHealth wires a wall-clock health check (watch.Monitor.Check with
+// a FleetWatcher attached) into /healthz and /fleet/healthz: issues degrade
+// both probes to 503.
+func WithFleetHealth(check func(now time.Time) []watch.Issue) FleetOption {
+	return func(c *fleetConfig) { c.health = check }
+}
+
 // ServeFleet binds addr and serves the fleet observability surface in a
 // background goroutine, exactly like Serve does for a single simulation.
-func ServeFleet(addr string, f *fleet.Fleet, extra ...MetricsAppender) (*Server, error) {
+func ServeFleet(addr string, f *fleet.Fleet, opts ...FleetOption) (*Server, error) {
+	var cfg fleetConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -97,15 +138,34 @@ func ServeFleet(addr string, f *fleet.Fleet, extra ...MetricsAppender) (*Server,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fleet/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, FleetHealth{Health: f.Health(), Queries: func() int64 { n, _ := qs.snapshot(); return n }()})
+		h := FleetHealth{Health: f.Health(), Queries: func() int64 { n, _ := qs.snapshot(); return n }()}
+		if cfg.health != nil {
+			if issues := cfg.health(time.Now()); len(issues) > 0 {
+				h.Status = "degraded"
+				h.Issues = issues
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+		}
+		writeJSON(w, h)
 	})
+	mux.HandleFunc("/fleet/alerts", timed(func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.alerts == nil {
+			writeJSON(w, watch.FleetAlertView{
+				Vehicles: []watch.VehicleAlerts{}, ByRule: map[string]int{},
+				Transitions: map[string]int64{}, Health: []watch.Issue{},
+			})
+			return
+		}
+		writeJSON(w, cfg.alerts())
+	}))
 	mux.HandleFunc("/fleet/metrics", timed(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		v := f.Aggregate().MetricsView()
 		_ = v.WriteMetricsText(w)
 		n, _ := qs.snapshot()
 		fmt.Fprintf(w, "michican_fleet_queries_total %d\n", n)
-		for _, app := range extra {
+		for _, app := range cfg.extra {
 			app(w)
 		}
 	}))
@@ -134,8 +194,7 @@ func ServeFleet(addr string, f *fleet.Fleet, extra ...MetricsAppender) (*Server,
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		writeHealth(w, cfg.health)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -144,7 +203,7 @@ func ServeFleet(addr string, f *fleet.Fleet, extra ...MetricsAppender) (*Server,
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "michican fleet control plane")
-		fmt.Fprintln(w, "  /fleet/healthz   /fleet/metrics   /fleet/incidents")
+		fmt.Fprintln(w, "  /fleet/healthz   /fleet/metrics   /fleet/incidents   /fleet/alerts")
 		fmt.Fprintln(w, "  /fleet/vehicles  /fleet/vehicles/{id}/snapshot  /debug/pprof/")
 	})
 

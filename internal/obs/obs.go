@@ -4,12 +4,16 @@
 //
 // Endpoints:
 //
-//	/healthz      liveness probe ("ok")
+//	/healthz      liveness probe: "ok", or 503 with the wall-clock health
+//	              issues (store backlog, fsync stall) when WithHealth wired
+//	              a monitor and it reports problems
 //	/metrics      Prometheus-style text snapshot of the hub registry
 //	/incidents    JSON incident log: closed + in-flight incidents, per-ID
 //	              summaries, and engine counters
 //	/snapshot     live per-node TEC/REC/fault-confinement state plus
 //	              per-path fast-forward hit rates
+//	/alerts       live SLO/alert state (internal/watch): active alerts,
+//	              the full transition log, and the SLO scoreboard
 //	/debug/pprof  the standard Go profiling surface (profile, heap, trace…)
 //
 // The server runs on its own mux (nothing leaks onto http.DefaultServeMux)
@@ -33,6 +37,7 @@ import (
 	"michican/internal/forensics"
 	"michican/internal/store"
 	"michican/internal/telemetry"
+	"michican/internal/watch"
 )
 
 // Server is a bound, running observability server.
@@ -41,12 +46,49 @@ type Server struct {
 	srv *http.Server
 }
 
-// Option customizes a Server beyond the hub + engine pair (see WithStore).
+// Option customizes a Server beyond the hub + engine pair (see WithStore,
+// WithWatch, WithHealth).
 type Option func(*serverConfig)
 
 // serverConfig collects optional server wiring.
 type serverConfig struct {
-	store *store.Store
+	store  *store.Store
+	watch  *watch.Engine
+	health func(now time.Time) []watch.Issue
+}
+
+// WithWatch serves the watch engine's live alert/SLO state on /alerts.
+func WithWatch(w *watch.Engine) Option {
+	return func(c *serverConfig) { c.watch = w }
+}
+
+// WithHealth wires a wall-clock health check (typically watch.Monitor.Check)
+// into /healthz: any reported issue degrades the probe to 503 with the
+// issues as the body.
+func WithHealth(check func(now time.Time) []watch.Issue) Option {
+	return func(c *serverConfig) { c.health = check }
+}
+
+// writeHealth renders the shared /healthz contract: 200 "ok" when check is
+// nil or clean, 503 with the JSON issue list otherwise.
+func writeHealth(w http.ResponseWriter, check func(time.Time) []watch.Issue) {
+	var issues []watch.Issue
+	if check != nil {
+		issues = check(time.Now())
+	}
+	if len(issues) == 0 {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Status string        `json:"status"`
+		Issues []watch.Issue `json:"issues"`
+	}{Status: "degraded", Issues: issues})
 }
 
 // Serve binds addr (host:port; use ":0" or "127.0.0.1:0" for an ephemeral
@@ -65,8 +107,14 @@ func Serve(addr string, hub *telemetry.Hub, eng *forensics.Engine, opts ...Optio
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		writeHealth(w, cfg.health)
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.watch == nil {
+			writeJSON(w, watch.Snapshot{Active: []watch.Alert{}, Log: []watch.Alert{}})
+			return
+		}
+		writeJSON(w, cfg.watch.Snapshot())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -100,7 +148,7 @@ func Serve(addr string, hub *telemetry.Hub, eng *forensics.Engine, opts ...Optio
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "michican observability server")
-		fmt.Fprintln(w, "  /healthz   /metrics   /incidents   /snapshot   /debug/pprof/")
+		fmt.Fprintln(w, "  /healthz   /metrics   /incidents   /snapshot   /alerts   /debug/pprof/")
 		if cfg.store != nil {
 			fmt.Fprintln(w, "  /store   /store/window?from=&to=   /store/incidents")
 		}

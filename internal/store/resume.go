@@ -29,8 +29,10 @@ func (s *Store) ResumePoint() (opts SinkOptions, completed bool, err error) {
 	return SinkOptions{
 		SkipEvents:         cp.Events,
 		SkipIncidents:      cp.Incidents,
+		SkipAlerts:         cp.Alerts,
 		ExpectPrefixHash:   cp.PrefixHash,
 		ExpectIncidentHash: cp.IncidentHash,
+		ExpectAlertHash:    cp.AlertHash,
 		ResumeFromBits:     cp.TimeBits,
 	}, false, nil
 }

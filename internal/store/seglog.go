@@ -36,6 +36,7 @@ const (
 const (
 	recEvent    = 1
 	recIncident = 2
+	recAlert    = 3
 )
 
 // segIndex is the sidecar written when a segment seals: enough to answer

@@ -56,13 +56,16 @@ type SinkOptions struct {
 	// for incident handoffs.
 	SkipEvents    int64
 	SkipIncidents int64
-	// ExpectPrefixHash / ExpectIncidentHash, when non-empty, are compared
-	// against the running hash once the skip cursor is reached; a mismatch
-	// poisons the sink (Err reports it) because the regenerated prefix
-	// diverged from the durable one and appending the tail would corrupt the
-	// log.
+	// SkipAlerts mirrors SkipIncidents for the watch engine's alert log.
+	SkipAlerts int64
+	// ExpectPrefixHash / ExpectIncidentHash / ExpectAlertHash, when non-empty,
+	// are compared against the running hash once the skip cursor is reached; a
+	// mismatch poisons the sink (Err reports it) because the regenerated
+	// prefix diverged from the durable one and appending the tail would
+	// corrupt the log.
 	ExpectPrefixHash   string
 	ExpectIncidentHash string
+	ExpectAlertHash    string
 	// ResumeFromBits seeds the flush/checkpoint interval clocks at resume so
 	// the first post-resume checkpoint does not fire immediately.
 	ResumeFromBits int64
@@ -112,10 +115,12 @@ type Sink struct {
 	names map[telemetry.NodeID]string
 	enc   []byte
 
-	evHash     uint64 // FNV-1a over appended (or skipped) event payloads, canonical order
-	incHash    uint64 // same, over incident payloads
-	skippedEv  int64
-	skippedInc int64
+	evHash       uint64 // FNV-1a over appended (or skipped) event payloads, canonical order
+	incHash      uint64 // same, over incident payloads
+	alertHash    uint64 // same, over alert payloads
+	skippedEv    int64
+	skippedInc   int64
+	skippedAlert int64
 
 	pendEvents   int64 // appended since last drain
 	lastFlushT   int64
@@ -127,9 +132,10 @@ type Sink struct {
 	// /metrics, the obs snapshot, and — via the fleet NetCommitter fold —
 	// /fleet/metrics). Reconciled from Store.Stats deltas at drain points to
 	// keep the per-event path free of extra atomics.
-	cEvents, cIncidents, cBytes, cSealed, cFsyncs, cCheckpoints *telemetry.Counter
-	gBacklog, gCheckpointMs                                     *telemetry.Gauge
-	lastStats                                                   Stats
+	cEvents, cIncidents, cAlerts, cBytes, cSealed, cFsyncs, cCheckpoints *telemetry.Counter
+	gBacklog, gCheckpointMs                                              *telemetry.Gauge
+	lastStats                                                            Stats
+	lastSyncAt                                                           atomic.Int64 // unix nanos of the last fsync (health probe input)
 }
 
 // sinkBatch is one hand-off unit. A non-nil done channel is a barrier: the
@@ -162,13 +168,16 @@ func NewSink(st *Store, hub *telemetry.Hub, opts SinkOptions) *Sink {
 		names:        make(map[telemetry.NodeID]string),
 		evHash:       fnvOffset64,
 		incHash:      fnvOffset64,
+		alertHash:    fnvOffset64,
 		lastFlushT:   opts.ResumeFromBits,
 		lastCpT:      opts.ResumeFromBits,
 		lastSyncWall: time.Now(),
 	}
+	s.lastSyncAt.Store(time.Now().UnixNano())
 	reg := hub.Registry()
 	s.cEvents = reg.Counter("michican_store_events_appended_total")
 	s.cIncidents = reg.Counter("michican_store_incidents_appended_total")
+	s.cAlerts = reg.Counter("michican_store_alerts_appended_total")
 	s.cBytes = reg.Counter("michican_store_bytes_appended_total")
 	s.cSealed = reg.Counter("michican_store_segments_sealed_total")
 	s.cFsyncs = reg.Counter("michican_store_fsyncs_total")
@@ -178,6 +187,15 @@ func NewSink(st *Store, hub *telemetry.Hub, opts SinkOptions) *Sink {
 	s.seq.Emit = s.release
 	go s.writer()
 	s.cancel = hub.Subscribe(func(ev telemetry.Event) {
+		if ev.Kind == telemetry.EvAlert {
+			// Alert transitions persist in their own log (AppendAlerts) with
+			// their own cursor and hash. Keeping them out of the event log
+			// keeps the stored stream canonical (alerts are emitted at
+			// incident-closure observation time, behind the stream head) and
+			// keeps event prefix hashes identical whether or not a watch
+			// engine was attached.
+			return
+		}
 		s.inMu.Lock()
 		s.inBuf = append(s.inBuf, ev)
 		n := len(s.inBuf)
@@ -307,6 +325,7 @@ func (s *Sink) drainLocked(t int64) {
 	if s.st.Meta().Fsync == FsyncGroup && time.Since(s.lastSyncWall) >= sinkSyncInterval {
 		err = s.st.Sync()
 		s.lastSyncWall = time.Now()
+		s.lastSyncAt.Store(s.lastSyncWall.UnixNano())
 	} else {
 		err = s.st.Flush()
 	}
@@ -323,6 +342,7 @@ func (s *Sink) reconcileLocked() {
 	st := s.st.Stats()
 	s.cEvents.Add(st.EventsAppended - s.lastStats.EventsAppended)
 	s.cIncidents.Add(st.IncidentsAppended - s.lastStats.IncidentsAppended)
+	s.cAlerts.Add(st.AlertsAppended - s.lastStats.AlertsAppended)
 	s.cBytes.Add(st.BytesAppended - s.lastStats.BytesAppended)
 	s.cSealed.Add(st.SegmentsSealed - s.lastStats.SegmentsSealed)
 	s.cFsyncs.Add(st.Fsyncs - s.lastStats.Fsyncs)
@@ -352,8 +372,10 @@ func (s *Sink) checkpointLocked(t int64, completed bool) {
 		TimeBits:     t,
 		Events:       s.st.EventCount(),
 		Incidents:    s.st.IncidentCount(),
+		Alerts:       s.st.AlertCount(),
 		PrefixHash:   hashString(s.evHash),
 		IncidentHash: hashString(s.incHash),
+		AlertHash:    hashString(s.alertHash),
 		Completed:    completed,
 	}
 	if _, err := s.st.WriteCheckpoint(cp); err != nil && s.err == nil {
@@ -391,6 +413,50 @@ func (s *Sink) AppendIncidents(payloads [][]byte) error {
 		}
 	}
 	return s.err
+}
+
+// AppendAlerts persists a batch of marshalled watch-alert payloads (the watch
+// package's canonical encoding), honouring the resume skip cursor exactly as
+// AppendIncidents does.
+func (s *Sink) AppendAlerts(payloads [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range payloads {
+		s.alertHash = hashPayload(s.alertHash, p)
+		if s.skippedAlert < s.opts.SkipAlerts {
+			s.skippedAlert++
+			if s.skippedAlert == s.opts.SkipAlerts && s.opts.ExpectAlertHash != "" {
+				if got := hashString(s.alertHash); got != s.opts.ExpectAlertHash {
+					s.err = fmt.Errorf("store: resume alert prefix diverged: hash %s, checkpoint recorded %s",
+						got, s.opts.ExpectAlertHash)
+				}
+			}
+			continue
+		}
+		if err := s.st.AppendAlert(p); err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			return err
+		}
+	}
+	return s.err
+}
+
+// SyncAge reports how long ago the last group fsync completed. Health probes
+// use it to flag an fsync stall (a disk that stopped acknowledging writes).
+func (s *Sink) SyncAge(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, s.lastSyncAt.Load()))
+}
+
+// Backlog reports the events received from the hub but not yet durable (the
+// hand-off queue plus the reorder window plus anything buffered between
+// drains). It is the same figure the michican_store_drain_backlog gauge
+// carries, but readable without a registry snapshot.
+func (s *Sink) Backlog() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.added.Load() - s.skippedEv - s.lastStats.EventsAppended
 }
 
 // Checkpoint waits for the writer to catch up with everything received so

@@ -83,7 +83,13 @@ type Checkpoint struct {
 	Incidents    int64  `json:"incidents"`
 	PrefixHash   string `json:"prefix_hash"`
 	IncidentHash string `json:"incident_hash"`
-	Completed    bool   `json:"completed"`
+	// Alerts/AlertHash cursor the watch engine's alert log the same way
+	// Incidents/IncidentHash cursor the incident log. Both are JSON-additive:
+	// checkpoints written before the alert log existed unmarshal to zero,
+	// which is exactly the cursor of their (empty) alert log.
+	Alerts    int64  `json:"alerts,omitempty"`
+	AlertHash string `json:"alert_hash,omitempty"`
+	Completed bool   `json:"completed"`
 }
 
 // Stats is a snapshot of the store's lifetime persistence counters (this
@@ -91,6 +97,7 @@ type Checkpoint struct {
 type Stats struct {
 	EventsAppended    int64   `json:"events_appended"`
 	IncidentsAppended int64   `json:"incidents_appended"`
+	AlertsAppended    int64   `json:"alerts_appended"`
 	BytesAppended     int64   `json:"bytes_appended"`
 	SegmentsSealed    int64   `json:"segments_sealed"`
 	Fsyncs            int64   `json:"fsyncs"`
@@ -110,6 +117,7 @@ type Store struct {
 	mu        sync.Mutex
 	events    *segLog
 	incidents *segLog
+	alerts    *segLog
 	cpSeq     int
 
 	stats Stats
@@ -153,7 +161,11 @@ func Create(dir string, meta Meta) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, meta: meta, events: events, incidents: incidents}, nil
+	alerts, err := newSegLog(dir, "alerts", meta.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, meta: meta, events: events, incidents: incidents, alerts: alerts}, nil
 }
 
 // Open reopens an existing store directory, scanning every segment,
@@ -178,7 +190,13 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, meta: meta, events: events, incidents: incidents}
+	// Stores created before the alert log existed simply have no alerts-*.seg
+	// files; openSegLog starts them a fresh, empty log.
+	alerts, err := openSegLog(dir, "alerts", meta.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, meta: meta, events: events, incidents: incidents, alerts: alerts}
 	cps, err := s.Checkpoints()
 	if err != nil {
 		return nil, err
@@ -210,6 +228,13 @@ func (s *Store) AppendIncident(payload []byte) error {
 	return s.appendLocked(s.incidents, recIncident, payload, 0, &s.stats.IncidentsAppended)
 }
 
+// AppendAlert frames and appends one marshalled watch alert transition.
+func (s *Store) AppendAlert(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(s.alerts, recAlert, payload, 0, &s.stats.AlertsAppended)
+}
+
 func (s *Store) appendLocked(l *segLog, typ byte, payload []byte, t int64, counter *int64) error {
 	before := len(l.segs)
 	n, err := l.append(typ, payload, t)
@@ -229,7 +254,10 @@ func (s *Store) Flush() error {
 	if err := s.events.flush(); err != nil {
 		return err
 	}
-	return s.incidents.flush()
+	if err := s.incidents.flush(); err != nil {
+		return err
+	}
+	return s.alerts.flush()
 }
 
 // Sync flushes and fsyncs both logs — one group commit.
@@ -244,6 +272,9 @@ func (s *Store) syncLocked() error {
 		return err
 	}
 	if err := s.incidents.sync(); err != nil {
+		return err
+	}
+	if err := s.alerts.sync(); err != nil {
 		return err
 	}
 	s.stats.Fsyncs++
@@ -265,13 +296,20 @@ func (s *Store) IncidentCount() int64 {
 	return s.incidents.count
 }
 
+// AlertCount returns the number of alert records in the store.
+func (s *Store) AlertCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alerts.count
+}
+
 // Stats snapshots the persistence counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.DiskBytes = s.events.diskBytes() + s.incidents.diskBytes()
-	st.Segments = len(s.events.segs) + len(s.incidents.segs)
+	st.DiskBytes = s.events.diskBytes() + s.incidents.diskBytes() + s.alerts.diskBytes()
+	st.Segments = len(s.events.segs) + len(s.incidents.segs) + len(s.alerts.segs)
 	return st
 }
 
@@ -281,9 +319,9 @@ func (s *Store) Stats() Stats {
 func (s *Store) WriteCheckpoint(cp Checkpoint) (Checkpoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cp.Events > s.events.count || cp.Incidents > s.incidents.count {
-		return cp, fmt.Errorf("store: checkpoint cursor (%d ev, %d inc) beyond appended (%d ev, %d inc)",
-			cp.Events, cp.Incidents, s.events.count, s.incidents.count)
+	if cp.Events > s.events.count || cp.Incidents > s.incidents.count || cp.Alerts > s.alerts.count {
+		return cp, fmt.Errorf("store: checkpoint cursor (%d ev, %d inc, %d al) beyond appended (%d ev, %d inc, %d al)",
+			cp.Events, cp.Incidents, cp.Alerts, s.events.count, s.incidents.count, s.alerts.count)
 	}
 	if err := s.syncLocked(); err != nil {
 		return cp, err
@@ -351,10 +389,10 @@ func (s *Store) LatestCheckpoint() (Checkpoint, error) {
 		return Checkpoint{}, err
 	}
 	s.mu.Lock()
-	evCount, incCount := s.events.count, s.incidents.count
+	evCount, incCount, alCount := s.events.count, s.incidents.count, s.alerts.count
 	s.mu.Unlock()
 	for i := len(cps) - 1; i >= 0; i-- {
-		if cps[i].Events <= evCount && cps[i].Incidents <= incCount {
+		if cps[i].Events <= evCount && cps[i].Incidents <= incCount && cps[i].Alerts <= alCount {
 			return cps[i], nil
 		}
 	}
@@ -372,6 +410,9 @@ func (s *Store) TruncateTo(cp Checkpoint) error {
 		return err
 	}
 	if err := s.incidents.truncate(cp.Incidents); err != nil {
+		return err
+	}
+	if err := s.alerts.truncate(cp.Alerts); err != nil {
 		return err
 	}
 	names, err := filepath.Glob(filepath.Join(s.dir, "checkpoint-*.json"))
@@ -433,12 +474,29 @@ func (s *Store) IncidentPayloads(fn func(payload []byte) error) error {
 	})
 }
 
-// Close flushes and closes both logs without sealing the active segments.
+// AlertPayloads streams every stored alert transition's raw JSON payload in
+// append order. Decoding lives in the watch package (which owns the Alert
+// type); this keeps store → watch dependency-free.
+func (s *Store) AlertPayloads(fn func(payload []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alerts.iterate(math.MinInt64, math.MaxInt64, func(typ byte, payload []byte) error {
+		if typ != recAlert {
+			return fmt.Errorf("store: record type %d in alerts log", typ)
+		}
+		return fn(payload)
+	})
+}
+
+// Close flushes and closes the logs without sealing the active segments.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.events.close(); err != nil {
 		return err
 	}
-	return s.incidents.close()
+	if err := s.incidents.close(); err != nil {
+		return err
+	}
+	return s.alerts.close()
 }

@@ -160,6 +160,15 @@ func (h *Hub) WriteChromeTrace(w io.Writer, bitsPerSecond int64) error {
 				Name: name, Ph: "X", Ts: ts, Dur: float64(ev.A) * usPerBit, Pid: pid, Tid: tid,
 				Args: map[string]any{"bits": ev.A},
 			})
+		case EvAlert:
+			state := "resolve"
+			if ev.B != 0 {
+				state = "fire"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("alert %s rule%d", state, ev.A), Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t",
+				Args: map[string]any{"rule": ev.A, "state": state},
+			})
 		}
 	}
 

@@ -134,6 +134,15 @@ func AppendEventJSON(dst []byte, node string, ev Event) []byte {
 		dst = strconv.AppendInt(dst, ev.A, 10)
 		dst = append(dst, `,"path":`...)
 		dst = strconv.AppendQuote(dst, ffPathName(ev.B))
+	case EvAlert:
+		dst = append(dst, `,"rule":`...)
+		dst = strconv.AppendInt(dst, ev.A, 10)
+		dst = append(dst, `,"state":`...)
+		if ev.B != 0 {
+			dst = append(dst, `"fire"`...)
+		} else {
+			dst = append(dst, `"resolve"`...)
+		}
 	case EvErrorEnd, EvBusOff, EvRecover:
 		// No arguments.
 	}

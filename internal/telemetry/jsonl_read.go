@@ -21,7 +21,7 @@ type NamedEvent struct {
 // kindByName is the inverse of Kind.String for the JSONL reader.
 var kindByName = func() map[string]Kind {
 	m := make(map[string]Kind)
-	for k := EvArbWon; k <= EvTxSuccess; k++ {
+	for k := EvArbWon; k <= EvAlert; k++ {
 		m[k.String()] = k
 	}
 	return m
@@ -67,6 +67,8 @@ type jsonlRecord struct {
 	Value     int64  `json:"value"`
 	Prev      int64  `json:"prev"`
 	Path      string `json:"path"`
+	Rule      int64  `json:"rule"`
+	State     string `json:"state"`
 }
 
 // ParseEventJSON decodes one JSONL record previously produced by
@@ -106,6 +108,11 @@ func ParseEventJSON(line []byte) (NamedEvent, error) {
 	case EvFFSpan:
 		ev.A = rec.Bits
 		ev.B = ffPathCode(rec.Path)
+	case EvAlert:
+		ev.A = rec.Rule
+		if rec.State == "fire" {
+			ev.B = 1
+		}
 	}
 	return ev, nil
 }

@@ -80,6 +80,11 @@ const (
 	// EvTxSuccess: a transmission completed acknowledged and error-free.
 	// A = the frame's CAN ID; the event time is the final EOF bit.
 	EvTxSuccess
+	// EvAlert: the watch engine changed an alert rule's state. A = the rule
+	// index (watch.Rule), B = 1 on fire, 0 on resolve. Alerts describe the
+	// observer, not the simulated network: they are excluded from the
+	// hyperperiod capture tape and ignored by the forensics engine.
+	EvAlert
 )
 
 // String names the kind as it appears in the JSONL stream.
@@ -113,6 +118,8 @@ func (k Kind) String() string {
 		return "tx_start"
 	case EvTxSuccess:
 		return "tx_success"
+	case EvAlert:
+		return "alert"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -384,8 +391,9 @@ func (h *Hub) CaptureAllowed() bool {
 	return h.captureOK
 }
 
-// StartCapture begins recording every emitted event (except EvFFSpan, which
-// describes the stepping machinery rather than the simulated network) onto
+// StartCapture begins recording every emitted event (except EvFFSpan and
+// EvAlert, which describe the stepping machinery and the watch engine
+// rather than the simulated network) onto
 // the capture tape. It reports false — and records nothing — unless the hub
 // owner opted in with AllowCapture. A nil hub reports true: there is nothing
 // to capture and nothing to replay, which is vacuously faithful.
@@ -444,7 +452,7 @@ func (h *Hub) emit(ev Event) {
 	if h.retain {
 		h.events = append(h.events, ev)
 	}
-	if h.capturing && ev.Kind != EvFFSpan {
+	if h.capturing && ev.Kind != EvFFSpan && ev.Kind != EvAlert {
 		h.capture = append(h.capture, ev)
 	}
 	ni := h.perNode[ev.Node]

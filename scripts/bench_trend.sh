@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Bench trend gate: fold the committed BENCH_PR*.json series into a trend
+# table (artifact: trend table file) and fail if the newest file's 60%-load
+# headline cell regressed more than the budget against the latest committed
+# baseline of the same benchmark kind. Reads committed numbers only — no
+# re-measurement, so the verdict is deterministic across CI runners.
+set -euo pipefail
+
+DIR=${DIR:-.}
+BUDGET=${BUDGET:-20}
+OUT=${OUT:-bench_trend.txt}
+
+go run ./cmd/michican-trend -dir "$DIR" -budget "$BUDGET" -out "$OUT"

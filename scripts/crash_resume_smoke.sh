@@ -18,11 +18,15 @@ if [[ -n "${FLEET_BIN:-}" ]]; then
   FLEET=("$FLEET_BIN")
 fi
 
-echo "== reference: uninterrupted durable run ($VEHICLES vehicles, $HORIZON bits)"
-"${FLEET[@]}" -vehicles "$VEHICLES" -horizon-bits "$HORIZON" -store "$WORK/ref" >/dev/null
+# -watch attaches a live SLO engine to every vehicle: each store also gets a
+# persisted alert log, so the digest diff below additionally proves alerts
+# regenerate byte-identically across a kill + resume (the resumed roster
+# re-attaches engines from the stored per-vehicle specs).
+echo "== reference: uninterrupted durable run ($VEHICLES vehicles, $HORIZON bits, watch on)"
+"${FLEET[@]}" -vehicles "$VEHICLES" -horizon-bits "$HORIZON" -watch -store "$WORK/ref" >/dev/null
 
 echo "== crash run: SIGKILL after ${KILL_AFTER}s"
-"${FLEET[@]}" -vehicles "$VEHICLES" -horizon-bits "$HORIZON" -store "$WORK/crash" >/dev/null 2>&1 &
+"${FLEET[@]}" -vehicles "$VEHICLES" -horizon-bits "$HORIZON" -watch -store "$WORK/crash" >/dev/null 2>&1 &
 PID=$!
 sleep "$KILL_AFTER"
 # go run execs the built binary as a child; kill the whole process group is
@@ -50,4 +54,10 @@ if ! diff -u "$WORK/ref.digest" "$WORK/crash.digest"; then
   echo "FAIL: resumed stores diverge from the uninterrupted reference" >&2
   exit 1
 fi
-echo "OK: $(wc -l < "$WORK/ref.digest") vehicle stores byte-identical after kill + resume"
+# The alert byte-identity claim must not pass vacuously: the reference run
+# has to have persisted at least one alert segment.
+if ! ls "$WORK"/ref/*/alerts-*.seg >/dev/null 2>&1; then
+  echo "FAIL: no persisted alert logs in the reference store; -watch did not persist" >&2
+  exit 1
+fi
+echo "OK: $(wc -l < "$WORK/ref.digest") vehicle stores (incl. alert logs) byte-identical after kill + resume"
